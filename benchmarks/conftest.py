@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure bench pulls campaign data from the shared
+:class:`ExperimentContext`; campaigns are disk-cached under
+``.repro_cache`` (shipped with the repository), so benches re-render from
+cache in milliseconds.  Delete the cache or change ``REPRO_FAULTS`` /
+``REPRO_BEAM_HOURS`` to re-run campaigns from scratch.
+
+Rendered tables/figures are also written to ``results/`` so the regenerated
+paper artifacts survive the pytest run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import get_context
+
+
+@pytest.fixture(scope="session")
+def context():
+    return get_context()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = Path("results")
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Persist a rendered artifact and echo it to the terminal."""
+
+    def writer(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[written to results/{name}.txt]")
+
+    return writer

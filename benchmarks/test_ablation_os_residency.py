@@ -1,0 +1,69 @@
+"""Ablation: the background-OS cache-residency channel of the beam model.
+
+The paper attributes the beam System-Crash excess of small-footprint
+benchmarks to kernel/OS state resident in otherwise-unused cache lines.
+Disabling that channel (strikes on background-OS lines become harmless)
+must collapse the System-Crash FIT toward the platform-logic floor -
+demonstrating the channel's contribution is what the design claims.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.report import format_table
+from repro.beam.board import ZEDBOARD
+from repro.beam.experiment import BeamCampaignConfig, BeamExperiment
+from repro.injection.classify import FaultEffect
+from repro.workloads import get_workload
+
+BEAM_HOURS = 60.0
+
+#: Board with the OS-residency channel disabled (strikes on background-OS
+#: lines are masked); platform logic untouched.
+NO_OS_BOARD = dataclasses.replace(
+    ZEDBOARD,
+    name="zedboard-no-os",
+    os_line_outcomes=((FaultEffect.MASKED, 1.0),),
+)
+
+
+def test_ablation_os_residency(benchmark, emit):
+    workload = get_workload("Susan C")  # smallest footprint: worst case
+
+    def run_both():
+        results = {}
+        for label, board in (("full board model", ZEDBOARD),
+                             ("no OS residency", NO_OS_BOARD)):
+            experiment = BeamExperiment(
+                BeamCampaignConfig(beam_hours=BEAM_HOURS, seed=4, board=board)
+            )
+            results[label] = experiment.run_workload(workload)
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = [
+        (
+            label,
+            f"{result.fit(FaultEffect.SDC):.2f}",
+            f"{result.fit(FaultEffect.APP_CRASH):.2f}",
+            f"{result.fit(FaultEffect.SYS_CRASH):.2f}",
+        )
+        for label, result in results.items()
+    ]
+    emit(
+        "ablation_os_residency",
+        format_table(
+            ("Beam model", "SDC FIT", "AppCrash FIT", "SysCrash FIT"),
+            rows,
+            title=(
+                "Ablation - background-OS cache residency channel "
+                "(Susan C, 60 beam hours)"
+            ),
+        ),
+    )
+
+    full = results["full board model"].fit(FaultEffect.SYS_CRASH)
+    ablated = results["no OS residency"].fit(FaultEffect.SYS_CRASH)
+    assert ablated < full

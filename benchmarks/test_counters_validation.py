@@ -1,0 +1,23 @@
+"""Section IV-D: performance-counter validation, model vs hardware-like
+variant.  Paper shape: ~70% of counters within acceptable deviation, worst
+offender the instruction TLB."""
+
+from __future__ import annotations
+
+from repro.experiments import counters
+
+
+def test_counters_validation(benchmark, context, emit):
+    comparisons = benchmark.pedantic(counters.data, args=(context,), rounds=1,
+                                     iterations=1)
+    text = counters.render(context)
+    emit("counters_validation", text)
+
+    acceptable = sum(1 for c in comparisons if c.acceptable)
+    share = acceptable / len(comparisons)
+    assert 0.4 <= share <= 0.95  # paper: ~70%
+
+    # The instruction TLB is the worst counter (the paper's known gem5 vs
+    # Cortex-A9 design difference, recreated in the hardware variant).
+    worst = max(comparisons, key=lambda c: c.deviation)
+    assert worst.counter == "itlb_misses"

@@ -1,0 +1,31 @@
+"""Figure 10: overview - suite-average FIT with cumulative crash classes.
+
+Paper headline: beam/injection ratio ~1 for SDC only, growing as crash
+classes are added, but the Total FIT difference stays within one order of
+magnitude (10.9x in the paper) - the "narrow range" that lets designers
+bound the field FIT between the two estimates.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig10
+
+
+def test_fig10_overview(benchmark, context, emit):
+    context.beam_results()
+    context.injection_results()
+    text = benchmark(fig10.render, context)
+    emit("fig10_overview", text)
+
+    bars = fig10.data(context)
+    assert len(bars) == 3
+    sdc_bar, combined_bar, total_bar = bars
+
+    # SDC-only: the two methodologies nearly agree.
+    assert abs(sdc_bar.ratio) <= 5
+    # Adding crash classes pushes the beam side up monotonically.
+    assert total_bar.beam_mean_fit >= combined_bar.beam_mean_fit >= sdc_bar.beam_mean_fit
+    # The ratio grows as crash classes are added, beam on top...
+    assert total_bar.ratio >= combined_bar.ratio >= 0 or abs(combined_bar.ratio) <= 5
+    # ...but the total stays within ~an order of magnitude-scale band.
+    assert total_bar.ratio <= 40

@@ -1,0 +1,29 @@
+"""Figure 3: beam FIT rates per benchmark (SDC / AppCrash / SysCrash)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig3
+from repro.injection.classify import FaultEffect
+
+
+def test_fig3_beam_fit(benchmark, context, emit):
+    results = context.beam_results()  # materialize campaigns (disk-cached)
+    text = benchmark(fig3.render, context)
+    emit("fig3_beam_fit", text)
+
+    data = fig3.data(context)
+    assert len(data) == 13
+    # Paper shape: System Crash is the most likely beam event for most
+    # benchmarks (all but a couple of AppCrash-heavy codes).
+    sys_dominant = sum(
+        1
+        for fits in data.values()
+        if fits["SysCrash"] >= max(fits["SDC"], fits["AppCrash"])
+    )
+    assert sys_dominant >= 9
+    # Small-footprint codes (the paper: Dijkstra, MatMul, StringSearch,
+    # Susans) sit in the upper half of the System-Crash ranking.
+    ranked = sorted(data, key=lambda name: data[name]["SysCrash"], reverse=True)
+    top_half = set(ranked[:7])
+    assert len(top_half & {"Dijkstra", "MatMul", "StringSearch",
+                           "Susan C", "Susan E", "Susan S"}) >= 4

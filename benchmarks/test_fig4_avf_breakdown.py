@@ -1,0 +1,37 @@
+"""Figure 4: fault-injection AVF breakdown per component per benchmark."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4
+from repro.injection.components import Component
+
+
+def test_fig4_avf_breakdown(benchmark, context, emit):
+    context.injection_results()
+    text = benchmark(fig4.render, context)
+    emit("fig4_avf_breakdown", text)
+
+    breakdowns = fig4.data(context)
+    assert len(breakdowns) == 13
+    for rows in breakdowns.values():
+        for cell in rows:
+            assert cell.sdc + cell.app_crash + cell.sys_crash + cell.masked == (
+                pytest.approx(1.0)
+            )
+
+    # Paper shape: SDCs concentrate in the data-holding structures (L1D,
+    # L2), while L1I faults mostly produce crashes.
+    def suite_rate(component, attribute):
+        cells = [
+            next(c for c in rows if c.component is component)
+            for rows in breakdowns.values()
+        ]
+        return sum(getattr(c, attribute) for c in cells) / len(cells)
+
+    l1i_crash = suite_rate(Component.L1I, "app_crash") + suite_rate(
+        Component.L1I, "sys_crash"
+    )
+    l1i_sdc = suite_rate(Component.L1I, "sdc")
+    assert l1i_crash > l1i_sdc

@@ -1,0 +1,21 @@
+"""Figure 5: fault-injection-predicted FIT rates per benchmark."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5
+
+
+def test_fig5_injection_fit(benchmark, context, emit):
+    context.injection_results()
+    text = benchmark(fig5.render, context)
+    emit("fig5_injection_fit", text)
+
+    fits = fig5.data(context)
+    assert len(fits) == 13
+    assert all(f.total >= 0 for f in fits.values())
+    # SDC dominates the injection-predicted FIT for most codes (paper:
+    # "fault injection average FIT rate is dominated by the SDC FIT rate").
+    sdc_dominant = sum(
+        1 for f in fits.values() if f.sdc >= max(f.app_crash, f.sys_crash)
+    )
+    assert sdc_dominant >= 7

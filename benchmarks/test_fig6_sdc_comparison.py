@@ -1,0 +1,22 @@
+"""Figure 6: SDC FIT - beam vs fault injection.
+
+Paper shape: the two methodologies agree closely on SDC rates - for most
+codes within a small factor (10/13 within 4x in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig6
+
+
+def test_fig6_sdc_comparison(benchmark, context, emit):
+    context.beam_results()
+    context.injection_results()
+    text = benchmark(fig6.render, context)
+    emit("fig6_sdc_comparison", text)
+
+    rows = fig6.data(context)
+    assert len(rows) == 13
+    # Most benchmarks agree within an order of magnitude on SDC.
+    close = sum(1 for row in rows if abs(row.ratio) <= 10)
+    assert close >= 9

@@ -1,0 +1,22 @@
+"""Figure 7: Application Crash FIT - beam vs fault injection.
+
+Paper shape: the beam rate is essentially always the higher one (crashes
+are also triggered by logic/control hardware that injection cannot reach,
+and by the cache-resident online check routine).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig7
+
+
+def test_fig7_appcrash_comparison(benchmark, context, emit):
+    context.beam_results()
+    context.injection_results()
+    text = benchmark(fig7.render, context)
+    emit("fig7_appcrash_comparison", text)
+
+    rows = fig7.data(context)
+    assert len(rows) == 13
+    beam_higher = sum(1 for row in rows if row.beam_higher)
+    assert beam_higher >= 10

@@ -1,0 +1,22 @@
+"""Figure 8: System Crash FIT - beam vs fault injection.
+
+Paper shape: the beam rate is always (much) higher - driven by resident
+kernel/OS state in otherwise-unused cache lines and by un-modeled platform
+logic (9x to 287x in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig8
+
+
+def test_fig8_syscrash_comparison(benchmark, context, emit):
+    context.beam_results()
+    context.injection_results()
+    text = benchmark(fig8.render, context)
+    emit("fig8_syscrash_comparison", text)
+
+    rows = fig8.data(context)
+    assert len(rows) == 13
+    assert all(row.beam_higher for row in rows)
+    assert all(abs(row.ratio) >= 2 for row in rows)

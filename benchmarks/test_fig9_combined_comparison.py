@@ -1,0 +1,28 @@
+"""Figure 9: SDC + Application Crash combined FIT comparison.
+
+Paper shape: combining the two CPU-attributable classes shrinks the
+per-benchmark differences (crashes and SDCs trade places between setups) -
+e.g. MatMul and Qsort fall from ~100x (Fig. 7) to under ~10x.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+
+from repro.experiments import fig7, fig9
+
+
+def test_fig9_combined_comparison(benchmark, context, emit):
+    context.beam_results()
+    context.injection_results()
+    text = benchmark(fig9.render, context)
+    emit("fig9_combined_comparison", text)
+
+    combined = fig9.data(context)
+    appcrash_only = fig7.data(context)
+    assert len(combined) == 13
+    # Combining classes must not blow up the disagreement: the median
+    # combined ratio is no larger than the median AppCrash-only ratio.
+    assert median(abs(row.ratio) for row in combined) <= median(
+        abs(row.ratio) for row in appcrash_only
+    )

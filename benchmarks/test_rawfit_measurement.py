@@ -1,0 +1,20 @@
+"""Section VI: FIT_raw measurement via the L1 pattern test under beam."""
+
+from __future__ import annotations
+
+from repro.experiments import rawfit
+
+
+def test_rawfit_measurement(benchmark, context, emit):
+    measurement = benchmark.pedantic(
+        rawfit.data, args=(context,), kwargs={"beam_hours": 500.0},
+        rounds=1, iterations=1,
+    )
+    emit("rawfit_measurement", rawfit.render(context, beam_hours=500.0))
+
+    assert measurement.strikes > 0
+    # The measured per-bit FIT recovers the configured technology value up
+    # to the geometry/duty-cycle factor (same order of magnitude).
+    assert measurement.detected_upsets > 0
+    ratio = measurement.measured_fit_raw / measurement.configured_fit_raw
+    assert 0.05 <= ratio <= 1.5

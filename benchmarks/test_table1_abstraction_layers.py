@@ -1,0 +1,24 @@
+"""Table I: simulation throughput per abstraction layer.
+
+Benchmarks the simulator's detailed mode (the paper's microarchitecture
+row) and reports measured cycles/second for every layer we implement.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+from repro.microarch.system import System
+from repro.workloads import get_workload
+
+
+def test_table1_abstraction_layers(benchmark, context, emit):
+    workload = get_workload("Dijkstra")
+
+    def detailed_run():
+        system = System(workload.program(context.machine.layout))
+        return system.run(max_cycles=100_000_000)
+
+    result = benchmark.pedantic(detailed_run, rounds=3, iterations=1)
+    assert result.exited_cleanly
+
+    emit("table1_abstraction_layers", table1.render(context))

@@ -1,0 +1,11 @@
+"""Table II: setup attribute summary (beam board vs simulated model)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def test_table2_setup(benchmark, context, emit):
+    text = benchmark(table2.render, context)
+    assert "L2 Cache" in text
+    emit("table2_setup", text)

@@ -1,0 +1,13 @@
+"""Table III: benchmark inputs and characteristics."""
+
+from __future__ import annotations
+
+from repro.experiments import table3
+from repro.workloads import workload_names
+
+
+def test_table3_benchmarks(benchmark, context, emit):
+    text = benchmark(table3.render, context)
+    for name in workload_names():
+        assert name in text
+    emit("table3_benchmarks", text)

@@ -1,0 +1,14 @@
+"""Table IV: per-component error margins of the injection campaigns."""
+
+from __future__ import annotations
+
+from repro.experiments import table4
+
+
+def test_table4_error_margins(benchmark, context, emit):
+    context.injection_results()  # materialize campaigns (disk-cached)
+    text = benchmark(table4.render, context)
+    assert "Register File" in text
+    rows = table4.data(context)
+    assert all(0 < row.avg_margin < 0.25 for row in rows)
+    emit("table4_error_margins", text)

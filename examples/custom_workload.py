@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Bring your own workload: assemble a program, run it, and watch a single
+injected bit flip propagate to an architectural outcome.
+
+The program below computes the dot product of two vectors and emits it.
+We then re-run it three times with hand-placed faults - one in a dead
+cache line (masked), one in the live data (SDC), and one in the fetched
+code (crash) - to show the classification pipeline end-to-end.
+"""
+
+from repro import Assembler, DEFAULT_LAYOUT, System
+from repro.injection.classify import classify_run
+from repro.workloads.base import pack_words
+
+SOURCE = """
+    .text
+_start:
+    movi r0, 1               ; alive heartbeat
+    movi r7, 2
+    syscall
+    la   r1, vec_a
+    la   r2, vec_b
+    movi r3, 0               ; accumulator
+    movi r4, 8               ; length
+dot_loop:
+    ldw  r5, [r1]
+    ldw  r6, [r2]
+    mul  r5, r5, r6
+    add  r3, r3, r5
+    addi r1, r1, 4
+    addi r2, r2, 4
+    subi r4, r4, 1
+    cmpi r4, 0
+    bgt  dot_loop
+    mov  r0, r3
+    movi r7, 3               ; write_word(result)
+    syscall
+    movi r0, 0
+    movi r7, 0               ; exit(0)
+    syscall
+    .data
+vec_a: .word 1, 2, 3, 4, 5, 6, 7, 8
+vec_b: .word 8, 7, 6, 5, 4, 3, 2, 1
+"""
+
+EXPECTED = sum((i + 1) * (8 - i) for i in range(8))
+
+
+def build_system() -> System:
+    assembler = Assembler(
+        text_base=DEFAULT_LAYOUT.user_text_base,
+        data_base=DEFAULT_LAYOUT.user_data_base,
+    )
+    return System(assembler.assemble(SOURCE, entry="_start"))
+
+
+def run_with_fault(label, mutate):
+    system = build_system()
+    events = [(400, lambda: mutate(system))] if mutate else None
+    result = system.run(max_cycles=1_000_000, events=events)
+    golden = pack_words([EXPECTED])
+    effect = classify_run(result, golden, system)
+    print(f"  {label:35s} -> {effect.label:9s} ({result.outcome})")
+    return effect
+
+
+def flip_live_data(system: System) -> None:
+    # vec_a[0] sits in a D-cache line once loaded; find and corrupt it.
+    vec_a = system.user_program.symbols["vec_a"]
+    for bit in range(system.l1d.data_bits):
+        line = system.l1d.line_at(bit)
+        if line.valid and system.l1d.line_base_paddr(bit) == (vec_a & ~31):
+            system.l1d.flip_bit(bit + 4)  # bit 4 of the first byte
+            return
+    # Not cached yet: corrupt memory directly (same architectural effect).
+    system.memory.data[vec_a] ^= 0x10
+
+
+def flip_fetched_code(system: System) -> None:
+    entry = system.user_program.entry
+    # Corrupt the opcode byte of the loop's mul instruction in memory and
+    # invalidate L1I so the corrupted encoding is refetched.
+    mul_addr = entry + 9 * 4 + 8
+    system.memory.data[mul_addr + 3] ^= 0xFF
+    system.l1i.invalidate_all()
+    system.l2.invalidate_all()
+
+
+def main() -> None:
+    print(f"dot product, expected result: {EXPECTED}")
+    run_with_fault("no fault", None)
+    run_with_fault("flip in an unused cache line", lambda s: s.l2.flip_bit(123_456))
+    run_with_fault("flip in live input data", flip_live_data)
+    run_with_fault("flip in fetched code", flip_fetched_code)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so ``pip install -e . --no-use-pep517`` works
+on machines without the ``wheel`` package (offline environments).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""AVF aggregation (the data behind Fig. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.injection.campaign import WorkloadResult
+from repro.injection.classify import FaultEffect
+from repro.injection.components import Component
+
+
+@dataclass(frozen=True)
+class AVFBreakdown:
+    """Per-class fault-effect rates of one (workload, component) cell."""
+
+    workload: str
+    component: Component
+    sdc: float
+    app_crash: float
+    sys_crash: float
+    masked: float
+
+    @property
+    def avf(self) -> float:
+        """Total vulnerability: everything that was not masked."""
+        return self.sdc + self.app_crash + self.sys_crash
+
+
+def avf_breakdown(result: WorkloadResult) -> list[AVFBreakdown]:
+    """Fig. 4 rows for one workload: the class breakdown per component."""
+    rows = []
+    for component, component_result in result.components.items():
+        rows.append(
+            AVFBreakdown(
+                workload=result.workload_name,
+                component=component,
+                sdc=component_result.rate(FaultEffect.SDC),
+                app_crash=component_result.rate(FaultEffect.APP_CRASH),
+                sys_crash=component_result.rate(FaultEffect.SYS_CRASH),
+                masked=component_result.rate(FaultEffect.MASKED),
+            )
+        )
+    return rows

@@ -1,0 +1,99 @@
+"""ASCII table and chart rendering for the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("-+-".join("-" * width for width in widths))
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def bar_chart(
+    items: Iterable[tuple[str, float]],
+    width: int = 50,
+    title: str | None = None,
+    log_scale: bool = False,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart.
+
+    With ``log_scale`` the bar length is proportional to log10(1 + value),
+    matching the paper's log-axis figures.
+    """
+    entries = list(items)
+    if not entries:
+        return title or ""
+
+    def magnitude(value: float) -> float:
+        value = abs(value)
+        return math.log10(1.0 + value) if log_scale else value
+
+    peak = max((magnitude(value) for _label, value in entries), default=0.0)
+    label_width = max(len(label) for label, _value in entries)
+    out = []
+    if title:
+        out.append(title)
+    for label, value in entries:
+        length = 0 if peak == 0 else round(magnitude(value) / peak * width)
+        bar = "#" * length
+        sign = "-" if value < 0 else ""
+        out.append(f"{label.ljust(label_width)} | {bar} {sign}{abs(value):.2f}{unit}")
+    return "\n".join(out)
+
+
+def signed_bar_chart(
+    items: Iterable[tuple[str, float]],
+    width: int = 30,
+    title: str | None = None,
+    log_scale: bool = True,
+) -> str:
+    """Render a diverging chart for signed ratios (Figures 6-9 style).
+
+    Bars to the right: beam FIT higher; to the left: injection FIT higher.
+    """
+    entries = list(items)
+    if not entries:
+        return title or ""
+
+    def magnitude(value: float) -> float:
+        value = max(abs(value), 1.0)
+        return math.log10(value) if log_scale else value
+
+    peak = max((magnitude(value) for _label, value in entries), default=1.0)
+    peak = max(peak, 1e-9)
+    label_width = max(len(label) for label, _value in entries)
+    out = []
+    if title:
+        out.append(title)
+        out.append(
+            f"{' ' * label_width} | {'<- injection higher'.rjust(width)}"
+            f"|{'beam higher ->'.ljust(width)}"
+        )
+    for label, value in entries:
+        length = round(magnitude(value) / peak * width)
+        left = ("#" * length).rjust(width) if value < 0 else " " * width
+        right = ("#" * length).ljust(width) if value >= 0 else " " * width
+        out.append(f"{label.ljust(label_width)} | {left}|{right} {value:+.2f}x")
+    return "\n".join(out)

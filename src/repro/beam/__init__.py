@@ -1,0 +1,39 @@
+"""Simulated neutron-beam experiments (the LANSCE campaign analogue).
+
+The beam cannot be reproduced physically, so this package implements the
+*mechanisms* the paper identifies as distinguishing beam campaigns from
+microarchitectural fault injection, on top of the same executable machine:
+
+- whole-chip irradiation: strikes are Poisson-sampled per component from
+  flux x per-bit cross-section x exposed bits x time, including platform
+  resources the gem5 model does not cover (FPGA-ARM interface, interconnect,
+  logic latches) - the :mod:`repro.beam.board` model;
+- campaign steady state: caches are not cold; unused lines hold the
+  background-OS working set, so strikes there crash the *system* - and
+  big-footprint workloads that evict those lines are protected (the paper's
+  Fig. 8 mechanism emerges from real cache contention);
+- the on-line SDC check routine is resident in the cache hierarchy during
+  runs (the paper's Fig. 7 outlier mechanism);
+- the experiment protocol of Section IV-B: golden comparison, Alive
+  heartbeats, restart attempt (Application Crash) vs unreachable board
+  (System Crash), FIT from error counts and fluence.
+"""
+
+from repro.beam.facility import BeamFacility, LANSCE, JESD89A_NYC_FLUX
+from repro.beam.board import BoardModel, BoardModelOutcome, ZEDBOARD
+from repro.beam.experiment import BeamCampaignConfig, BeamExperiment, BeamResult
+from repro.beam.fit import fit_rate, poisson_interval
+
+__all__ = [
+    "BeamFacility",
+    "LANSCE",
+    "JESD89A_NYC_FLUX",
+    "BoardModel",
+    "BoardModelOutcome",
+    "ZEDBOARD",
+    "BeamCampaignConfig",
+    "BeamExperiment",
+    "BeamResult",
+    "fit_rate",
+    "poisson_interval",
+]

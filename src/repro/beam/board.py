@@ -1,0 +1,105 @@
+"""Board model: what the beam hits that the simulator does not execute.
+
+Two classes of strikes cannot be resolved by running the simulator:
+
+1. **Un-modeled platform resources.**  The paper attributes the large beam
+   System-Crash excess to "unknown proprietary parts of the physical
+   hardware platform" - specifically the Zynq's FPGA-ARM interrupt
+   interface, interconnect, bridges, and logic-related latches that a gem5
+   model cannot contain.  These are modeled as an exposed population of
+   latch-equivalent bits with a fixed outcome distribution dominated by
+   System Crashes.  The contribution is *constant per unit time*, which is
+   exactly why even resilient codes (CRC32, Rijndael) show a System-Crash
+   floor in Fig. 3.
+
+2. **Background-OS cache lines.**  On the real board Linux keeps scheduler
+   code, timer handlers, and other working-set lines resident in whatever
+   cache space the application leaves unused; our mini-kernel does not
+   execute those, so strikes landing on such lines are resolved by a
+   sampled outcome instead of by simulation.  Whether a strike lands on
+   one is decided by the *live cache state* (the line's tag region at
+   injection time), so workloads that fill the caches genuinely evict this
+   exposure - the footprint dependence of Fig. 8 is emergent, not fitted.
+
+All constants are calibration inputs, documented here and in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.injection.classify import FaultEffect
+
+
+class BoardModelOutcome(Exception):
+    """Raised by a strike event when the board model resolves the outcome
+    without completing the simulation (background-OS line hits)."""
+
+    def __init__(self, effect: FaultEffect):
+        super().__init__(effect.value)
+        self.effect = effect
+
+
+def _sample(rng: random.Random, distribution: dict[FaultEffect, float]) -> FaultEffect:
+    roll = rng.random()
+    cumulative = 0.0
+    for effect, probability in distribution.items():
+        cumulative += probability
+        if roll < cumulative:
+            return effect
+    return FaultEffect.MASKED
+
+
+@dataclass(frozen=True)
+class BoardModel:
+    """Calibration of the un-modeled parts of one test board."""
+
+    name: str
+
+    #: Latch-equivalent exposed bits of platform logic (interconnect, FPGA
+    #: interface, peripheral controllers) outside the modeled CPU arrays.
+    platform_logic_bits: int
+
+    #: Cross-section of those cells relative to SRAM (logic latches are
+    #: harder to upset than dense SRAM).
+    platform_sensitivity: float
+
+    #: Outcome distribution of a platform-logic upset.  Mostly System
+    #: Crashes (a wedged interconnect/interrupt fabric makes the board
+    #: unreachable); some Application Crashes (a hung bus transaction the
+    #: kernel survives); rarely a visible SDC.
+    platform_outcomes: tuple[tuple[FaultEffect, float], ...]
+
+    #: Probability that a strike on a background-OS cache line corrupts
+    #: state the OS will actually consume (and its effect class).  Strikes
+    #: that miss live OS data are masked.
+    os_line_outcomes: tuple[tuple[FaultEffect, float], ...]
+
+    def sample_platform_outcome(self, rng: random.Random) -> FaultEffect:
+        return _sample(rng, dict(self.platform_outcomes))
+
+    def sample_os_line_outcome(self, rng: random.Random) -> FaultEffect:
+        return _sample(rng, dict(self.os_line_outcomes))
+
+
+#: Calibration for the Xilinx Zynq ZedBoard used in the paper.  The
+#: platform population (~1.5 Mbit latch-equivalent at 12% of SRAM
+#: sensitivity) sets the benchmark-independent System-Crash floor; the OS
+#: line distribution sets how lethal resident-kernel hits are.
+ZEDBOARD = BoardModel(
+    name="zedboard",
+    platform_logic_bits=400_000,
+    platform_sensitivity=0.12,
+    platform_outcomes=(
+        (FaultEffect.SYS_CRASH, 0.30),
+        (FaultEffect.APP_CRASH, 0.10),
+        (FaultEffect.SDC, 0.02),
+        (FaultEffect.MASKED, 0.58),
+    ),
+    os_line_outcomes=(
+        (FaultEffect.SYS_CRASH, 0.55),
+        (FaultEffect.APP_CRASH, 0.12),
+        (FaultEffect.MASKED, 0.33),
+    ),
+)

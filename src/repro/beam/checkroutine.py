@@ -1,0 +1,62 @@
+"""The on-line SDC check routine (beam protocol, Section IV-B / VI).
+
+During beam campaigns, outputs cannot be downloaded and compared off-line
+(most executions are error-free; the paper notes this would waste space and
+time), so an on-line routine compares the output buffer against a golden
+copy after each execution.  Crucially, the routine is "intentionally
+designed to hold pointer references instead of actual data": its parameter
+block is pointer-heavy, and it stays resident in the cache hierarchy when
+the workload footprint leaves room - the mechanism the paper uses to
+explain the Application-Crash outliers (StringSearch, MatMul, Qsort).
+
+The routine runs in user mode: the kernel's first ``exit`` in beam mode
+transfers control here, and a corrupted pointer produces a segmentation
+fault -> Application Crash, exactly as in the real campaign.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler, Program
+from repro.kernel.layout import MemoryLayout
+from repro.microarch.system import GOLDEN_DATA_OFFSET
+
+
+def build_check_program(layout: MemoryLayout, golden_length: int) -> Program:
+    """Assemble the check routine for a given golden-output length."""
+    golden_addr = layout.golden_buffer_base + GOLDEN_DATA_OFFSET
+    source = f"""
+    .text
+_start:
+    la   r1, check_params
+    ldw  r2, [r1, 0]         ; output buffer pointer
+    ldw  r3, [r1, 4]         ; golden data pointer
+    ldw  r4, [r1, 8]         ; length
+    movi r5, 0               ; mismatch flag
+chk_loop:
+    cmpi r4, 0
+    ble  chk_done
+    ldb  r6, [r2]
+    ldb  r8, [r3]
+    cmp  r6, r8
+    beq  chk_next
+    movi r5, 1
+chk_next:
+    addi r2, r2, 1
+    addi r3, r3, 1
+    subi r4, r4, 1
+    b    chk_loop
+chk_done:
+    mov  r0, r5
+    movi r7, 4               ; sys_check_report
+    syscall
+    movi r0, 0
+    movi r7, 0               ; exit (kernel halts with the saved app status)
+    syscall
+    .data
+check_params:
+    .word {layout.output_buffer_base:#x}, {golden_addr:#x}, {golden_length}
+"""
+    assembler = Assembler(
+        text_base=layout.check_text_base, data_base=layout.golden_buffer_base
+    )
+    return assembler.assemble(source, entry="_start")

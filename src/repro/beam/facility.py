@@ -1,0 +1,57 @@
+"""Irradiation facility model: flux, fluence, cross-sections, acceleration.
+
+Constants follow the paper: the LANSCE spallation source delivers about
+3.5e5 n/(cm^2 s) - some eight orders of magnitude above the JESD89A
+reference terrestrial flux of 13 n/(cm^2 h) at NYC - and the measured
+per-bit SRAM sensitivity is FIT_raw = 2.76e-5 FIT/bit, from which the
+per-bit cross-section follows as sigma = FIT_raw * 1e-9 / flux_NYC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: JESD89A reference flux at New York City, n/(cm^2 h).
+JESD89A_NYC_FLUX = 13.0
+
+#: Measured per-bit FIT of the L1 SRAM (Section VI), failures / 1e9 h / bit.
+MEASURED_FIT_RAW = 2.76e-5
+
+
+@dataclass(frozen=True)
+class BeamFacility:
+    """An accelerated-neutron facility."""
+
+    name: str
+    flux: float  # n / (cm^2 s)
+    fit_raw_per_bit: float = MEASURED_FIT_RAW
+
+    @property
+    def sigma_bit(self) -> float:
+        """Per-bit cross-section in cm^2 (from FIT_raw at NYC flux)."""
+        return self.fit_raw_per_bit * 1e-9 / JESD89A_NYC_FLUX
+
+    @property
+    def acceleration_factor(self) -> float:
+        """How much faster than nature the beam accumulates fluence."""
+        return self.flux * 3600.0 / JESD89A_NYC_FLUX
+
+    def fluence(self, seconds: float) -> float:
+        """Fluence (n/cm^2) accumulated in ``seconds`` of beam time."""
+        return self.flux * seconds
+
+    def strike_rate(self, bits: int, sensitivity: float = 1.0) -> float:
+        """Expected strikes per second on a structure of ``bits`` cells.
+
+        ``sensitivity`` scales the SRAM cross-section (logic latches are
+        less sensitive than SRAM cells).
+        """
+        return self.sigma_bit * sensitivity * self.flux * bits
+
+    def natural_years(self, seconds: float) -> float:
+        """Equivalent natural exposure, in years, of a beam run."""
+        return seconds * self.acceleration_factor / (3600.0 * 24 * 365)
+
+
+#: The paper's facility.
+LANSCE = BeamFacility(name="LANSCE", flux=3.5e5)

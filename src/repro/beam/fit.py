@@ -1,0 +1,58 @@
+"""FIT-rate arithmetic and counting statistics for beam campaigns."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.beam.facility import JESD89A_NYC_FLUX
+from repro.errors import ConfigurationError
+
+
+def fit_rate(errors: int | float, fluence: float, nyc_flux: float = JESD89A_NYC_FLUX) -> float:
+    """FIT (failures per 1e9 device-hours) from an error count and fluence.
+
+    ``cross_section = errors / fluence`` (cm^2); scaling by the reference
+    terrestrial flux gives the expected field error rate.
+    """
+    if fluence <= 0:
+        raise ConfigurationError("fluence must be positive")
+    return errors / fluence * nyc_flux * 1e9
+
+
+def poisson_interval(count: int, confidence: float = 0.95) -> tuple[float, float]:
+    """Exact two-sided confidence interval for a Poisson count.
+
+    Uses the chi-squared relation (Garwood interval); falls back to a
+    normal approximation if scipy is unavailable.
+    """
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    alpha = 1.0 - confidence
+    try:
+        from scipy.stats import chi2
+
+        lower = 0.0 if count == 0 else chi2.ppf(alpha / 2, 2 * count) / 2.0
+        upper = chi2.ppf(1 - alpha / 2, 2 * (count + 1)) / 2.0
+        return float(lower), float(upper)
+    except ImportError:  # pragma: no cover - scipy present in dev env
+        z = 1.96 if confidence == 0.95 else 2.5758
+        spread = z * math.sqrt(max(count, 1))
+        return max(0.0, count - spread), count + spread
+
+
+def sample_poisson(rng: random.Random, mean: float) -> int:
+    """Draw a Poisson variate (Knuth for small means, normal for large)."""
+    if mean < 0:
+        raise ConfigurationError("mean must be non-negative")
+    if mean == 0:
+        return 0
+    if mean < 30.0:
+        limit = math.exp(-mean)
+        count = 0
+        product = rng.random()
+        while product > limit:
+            count += 1
+            product *= rng.random()
+        return count
+    return max(0, int(round(rng.gauss(mean, math.sqrt(mean)))))

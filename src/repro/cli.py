@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run <benchmark>``
+    Boot the machine, run one benchmark, print outcome and counters.
+``list``
+    List the 13 benchmarks with their inputs and characteristics.
+``inject <benchmark> [-n FAULTS]``
+    Fault-injection campaign for one benchmark; prints the AVF breakdown
+    and FIT prediction.
+``beam <benchmark> [--hours H]``
+    Simulated beam campaign for one benchmark; prints FIT rates with
+    confidence intervals.
+``report [table1|...|fig10|counters|rawfit|all]``
+    Regenerate paper tables/figures (campaigns are disk-cached).
+``disasm <benchmark>``
+    Disassemble a benchmark's text segment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.avf import avf_breakdown
+from repro.analysis.fit_model import injection_fit
+from repro.beam.experiment import BeamCampaignConfig, BeamExperiment
+from repro.experiments import get_context
+from repro.injection.campaign import CampaignConfig, InjectionCampaign
+from repro.injection.classify import FaultEffect
+from repro.isa.disassembler import disassemble
+from repro.kernel.layout import DEFAULT_LAYOUT
+from repro.microarch.system import System
+from repro.workloads import MIBENCH_SUITE, get_workload
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(name) for name in MIBENCH_SUITE)
+    for name, workload in MIBENCH_SUITE.items():
+        print(
+            f"{name.ljust(width)}  {workload.scaled_input:45s} "
+            f"{workload.characteristics.describe()}"
+        )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    workload = get_workload(args.benchmark)
+    system = System(workload.program(DEFAULT_LAYOUT))
+    result = system.run(max_cycles=200_000_000)
+    matches = result.output == workload.reference_output()
+    print(f"outcome : {result.outcome}")
+    print(f"output  : {len(result.output)} bytes, "
+          f"{'matches oracle' if matches else 'MISMATCH'}")
+    print(f"cycles  : {result.cycles:,}  "
+          f"instructions: {result.counters.instructions:,}")
+    for name, value in result.counters.paper_counters().items():
+        print(f"  {name:15s} {value:>12,}")
+    return 0 if matches and result.exited_cleanly else 1
+
+
+def _cmd_inject(args) -> int:
+    workload = get_workload(args.benchmark)
+    campaign = InjectionCampaign(
+        CampaignConfig(faults_per_component=args.faults),
+        progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+    )
+    result = campaign.run_workload(workload)
+    print(f"{workload.name}: {args.faults} faults/component "
+          f"({result.golden_cycles:,} golden cycles)")
+    for cell in avf_breakdown(result):
+        margin = result.components[cell.component].margin
+        print(
+            f"  {cell.component.label:14s} SDC {cell.sdc * 100:5.1f}%  "
+            f"App {cell.app_crash * 100:5.1f}%  Sys {cell.sys_crash * 100:5.1f}%  "
+            f"AVF {cell.avf * 100:5.1f}% (+/- {margin * 100:.1f}%)"
+        )
+    fits = injection_fit(result)
+    print(f"  predicted FIT: SDC {fits.sdc:.2f}  App {fits.app_crash:.2f}  "
+          f"Sys {fits.sys_crash:.2f}  total {fits.total:.2f}")
+    return 0
+
+
+def _cmd_beam(args) -> int:
+    workload = get_workload(args.benchmark)
+    experiment = BeamExperiment(
+        BeamCampaignConfig(beam_hours=args.hours),
+        progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+    )
+    result = experiment.run_workload(workload)
+    print(f"{workload.name}: {args.hours:g} beam hours "
+          f"({result.natural_years:,.0f} natural years, "
+          f"{result.strikes_simulated}+{result.platform_strikes} strikes)")
+    for effect in (FaultEffect.SDC, FaultEffect.APP_CRASH, FaultEffect.SYS_CRASH):
+        low, high = result.fit_interval(effect)
+        print(
+            f"  {effect.label:9s} {result.errors(effect):4d} events  "
+            f"{result.fit(effect):8.2f} FIT  (95% CI {low:.2f}-{high:.2f})"
+        )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments import (
+        counters,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        rawfit,
+        table1,
+        table2,
+        table3,
+        table4,
+    )
+
+    drivers = {
+        "table1": table1,
+        "table2": table2,
+        "table3": table3,
+        "table4": table4,
+        "fig3": fig3,
+        "fig4": fig4,
+        "fig5": fig5,
+        "fig6": fig6,
+        "fig7": fig7,
+        "fig8": fig8,
+        "fig9": fig9,
+        "fig10": fig10,
+        "counters": counters,
+        "rawfit": rawfit,
+    }
+    names = list(drivers) if args.what == "all" else [args.what]
+    context = get_context()
+    for name in names:
+        print(drivers[name].render(context))
+        print()
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    workload = get_workload(args.benchmark)
+    program = workload.program(DEFAULT_LAYOUT)
+    segment = program.segment("text")
+    for line in disassemble(segment.data, base=segment.base):
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Soft-error assessment on a simulated ARM-class CPU "
+        "(DSN 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 13 benchmarks").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one benchmark")
+    run.add_argument("benchmark")
+    run.set_defaults(func=_cmd_run)
+
+    inject = sub.add_parser("inject", help="fault-injection campaign")
+    inject.add_argument("benchmark")
+    inject.add_argument("-n", "--faults", type=int, default=50,
+                        help="faults per component (default 50)")
+    inject.set_defaults(func=_cmd_inject)
+
+    beam = sub.add_parser("beam", help="simulated beam campaign")
+    beam.add_argument("benchmark")
+    beam.add_argument("--hours", type=float, default=100.0,
+                      help="effective beam hours (default 100)")
+    beam.set_defaults(func=_cmd_beam)
+
+    report = sub.add_parser("report", help="regenerate paper tables/figures")
+    report.add_argument(
+        "what",
+        nargs="?",
+        default="all",
+        choices=[
+            "all", "table1", "table2", "table3", "table4",
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "counters", "rawfit",
+        ],
+    )
+    report.set_defaults(func=_cmd_report)
+
+    disasm = sub.add_parser("disasm", help="disassemble a benchmark")
+    disasm.add_argument("benchmark")
+    disasm.set_defaults(func=_cmd_disasm)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Exception hierarchy for the simulator and experiment frameworks.
+
+The hierarchy mirrors the fault-effect taxonomy of the paper: hardware-level
+exceptions raised inside the simulated machine (segmentation faults, illegal
+instructions, alignment traps) are *architectural events* that the simulated
+kernel may handle; Python-level exceptions derived from
+:class:`SimulationTermination` are *terminal outcomes* of a simulation run and
+are what the fault-injection classifier maps onto SDC / Application Crash /
+System Crash / Masked.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulator or experiment was configured inconsistently."""
+
+
+class AssemblerError(ReproError):
+    """The assembler rejected a source program."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded into a 32-bit word."""
+
+
+# ---------------------------------------------------------------------------
+# Architectural events: raised by the machine while executing, and routed to
+# the simulated kernel's exception vector when they occur in user mode.
+# ---------------------------------------------------------------------------
+
+
+class ArchitecturalFault(ReproError):
+    """A hardware exception inside the simulated machine.
+
+    Carries enough context for the core to vector into the kernel's
+    exception handler (faulting pc, a small cause code).
+    """
+
+    cause = 0
+
+    def __init__(self, message: str, pc: int = 0):
+        super().__init__(message)
+        self.pc = pc
+
+
+class IllegalInstruction(ArchitecturalFault):
+    """Fetch produced a word that does not decode to a valid instruction."""
+
+    cause = 1
+
+
+class SegmentationFault(ArchitecturalFault):
+    """A data access touched an unmapped or forbidden virtual address."""
+
+    cause = 2
+
+
+class AlignmentFault(ArchitecturalFault):
+    """A load/store or fetch used a misaligned address."""
+
+    cause = 3
+
+
+class PrivilegeFault(ArchitecturalFault):
+    """User code executed a privileged instruction."""
+
+    cause = 4
+
+
+class ArithmeticFault(ArchitecturalFault):
+    """Integer division by zero."""
+
+    cause = 5
+
+
+# ---------------------------------------------------------------------------
+# Terminal outcomes of a simulation run.
+# ---------------------------------------------------------------------------
+
+
+class SimulationTermination(ReproError):
+    """Base class for events that end a simulation run."""
+
+
+class ProgramExit(SimulationTermination):
+    """The simulated program exited via the exit syscall."""
+
+    def __init__(self, status: int):
+        super().__init__(f"program exited with status {status}")
+        self.status = status
+
+
+class ApplicationAbort(SimulationTermination):
+    """The kernel killed the application after an unhandled user fault.
+
+    The operating system survived; in the beam-experiment protocol this
+    corresponds to an *Application Crash* (the board answers, the app can be
+    restarted).
+    """
+
+    def __init__(self, cause: int, pc: int):
+        super().__init__(f"application killed (cause={cause}, pc={pc:#010x})")
+        self.cause = cause
+        self.pc = pc
+
+
+class KernelPanic(SimulationTermination):
+    """A fault occurred while executing in kernel mode (double fault, panic).
+
+    Corresponds to a *System Crash*: the board no longer responds and must be
+    power-cycled.
+    """
+
+    def __init__(self, reason: str, pc: int = 0):
+        super().__init__(f"kernel panic: {reason} (pc={pc:#010x})")
+        self.reason = reason
+        self.pc = pc
+
+
+class WatchdogTimeout(SimulationTermination):
+    """The run exceeded its cycle budget (the 'Alive' message stopped).
+
+    The beam protocol then tries to contact the board: if the kernel is still
+    sound the event is an Application Crash, otherwise a System Crash. The
+    classifier performs that distinction.
+    """
+
+    def __init__(self, cycles: int):
+        super().__init__(f"watchdog expired after {cycles} cycles")
+        self.cycles = cycles
+
+
+class InjectionError(ReproError):
+    """A fault could not be injected (bad component index, dead target)."""

@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver exposes ``data(context)`` returning structured results and
+``render(context)`` returning the printable table/figure.  The shared
+:class:`~repro.experiments.runner.ExperimentContext` owns the (disk-cached)
+fault-injection and beam campaigns, sized by the ``REPRO_FAULTS`` and
+``REPRO_BEAM_HOURS`` environment variables.
+"""
+
+from repro.experiments.runner import ExperimentContext, get_context
+
+__all__ = ["ExperimentContext", "get_context"]

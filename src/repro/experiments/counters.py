@@ -1,0 +1,129 @@
+"""Section IV-D: performance-counter validation, "hardware" vs. model.
+
+The paper compares 7 counters (CPU cycles, branch misses, L1D accesses,
+L1D misses, DTLB misses, L1I misses, ITLB misses) between the Zynq board
+and the gem5 model and finds ~70% of them within acceptable deviation, with
+the L1 instruction TLB counters deviating most (a known gem5/Cortex design
+difference).
+
+We reproduce the *method*: the same workloads run on two machine variants -
+the reference model and a "hardware-like" variant whose undocumented
+details differ (smaller ITLB, different memory latency and branch penalty),
+standing in for the physical Cortex-A9 whose TLB microarchitecture differs
+from the model.  The driver reports per-counter deviations and the fraction
+that is acceptable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.report import format_table
+from repro.experiments.runner import ExperimentContext, get_context
+from repro.microarch.config import TLBGeometry
+from repro.microarch.statistics import PerfCounters, relative_deviation
+from repro.microarch.system import System
+
+#: Deviation below this is "acceptable" (the paper does not quantify its
+#: threshold; 25% is a conventional choice for counter validation).
+ACCEPTABLE_DEVIATION = 0.25
+
+#: Workloads used for the validation runs (kept small for runtime).
+VALIDATION_WORKLOADS = ("Dijkstra", "Susan C", "StringSearch", "Qsort")
+
+
+def hardware_variant(machine):
+    """The "physical board" stand-in: same ISA/caches, undocumented details
+    differ - most notably a smaller instruction TLB (the paper's identified
+    gem5-vs-Cortex difference)."""
+    return replace(
+        machine,
+        name=machine.name + "-hw",
+        itlb=TLBGeometry(entries=8, entry_bits=machine.itlb.entry_bits),
+        dtlb=TLBGeometry(entries=24, entry_bits=machine.dtlb.entry_bits),
+        itlb_flush_on_exception=True,
+        mem_latency=machine.mem_latency + 8,
+        branch_mispredict_penalty=machine.branch_mispredict_penalty + 1,
+        timer_interval=machine.timer_interval - 3_000,
+    )
+
+
+@dataclass(frozen=True)
+class CounterComparison:
+    workload: str
+    counter: str
+    model_value: int
+    hardware_value: int
+
+    @property
+    def deviation(self) -> float:
+        return relative_deviation(self.model_value, self.hardware_value)
+
+    @property
+    def acceptable(self) -> bool:
+        return self.deviation <= ACCEPTABLE_DEVIATION
+
+
+def _run_counters(workload, machine) -> PerfCounters:
+    system = System(workload.program(machine.layout), config=machine)
+    result = system.run(max_cycles=200_000_000)
+    if not result.exited_cleanly:
+        raise RuntimeError(f"counter run failed: {result.outcome}")
+    return result.counters
+
+
+def data(context: ExperimentContext | None = None) -> list[CounterComparison]:
+    context = context or get_context()
+    model = context.machine
+    hardware = hardware_variant(model)
+    comparisons = []
+    for name in VALIDATION_WORKLOADS:
+        workload = context.workloads[name]
+        model_counts = _run_counters(workload, model).paper_counters()
+        hardware_counts = _run_counters(workload, hardware).paper_counters()
+        for counter in PerfCounters.PAPER_COUNTERS:
+            comparisons.append(
+                CounterComparison(
+                    workload=name,
+                    counter=counter,
+                    model_value=model_counts[counter],
+                    hardware_value=hardware_counts[counter],
+                )
+            )
+    return comparisons
+
+
+def render(context: ExperimentContext | None = None) -> str:
+    comparisons = data(context)
+    rows = [
+        (
+            comparison.workload,
+            comparison.counter,
+            comparison.model_value,
+            comparison.hardware_value,
+            f"{comparison.deviation * 100:.1f} %",
+            "yes" if comparison.acceptable else "NO",
+        )
+        for comparison in comparisons
+    ]
+    acceptable = sum(1 for c in comparisons if c.acceptable)
+    share = acceptable / len(comparisons) * 100
+    worst: dict[str, float] = {}
+    for comparison in comparisons:
+        worst[comparison.counter] = max(
+            worst.get(comparison.counter, 0.0), comparison.deviation
+        )
+    worst_counter = max(worst, key=worst.get)
+    summary = (
+        f"\n{acceptable}/{len(comparisons)} counters acceptable ({share:.0f}%; "
+        f"paper: ~70%). Largest deviation: {worst_counter} "
+        f"({worst[worst_counter] * 100:.0f}%; paper: L1 instruction TLB)."
+    )
+    return (
+        format_table(
+            ("Benchmark", "Counter", "Model", "Hardware", "Deviation", "OK"),
+            rows,
+            title="Section IV-D - performance counter validation (model vs hardware-like variant)",
+        )
+        + summary
+    )

@@ -1,0 +1,50 @@
+"""Figure 3: beam FIT rates (SDC / Application Crash / System Crash)."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.experiments.runner import ExperimentContext, get_context
+from repro.injection.classify import FaultEffect
+
+
+def data(context: ExperimentContext | None = None) -> dict[str, dict[str, float]]:
+    context = context or get_context()
+    results = context.beam_results()
+    return {
+        name: {
+            "SDC": result.fit(FaultEffect.SDC),
+            "AppCrash": result.fit(FaultEffect.APP_CRASH),
+            "SysCrash": result.fit(FaultEffect.SYS_CRASH),
+        }
+        for name, result in results.items()
+    }
+
+
+def render(context: ExperimentContext | None = None) -> str:
+    context = context or get_context()
+    results = context.beam_results()
+    rows = []
+    for name, fits in data(context).items():
+        result = results[name]
+        rows.append(
+            (
+                name,
+                f"{fits['SDC']:.2f}",
+                f"{fits['AppCrash']:.2f}",
+                f"{fits['SysCrash']:.2f}",
+                f"{result.strikes_simulated + result.platform_strikes}",
+                f"{result.natural_years:,.0f}",
+            )
+        )
+    return format_table(
+        (
+            "Benchmark",
+            "SDC FIT",
+            "AppCrash FIT",
+            "SysCrash FIT",
+            "strikes",
+            "natural years",
+        ),
+        rows,
+        title="Figure 3 - beam FIT rates for SDCs, Application Crashes and System Crashes",
+    )

@@ -1,0 +1,53 @@
+"""Figure 4: fault-injection effect classification (AVF) per component."""
+
+from __future__ import annotations
+
+from repro.analysis.avf import AVFBreakdown, avf_breakdown
+from repro.analysis.report import format_table
+from repro.experiments.runner import ExperimentContext, get_context
+from repro.injection.components import Component
+
+#: Component display order matching the paper's Figure 4 panels.
+COMPONENT_ORDER = (
+    Component.L1D,
+    Component.L1I,
+    Component.L2,
+    Component.REGFILE,
+    Component.DTLB,
+    Component.ITLB,
+)
+
+
+def data(context: ExperimentContext | None = None) -> dict[str, list[AVFBreakdown]]:
+    context = context or get_context()
+    return {
+        name: avf_breakdown(result)
+        for name, result in context.injection_results().items()
+    }
+
+
+def render(context: ExperimentContext | None = None) -> str:
+    context = context or get_context()
+    breakdowns = data(context)
+    sections = []
+    for component in COMPONENT_ORDER:
+        rows = []
+        for name, cells in breakdowns.items():
+            cell = next(c for c in cells if c.component is component)
+            rows.append(
+                (
+                    name,
+                    f"{cell.sdc * 100:5.1f} %",
+                    f"{cell.app_crash * 100:5.1f} %",
+                    f"{cell.sys_crash * 100:5.1f} %",
+                    f"{cell.avf * 100:5.1f} %",
+                )
+            )
+        sections.append(
+            format_table(
+                ("Benchmark", "SDC", "AppCrash", "SysCrash", "AVF"),
+                rows,
+                title=f"Figure 4 ({component.label}) - fault injection effect classification",
+            )
+        )
+    return "\n\n".join(sections)

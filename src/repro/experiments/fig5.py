@@ -1,0 +1,34 @@
+"""Figure 5: fault-injection-predicted FIT rates (AVF x size x FIT_raw)."""
+
+from __future__ import annotations
+
+from repro.analysis.fit_model import InjectionFIT
+from repro.analysis.report import format_table
+from repro.experiments.runner import ExperimentContext, get_context
+
+
+def data(context: ExperimentContext | None = None) -> dict[str, InjectionFIT]:
+    context = context or get_context()
+    return context.injection_fits()
+
+
+def render(context: ExperimentContext | None = None) -> str:
+    rows = []
+    for name, fits in data(context).items():
+        rows.append(
+            (
+                name,
+                f"{fits.sdc:.2f}",
+                f"{fits.app_crash:.2f}",
+                f"{fits.sys_crash:.2f}",
+                f"{fits.total:.2f}",
+            )
+        )
+    return format_table(
+        ("Benchmark", "SDC FIT", "AppCrash FIT", "SysCrash FIT", "Total"),
+        rows,
+        title=(
+            "Figure 5 - fault injection FIT rates "
+            "(FIT = FIT_raw x size(bits) x AVF, per class)"
+        ),
+    )

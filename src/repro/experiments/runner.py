@@ -1,0 +1,110 @@
+"""Shared campaign context for the experiment drivers.
+
+Campaign scale is environment-tunable so the same drivers serve quick test
+runs and full reproductions:
+
+- ``REPRO_FAULTS``: injections per component per workload (default 100;
+  the paper used 1,000 - every result prints its Leveugle margin so the
+  statistical cost of a smaller sample is visible);
+- ``REPRO_BEAM_HOURS``: simulated effective beam time per workload
+  (default 300 h);
+- ``REPRO_CACHE_DIR``: where campaign results are cached (default
+  ``.repro_cache``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis.fit_model import InjectionFIT, injection_fit
+from repro.beam.experiment import BeamCampaignConfig, BeamExperiment, BeamResult
+from repro.injection.campaign import (
+    CampaignConfig,
+    InjectionCampaign,
+    WorkloadResult,
+)
+from repro.microarch.config import MachineConfig, SCALED_A9_CONFIG
+from repro.workloads import MIBENCH_SUITE
+
+
+def default_faults() -> int:
+    return int(os.environ.get("REPRO_FAULTS", "100"))
+
+
+def default_beam_hours() -> float:
+    return float(os.environ.get("REPRO_BEAM_HOURS", "300"))
+
+
+class ExperimentContext:
+    """Owns the two campaigns and memoizes their results."""
+
+    def __init__(
+        self,
+        faults_per_component: int | None = None,
+        beam_hours: float | None = None,
+        machine: MachineConfig = SCALED_A9_CONFIG,
+        cache_dir: Path | None = None,
+        seed: int = 0,
+        progress: Callable[[str], None] | None = None,
+    ):
+        self.machine = machine
+        self.faults_per_component = (
+            faults_per_component if faults_per_component is not None else default_faults()
+        )
+        self.beam_hours = beam_hours if beam_hours is not None else default_beam_hours()
+        self.seed = seed
+        self._progress = progress
+        self._injection = InjectionCampaign(
+            CampaignConfig(
+                faults_per_component=self.faults_per_component,
+                seed=seed,
+                machine=machine,
+            ),
+            cache_dir=cache_dir,
+            progress=progress,
+        )
+        self._beam = BeamExperiment(
+            BeamCampaignConfig(beam_hours=self.beam_hours, seed=seed, machine=machine),
+            cache_dir=cache_dir,
+            progress=progress,
+        )
+        self._injection_results: dict[str, WorkloadResult] | None = None
+        self._beam_results: dict[str, BeamResult] | None = None
+
+    @property
+    def workloads(self):
+        return MIBENCH_SUITE
+
+    def injection_results(self) -> dict[str, WorkloadResult]:
+        """All 13 fault-injection campaign results (cached)."""
+        if self._injection_results is None:
+            self._injection_results = self._injection.run_suite(
+                MIBENCH_SUITE.values()
+            )
+        return self._injection_results
+
+    def injection_fits(self) -> dict[str, InjectionFIT]:
+        """AVF-derived FIT predictions for all 13 workloads."""
+        return {
+            name: injection_fit(result)
+            for name, result in self.injection_results().items()
+        }
+
+    def beam_results(self) -> dict[str, BeamResult]:
+        """All 13 beam campaign results (cached)."""
+        if self._beam_results is None:
+            self._beam_results = self._beam.run_suite(MIBENCH_SUITE.values())
+        return self._beam_results
+
+
+_GLOBAL_CONTEXT: ExperimentContext | None = None
+
+
+def get_context() -> ExperimentContext:
+    """Process-wide default context (env-configured)."""
+    global _GLOBAL_CONTEXT
+    if _GLOBAL_CONTEXT is None:
+        _GLOBAL_CONTEXT = ExperimentContext()
+    return _GLOBAL_CONTEXT

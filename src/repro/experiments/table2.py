@@ -1,0 +1,53 @@
+"""Table II: summary of setup attributes (beam board vs. simulated model)."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.experiments.runner import ExperimentContext, get_context
+
+#: Paper's Table II, kept verbatim for side-by-side reporting.
+PAPER_TABLE = [
+    ("Microarchitecture", "Cortex-A9", "Cortex-A9*"),
+    ("Platform", "Zynq 7000", "VExpress"),
+    ("CPU cores", "1*", "1"),
+    ("L1 Cache", "32 KB 4-way", "32 KB 4-way"),
+    ("L2 Cache", "512 KB 8-way", "512 KB 8-way"),
+    ("Kernel version", "3.14", "3.13"),
+]
+
+
+def data(context: ExperimentContext | None = None) -> list[tuple[str, str, str]]:
+    context = context or get_context()
+    machine = context.machine
+
+    def cache(geometry) -> str:
+        return f"{geometry.size // 1024} KB {geometry.assoc}-way"
+
+    return [
+        ("Microarchitecture", "simulated RISC core (A9-class)", machine.name),
+        ("Platform", "ZedBoard model (repro.beam.board)", "repro.microarch.system"),
+        ("CPU cores", "1", "1"),
+        ("L1 Cache", cache(machine.l1i), cache(machine.l1d)),
+        ("L2 Cache", cache(machine.l2), cache(machine.l2)),
+        (
+            "TLBs",
+            f"{machine.itlb.entries}-entry I / {machine.dtlb.entries}-entry D",
+            f"{machine.itlb.data_bits + machine.dtlb.data_bits} bits modeled",
+        ),
+        ("Kernel", "repro.kernel (same image)", "repro.kernel (same image)"),
+        ("Frequency", f"{machine.freq_hz / 1e6:.0f} MHz", "-"),
+    ]
+
+
+def render(context: ExperimentContext | None = None) -> str:
+    ours = format_table(
+        ("Property", "Beam setup", "Simulated setup"),
+        data(context),
+        title="Table II - summary of setup attributes (this reproduction)",
+    )
+    paper = format_table(
+        ("Property", "Beam", "Gem5"),
+        PAPER_TABLE,
+        title="Paper reference (Table II)",
+    )
+    return ours + "\n\n" + paper

@@ -1,0 +1,29 @@
+"""Table III: benchmark inputs and characteristics."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.experiments.runner import ExperimentContext, get_context
+
+
+def data(context: ExperimentContext | None = None) -> list[tuple[str, str, str, str]]:
+    context = context or get_context()
+    rows = []
+    for name, workload in context.workloads.items():
+        rows.append(
+            (
+                name,
+                workload.paper_input,
+                workload.scaled_input,
+                workload.characteristics.describe(),
+            )
+        )
+    return rows
+
+
+def render(context: ExperimentContext | None = None) -> str:
+    return format_table(
+        ("Benchmark", "Paper input", "Scaled input (this repro)", "Characteristics"),
+        data(context),
+        title="Table III - inputs used and benchmark characteristics",
+    )

@@ -1,0 +1,43 @@
+"""Statistical microarchitectural fault injection (the GeFIN analogue).
+
+Single-bit transient faults are injected at a uniformly random (cycle, bit)
+into one of the six components the paper targets - L1 instruction cache, L1
+data cache, L2 cache, physical register file, instruction TLB, data TLB
+(together covering >94% of the modeled memory cells) - and the outcome of
+the full-system run is classified as Masked, SDC, Application Crash or
+System Crash.  Sample sizes follow the Leveugle et al. statistical fault
+sampling formulation, and every result carries its error margin.
+"""
+
+from repro.injection.components import Component, component_bits, component_target
+from repro.injection.fault import Fault, generate_faults
+from repro.injection.sampling import error_margin, sample_size
+from repro.injection.classify import FaultEffect, classify_run
+from repro.injection.campaign import (
+    CampaignConfig,
+    ComponentResult,
+    InjectionCampaign,
+    InjectionObservation,
+    WorkloadResult,
+    run_instrumented_injection,
+    run_single_injection,
+)
+
+__all__ = [
+    "Component",
+    "component_bits",
+    "component_target",
+    "Fault",
+    "generate_faults",
+    "error_margin",
+    "sample_size",
+    "FaultEffect",
+    "classify_run",
+    "CampaignConfig",
+    "ComponentResult",
+    "InjectionCampaign",
+    "InjectionObservation",
+    "WorkloadResult",
+    "run_instrumented_injection",
+    "run_single_injection",
+]

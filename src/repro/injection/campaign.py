@@ -1,0 +1,388 @@
+"""Fault-injection campaign orchestration.
+
+A campaign runs, per workload and per component, a statistical sample of
+single-bit injections: each injection boots a *fresh* machine (caches cold,
+exactly as GeFIN resets state between experiments), runs to the injection
+cycle, flips the bit, runs to a terminal outcome, and classifies it.
+
+Results are cached on disk keyed by (machine, workload, sample size, seed)
+so analyses and benchmark harnesses can share one expensive campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.injection.classify import FaultEffect, classify_run
+from repro.injection.components import Component, component_bits, component_target
+from repro.injection.fault import Fault, generate_faults
+from repro.injection.sampling import (
+    error_margin,
+    readjusted_margin,
+    wilson_interval,
+)
+from repro.microarch.config import MachineConfig, SCALED_A9_CONFIG
+from repro.microarch.snapshot import best_snapshot, record_snapshots
+from repro.microarch.system import RunResult, System
+from repro.workloads.base import Workload
+
+#: Cycle budget for injected runs, relative to the fault-free duration.
+WATCHDOG_FACTOR = 2.5
+WATCHDOG_SLACK = 50_000
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of one injection campaign."""
+
+    faults_per_component: int = 30
+    seed: int = 0
+    confidence: float = 0.99
+    machine: MachineConfig = SCALED_A9_CONFIG
+    #: Checkpoint-accelerated injection (results are identical; the prefix
+    #: of an injected run is bit-identical to the golden run).
+    use_checkpoints: bool = True
+    checkpoint_count: int = 8
+    #: Fault model: number of adjacent bits flipped per injection.  The
+    #: paper uses the single-bit model and discusses multi-cell upsets in
+    #: recent technologies as a source of underestimation (Section II);
+    #: setting 2 or 4 explores that uncertainty.
+    cluster_size: int = 1
+
+    def cache_key(self, workload_name: str) -> str:
+        cluster = f"-c{self.cluster_size}" if self.cluster_size != 1 else ""
+        return (
+            f"fi-{self.machine.name}-{workload_name.replace(' ', '_')}"
+            f"-n{self.faults_per_component}-s{self.seed}{cluster}"
+        )
+
+
+@dataclass
+class ComponentResult:
+    """Tally of one (workload, component) injection campaign."""
+
+    component: Component
+    injections: int
+    population_bits: int
+    counts: dict[FaultEffect, int] = field(default_factory=dict)
+    confidence: float = 0.99
+
+    def rate(self, effect: FaultEffect) -> float:
+        if not self.injections:
+            return 0.0
+        return self.counts.get(effect, 0) / self.injections
+
+    @property
+    def avf(self) -> float:
+        """Architectural Vulnerability Factor: fraction of non-masked faults."""
+        return 1.0 - self.rate(FaultEffect.MASKED)
+
+    @property
+    def conservative_margin(self) -> float:
+        """Error margin at p = 0.5 (pre-campaign, Leveugle)."""
+        return error_margin(self.population_bits, self.injections, self.confidence)
+
+    @property
+    def margin(self) -> float:
+        """Margin re-adjusted with the measured AVF (Table IV)."""
+        return readjusted_margin(
+            self.population_bits, self.injections, self.avf, self.confidence
+        )
+
+    def rate_interval(self, effect: FaultEffect) -> tuple[float, float]:
+        """Wilson confidence interval for one class's fault-effect rate."""
+        return wilson_interval(
+            self.counts.get(effect, 0), self.injections, self.confidence
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "component": self.component.name,
+            "injections": self.injections,
+            "population_bits": self.population_bits,
+            "confidence": self.confidence,
+            "counts": {e.name: self.counts.get(e, 0) for e in FaultEffect},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ComponentResult":
+        return cls(
+            component=Component[payload["component"]],
+            injections=payload["injections"],
+            population_bits=payload["population_bits"],
+            confidence=payload["confidence"],
+            counts={
+                FaultEffect[name]: count
+                for name, count in payload["counts"].items()
+                if count
+            },
+        )
+
+
+@dataclass
+class WorkloadResult:
+    """Per-workload campaign outcome across all components."""
+
+    workload_name: str
+    golden_cycles: int
+    components: dict[Component, ComponentResult] = field(default_factory=dict)
+
+    def avf(self, component: Component) -> float:
+        return self.components[component].avf
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload_name,
+            "golden_cycles": self.golden_cycles,
+            "components": {
+                comp.name: result.to_dict()
+                for comp, result in self.components.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkloadResult":
+        return cls(
+            workload_name=payload["workload"],
+            golden_cycles=payload["golden_cycles"],
+            components={
+                Component[name]: ComponentResult.from_dict(blob)
+                for name, blob in payload["components"].items()
+            },
+        )
+
+
+def run_golden(workload: Workload, machine: MachineConfig) -> RunResult:
+    """Fault-free reference run (defines golden output and duration)."""
+    system = System(workload.program(machine.layout), config=machine)
+    result = system.run(max_cycles=200_000_000)
+    if not result.exited_cleanly:
+        raise RuntimeError(
+            f"golden run of {workload.name} did not exit cleanly: {result.outcome}"
+        )
+    return result
+
+
+def run_single_injection(
+    workload: Workload,
+    fault: Fault,
+    machine: MachineConfig,
+    golden: RunResult,
+    snapshots: list | None = None,
+    cluster_size: int = 1,
+) -> FaultEffect:
+    """Execute one injection experiment and classify its effect.
+
+    With ``snapshots`` (from :func:`record_golden_snapshots`), the run is
+    fast-forwarded to the latest checkpoint before the injection cycle -
+    the prefix is bit-identical to the fault-free run, so skipping it
+    cannot change the outcome (verified by the equivalence test suite).
+
+    ``cluster_size`` > 1 flips that many adjacent bits (multi-cell upset
+    model).
+    """
+    system = System(workload.program(machine.layout), config=machine)
+    if snapshots:
+        snapshot = best_snapshot(snapshots, fault.cycle)
+        if snapshot is not None:
+            snapshot.restore(system)
+    target = component_target(system, fault.component)
+    population = target.data_bits
+
+    def flip():
+        for offset in range(cluster_size):
+            target.flip_bit((fault.bit_index + offset) % population)
+
+    events = [(fault.cycle, flip)]
+    budget = int(golden.cycles * WATCHDOG_FACTOR) + WATCHDOG_SLACK
+    result = system.run(max_cycles=budget, events=events)
+    return classify_run(result, golden.output, system)
+
+
+@dataclass(frozen=True)
+class InjectionObservation:
+    """What an instrumented injection observed (GeFIN-style visibility).
+
+    Microarchitecture-level injection "offers significant amount of
+    observability, allowing distinction of where exactly did the fault
+    strike" (Section IV-C): the privilege mode at strike time, the memory
+    region the struck cache line mapped (kernel text/data, user data, page
+    table, ...), and whether the struck cell was live at all.
+    """
+
+    fault: Fault
+    effect: FaultEffect
+    mode_at_injection: str
+    target_region: str | None
+    target_live: bool
+
+
+def run_instrumented_injection(
+    workload: Workload,
+    fault: Fault,
+    machine: MachineConfig,
+    golden: RunResult,
+    snapshots: list | None = None,
+) -> InjectionObservation:
+    """Like :func:`run_single_injection`, with strike-site observability."""
+    from repro.microarch.cache import Cache  # local import avoids a cycle
+
+    system = System(workload.program(machine.layout), config=machine)
+    if snapshots:
+        snapshot = best_snapshot(snapshots, fault.cycle)
+        if snapshot is not None:
+            snapshot.restore(system)
+    target = component_target(system, fault.component)
+    observed: dict = {}
+
+    def flip():
+        observed["mode"] = system.core.mode.name.lower()
+        if isinstance(target, Cache):
+            line = target.line_at(fault.bit_index)
+            observed["live"] = line.valid
+            if line.valid:
+                observed["region"] = machine.layout.region_of(
+                    target.line_base_paddr(fault.bit_index)
+                )
+        else:
+            observed["live"] = target.flip_bit(fault.bit_index)
+            observed["flipped"] = True
+        if not observed.get("flipped"):
+            target.flip_bit(fault.bit_index)
+
+    budget = int(golden.cycles * WATCHDOG_FACTOR) + WATCHDOG_SLACK
+    result = system.run(max_cycles=budget, events=[(fault.cycle, flip)])
+    effect = classify_run(result, golden.output, system)
+    return InjectionObservation(
+        fault=fault,
+        effect=effect,
+        mode_at_injection=observed.get("mode", "user"),
+        target_region=observed.get("region"),
+        target_live=bool(observed.get("live")),
+    )
+
+
+def record_golden_snapshots(
+    workload: Workload,
+    machine: MachineConfig,
+    golden: RunResult,
+    count: int = 8,
+) -> list:
+    """Checkpoint the golden run at ``count`` evenly spaced cycles."""
+    system = System(workload.program(machine.layout), config=machine)
+    step = max(1, golden.cycles // (count + 1))
+    cycles = [step * (index + 1) for index in range(count)]
+    return record_snapshots(system, cycles)
+
+
+class InjectionCampaign:
+    """Run (and cache) fault-injection campaigns over the suite."""
+
+    def __init__(
+        self,
+        config: CampaignConfig | None = None,
+        cache_dir: Path | None = None,
+        progress: Callable[[str], None] | None = None,
+    ):
+        self.config = config or CampaignConfig()
+        self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+        self._progress = progress or (lambda message: None)
+
+    # -- caching -------------------------------------------------------------
+
+    def _cache_path(self, workload_name: str) -> Path:
+        return self.cache_dir / (self.config.cache_key(workload_name) + ".json")
+
+    def _load_cached(self, workload_name: str) -> WorkloadResult | None:
+        path = self._cache_path(workload_name)
+        if not path.exists():
+            return None
+        try:
+            return WorkloadResult.from_dict(json.loads(path.read_text()))
+        except (ValueError, KeyError):
+            return None
+
+    def _store(self, result: WorkloadResult) -> None:
+        path = self._cache_path(result.workload_name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result.to_dict(), indent=1))
+
+    # -- execution -------------------------------------------------------------
+
+    def run_workload(
+        self,
+        workload: Workload,
+        components: Iterable[Component] = tuple(Component),
+        use_cache: bool = True,
+    ) -> WorkloadResult:
+        """Campaign for one workload across the requested components."""
+        if use_cache:
+            cached = self._load_cached(workload.name)
+            if cached is not None and all(
+                component in cached.components for component in components
+            ):
+                return cached
+
+        machine = self.config.machine
+        golden = run_golden(workload, machine)
+        snapshots = None
+        if self.config.use_checkpoints:
+            snapshots = record_golden_snapshots(
+                workload, machine, golden, count=self.config.checkpoint_count
+            )
+        result = WorkloadResult(
+            workload_name=workload.name, golden_cycles=golden.cycles
+        )
+        for component in components:
+            bits = component_bits(machine, component)
+            faults = generate_faults(
+                component,
+                bits,
+                golden.cycles,
+                self.config.faults_per_component,
+                seed=self.config.seed,
+            )
+            counts: dict[FaultEffect, int] = {}
+            for index, fault in enumerate(faults):
+                effect = run_single_injection(
+                    workload,
+                    fault,
+                    machine,
+                    golden,
+                    snapshots=snapshots,
+                    cluster_size=self.config.cluster_size,
+                )
+                counts[effect] = counts.get(effect, 0) + 1
+                if (index + 1) % 10 == 0:
+                    self._progress(
+                        f"{workload.name}/{component.name}: "
+                        f"{index + 1}/{len(faults)}"
+                    )
+            result.components[component] = ComponentResult(
+                component=component,
+                injections=len(faults),
+                population_bits=bits,
+                counts=counts,
+                confidence=self.config.confidence,
+            )
+        if use_cache:
+            self._store(result)
+        return result
+
+    def run_suite(
+        self, workloads: Iterable[Workload], use_cache: bool = True
+    ) -> dict[str, WorkloadResult]:
+        """Campaign over many workloads; returns results by name."""
+        results = {}
+        for workload in workloads:
+            self._progress(f"campaign: {workload.name}")
+            results[workload.name] = self.run_workload(workload, use_cache=use_cache)
+        return results

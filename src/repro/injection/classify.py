@@ -1,0 +1,67 @@
+"""Outcome classification: map a run's terminal state onto the paper's
+fault-effect classes (Masked / SDC / Application Crash / System Crash)."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import (
+    ApplicationAbort,
+    KernelPanic,
+    ProgramExit,
+    WatchdogTimeout,
+)
+from repro.microarch.system import RunResult, System
+
+
+class FaultEffect(enum.Enum):
+    """The four fault-effect classes of the paper."""
+
+    MASKED = "Masked"
+    SDC = "SDC"
+    APP_CRASH = "AppCrash"
+    SYS_CRASH = "SysCrash"
+
+    @property
+    def label(self) -> str:
+        return self.value
+
+
+#: The three non-masked classes, in the order the paper's figures use.
+ERROR_CLASSES = (FaultEffect.SDC, FaultEffect.APP_CRASH, FaultEffect.SYS_CRASH)
+
+
+def classify_run(
+    result: RunResult, golden_output: bytes, system: System
+) -> FaultEffect:
+    """Classify one (possibly faulty) run against the fault-free reference.
+
+    Mirrors the experimental protocols of Section IV:
+
+    - clean exit with matching output -> **Masked**;
+    - clean exit with differing output (or the online check flagged a
+      mismatch in beam mode) -> **SDC**;
+    - abnormal exit status, kernel-delivered kill, or a hang with the
+      kernel still sound -> **Application Crash** (the board answers and
+      the application can be restarted);
+    - kernel panic, or a hang with the kernel corrupted -> **System
+      Crash** (the board stopped responding).
+    """
+    outcome = result.outcome
+    if isinstance(outcome, ProgramExit):
+        if outcome.status != 0:
+            return FaultEffect.APP_CRASH
+        if result.sdc_flag or result.output != golden_output:
+            return FaultEffect.SDC
+        return FaultEffect.MASKED
+    if isinstance(outcome, ApplicationAbort):
+        return FaultEffect.APP_CRASH
+    if isinstance(outcome, KernelPanic):
+        return FaultEffect.SYS_CRASH
+    if isinstance(outcome, WatchdogTimeout):
+        # "Attempt to contact the board": if the kernel could still service
+        # an interrupt, the application is simply restarted.
+        if system.kernel_intact():
+            return FaultEffect.APP_CRASH
+        return FaultEffect.SYS_CRASH
+    raise TypeError(f"unclassifiable outcome {outcome!r}")

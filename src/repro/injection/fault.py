@@ -1,0 +1,53 @@
+"""Fault descriptors and statistical fault-list generation."""
+
+from __future__ import annotations
+
+import binascii
+import random
+from dataclasses import dataclass
+
+from repro.errors import InjectionError
+from repro.injection.components import Component
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single-event upset: one bit of one component at one cycle."""
+
+    component: Component
+    bit_index: int
+    cycle: int
+
+    def __post_init__(self):
+        if self.bit_index < 0:
+            raise InjectionError(f"negative bit index {self.bit_index}")
+        if self.cycle < 0:
+            raise InjectionError(f"negative injection cycle {self.cycle}")
+
+
+def generate_faults(
+    component: Component,
+    component_bits: int,
+    duration_cycles: int,
+    count: int,
+    seed: int = 0,
+) -> list[Fault]:
+    """Draw ``count`` faults uniformly over (bit, cycle).
+
+    Uniform-over-space x uniform-over-time is the paper's single-bit
+    transient model: every memory cell is equally likely to be struck, at
+    any point of the program's execution.
+    """
+    if component_bits <= 0 or duration_cycles <= 0:
+        raise InjectionError("component bits and duration must be positive")
+    # Stable across processes (unlike hash() of a str under PYTHONHASHSEED).
+    derived = binascii.crc32(f"{seed}:{component.name}:{component_bits}".encode())
+    rng = random.Random(derived)
+    return [
+        Fault(
+            component=component,
+            bit_index=rng.randrange(component_bits),
+            cycle=rng.randrange(duration_cycles),
+        )
+        for _ in range(count)
+    ]

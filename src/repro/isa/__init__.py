@@ -1,0 +1,30 @@
+"""A compact 32-bit RISC instruction set used by the simulated machine.
+
+The ISA stands in for ARMv7 in this reproduction: programs are assembled to
+real 32-bit words stored in simulated memory, fetched through the instruction
+cache, and decoded at execution time.  Because encodings live in memory as
+bits, a single-event upset in the L1 instruction cache or L2 corrupts the
+word itself, and the corrupted word may decode to a different (or illegal)
+instruction - the same propagation path gem5/GeFIN models for the Cortex-A9.
+"""
+
+from repro.isa.opcodes import Op, Format, FORMAT_OF, MNEMONIC_OF, OP_OF_MNEMONIC
+from repro.isa.encoding import encode, decode, DecodedInstruction
+from repro.isa.assembler import Assembler, Program, Segment
+from repro.isa.disassembler import disassemble, disassemble_word
+
+__all__ = [
+    "Op",
+    "Format",
+    "FORMAT_OF",
+    "MNEMONIC_OF",
+    "OP_OF_MNEMONIC",
+    "encode",
+    "decode",
+    "DecodedInstruction",
+    "Assembler",
+    "Program",
+    "Segment",
+    "disassemble",
+    "disassemble_word",
+]

@@ -1,0 +1,652 @@
+"""A two-pass assembler for the simulated ISA.
+
+Programs (the 13 MiBench-analogue workloads and the kernel) are written in a
+small assembly dialect and assembled to little-endian machine words that are
+loaded into simulated memory.  Supported syntax::
+
+        .text                     ; section switch (.text / .data)
+    _start:
+        li    r1, 0x12345678      ; pseudo: 32-bit constant (1-2 words)
+        la    r2, table           ; pseudo: load address (2 words)
+        ldw   r3, [r2, 4]
+        addi  r3, r3, 1
+        stw   r3, [r2, 4]
+        fli   f0, 3.14159         ; pseudo: load double const (pool + r12)
+        call  subroutine          ; pseudo: bl
+        ret                       ; pseudo: br lr
+        b     _start
+        .data
+    table:
+        .word 1, 2, 3, symbol
+        .byte 0xff, 'a'
+        .double 2.718281828
+        .ascii "hello"
+        .asciz "world"
+        .space 64
+        .align 8
+
+Comments start with ``;`` or ``#``.  Registers are ``r0``-``r15`` (aliases
+``sp`` = r13, ``lr`` = r14), ``f0``-``f15``.  ``r12`` is the assembler
+scratch register consumed by the ``fli`` pseudo-instruction.  Immediates may
+be decimal, hex, character literals, ``lo(sym)``/``hi(sym)``, or a bare
+symbol when it fits the field.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+from repro.isa.encoding import encode
+from repro.isa.opcodes import FORMAT_OF, OP_OF_MNEMONIC, Format, Op
+
+#: Control and status register numbers (see ``repro.microarch.core``).
+CSR_NAMES = {
+    "epc": 0,
+    "cause": 1,
+    "scratch": 2,
+    "ksp": 3,
+    "status": 4,
+    "faultaddr": 5,
+    "cycles": 6,
+    "usp": 7,
+    "tick": 8,
+}
+
+_REGISTER_ALIASES = {"sp": 13, "lr": 14}
+
+#: Scratch register used when expanding ``fli``.
+SCRATCH_REGISTER = 12
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_SYMBOL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous chunk of assembled bytes at a fixed base address."""
+
+    name: str
+    base: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+
+@dataclass(frozen=True)
+class Program:
+    """The output of assembly: loadable segments plus the symbol table."""
+
+    segments: tuple[Segment, ...]
+    symbols: dict[str, int]
+    entry: int
+
+    def segment(self, name: str) -> Segment:
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise KeyError(name)
+
+
+@dataclass
+class _Statement:
+    line: int
+    section: str
+    offset: int
+    kind: str  # "insn" | "data"
+    mnemonic: str = ""
+    operands: list[str] = field(default_factory=list)
+    size: int = 0
+    emit: bytes = b""
+
+
+def _parse_int(text: str) -> int | None:
+    text = text.strip()
+    if len(text) >= 3 and text.startswith("'") and text.endswith("'"):
+        body = text[1:-1]
+        unescaped = body.encode().decode("unicode_escape")
+        if len(unescaped) != 1:
+            return None
+        return ord(unescaped)
+    try:
+        return int(text, 0)
+    except ValueError:
+        return None
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas that are outside brackets/quotes."""
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current = []
+    for ch in text:
+        if quote:
+            current.append(ch)
+            if ch == quote and (len(current) < 2 or current[-2] != "\\"):
+                quote = None
+            continue
+        if ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch in "[(":
+            depth += 1
+            current.append(ch)
+        elif ch in "])":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`.
+
+    Parameters
+    ----------
+    text_base, data_base:
+        Load addresses of the ``.text`` and ``.data`` sections.
+    """
+
+    def __init__(self, text_base: int, data_base: int):
+        if text_base % 4 or data_base % 4:
+            raise AssemblerError("section bases must be word aligned")
+        self.text_base = text_base
+        self.data_base = data_base
+        self._pool_index: dict[float, str] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def assemble(self, source: str, entry: str | None = None) -> Program:
+        statements, labels, float_pool, pool_index = self._first_pass(source)
+        self._pool_index = pool_index
+        section_sizes = self._section_sizes(statements, float_pool)
+        bases = {"text": self.text_base, "data": self.data_base}
+        if bases["text"] + section_sizes["text"] > bases["data"] and section_sizes[
+            "data"
+        ]:
+            if bases["data"] > bases["text"]:
+                raise AssemblerError(
+                    f".text section ({section_sizes['text']} bytes) overlaps .data base"
+                )
+
+        symbols = {
+            name: bases[section] + offset for name, (section, offset) in labels.items()
+        }
+        # Place the float constant pool at the end of .data.
+        pool_offset = section_sizes["data"] - 8 * len(float_pool)
+        for i, (pool_label, _value) in enumerate(float_pool):
+            symbols[pool_label] = bases["data"] + pool_offset + 8 * i
+
+        buffers = {"text": bytearray(), "data": bytearray()}
+        for stmt in statements:
+            buf = buffers[stmt.section]
+            if len(buf) != stmt.offset:
+                raise AssemblerError(
+                    f"internal offset mismatch at line {stmt.line}", stmt.line
+                )
+            buf.extend(self._second_pass_emit(stmt, symbols, bases))
+        for _pool_label, value in float_pool:
+            buffers["data"].extend(struct.pack("<d", value))
+
+        entry_name = entry or ("_start" if "_start" in symbols else None)
+        if entry_name is not None:
+            if entry_name not in symbols:
+                raise AssemblerError(f"entry symbol {entry_name!r} not defined")
+            entry_addr = symbols[entry_name]
+        else:
+            entry_addr = bases["text"]
+
+        segments = tuple(
+            Segment(name, bases[name], bytes(buffers[name]))
+            for name in ("text", "data")
+            if buffers[name]
+        )
+        return Program(segments=segments, symbols=symbols, entry=entry_addr)
+
+    # -- pass 1 -------------------------------------------------------------
+
+    def _first_pass(self, source: str):
+        statements: list[_Statement] = []
+        labels: dict[str, tuple[str, int]] = {}
+        float_pool: list[tuple[str, float]] = []
+        pool_index: dict[float, str] = {}
+        section = "text"
+        offsets = {"text": 0, "data": 0}
+
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = self._strip_comment(raw).strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                name = match.group(1)
+                if name in labels:
+                    raise AssemblerError(f"duplicate label {name!r}", lineno)
+                labels[name] = (section, offsets[section])
+                line = line[match.end():].strip()
+            if not line:
+                continue
+
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+
+            if mnemonic == ".text":
+                section = "text"
+                continue
+            if mnemonic == ".data":
+                section = "data"
+                continue
+
+            stmt = _Statement(
+                line=lineno,
+                section=section,
+                offset=offsets[section],
+                kind="data" if mnemonic.startswith(".") else "insn",
+                mnemonic=mnemonic,
+                operands=_split_operands(rest),
+            )
+            if stmt.kind == "data":
+                stmt.size = self._directive_size(stmt, offsets[section])
+            else:
+                stmt.size = self._instruction_size(stmt, float_pool, pool_index)
+            offsets[section] += stmt.size
+            statements.append(stmt)
+
+        return statements, labels, float_pool, pool_index
+
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        out = []
+        quote: str | None = None
+        for ch in line:
+            if quote:
+                out.append(ch)
+                if ch == quote and (len(out) < 2 or out[-2] != "\\"):
+                    quote = None
+                continue
+            if ch in "'\"":
+                quote = ch
+                out.append(ch)
+            elif ch in ";#":
+                break
+            else:
+                out.append(ch)
+        return "".join(out)
+
+    def _directive_size(self, stmt: _Statement, offset: int) -> int:
+        name, ops = stmt.mnemonic, stmt.operands
+        if name == ".word":
+            return 4 * len(ops)
+        if name == ".byte":
+            return len(ops)
+        if name == ".double":
+            return 8 * len(ops)
+        if name == ".space":
+            count = _parse_int(ops[0]) if ops else None
+            if count is None or count < 0:
+                raise AssemblerError(".space needs a non-negative size", stmt.line)
+            return count
+        if name in (".ascii", ".asciz"):
+            text = self._parse_string(ops, stmt.line)
+            return len(text) + (1 if name == ".asciz" else 0)
+        if name == ".align":
+            boundary = _parse_int(ops[0]) if ops else None
+            if boundary is None or boundary <= 0 or boundary & (boundary - 1):
+                raise AssemblerError(".align needs a power-of-two boundary", stmt.line)
+            return (-offset) % boundary
+        raise AssemblerError(f"unknown directive {name!r}", stmt.line)
+
+    @staticmethod
+    def _parse_string(ops: list[str], lineno: int) -> bytes:
+        if len(ops) != 1 or len(ops[0]) < 2 or ops[0][0] != '"' or ops[0][-1] != '"':
+            raise AssemblerError("string directive needs one quoted string", lineno)
+        return ops[0][1:-1].encode().decode("unicode_escape").encode("latin-1")
+
+    def _instruction_size(
+        self,
+        stmt: _Statement,
+        float_pool: list[tuple[str, float]],
+        pool_index: dict[float, str],
+    ) -> int:
+        name = stmt.mnemonic
+        if name in ("la",):
+            return 8
+        if name == "li":
+            if len(stmt.operands) != 2:
+                raise AssemblerError("li needs rd, imm32", stmt.line)
+            value = _parse_int(stmt.operands[1])
+            if value is None:
+                # Symbolic li behaves like la: always two words.
+                return 8
+            return 4 if -32768 <= value < 32768 else 8
+        if name == "fli":
+            if len(stmt.operands) != 2:
+                raise AssemblerError("fli needs fd, constant", stmt.line)
+            try:
+                value = float(stmt.operands[1])
+            except ValueError:
+                raise AssemblerError(
+                    f"fli constant {stmt.operands[1]!r} is not a float", stmt.line
+                ) from None
+            if value not in pool_index:
+                label = f"__fpool_{len(float_pool)}"
+                pool_index[value] = label
+                float_pool.append((label, value))
+            return 12  # la r12, pool (8) + fld fd, [r12, 0] (4)
+        if name in ("push", "pop"):
+            return 8
+        if name in ("call", "ret"):
+            return 4
+        if name in OP_OF_MNEMONIC:
+            return 4
+        raise AssemblerError(f"unknown mnemonic {name!r}", stmt.line)
+
+    @staticmethod
+    def _section_sizes(
+        statements: list[_Statement], float_pool: list[tuple[str, float]]
+    ) -> dict[str, int]:
+        sizes = {"text": 0, "data": 0}
+        for stmt in statements:
+            sizes[stmt.section] = max(sizes[stmt.section], stmt.offset + stmt.size)
+        sizes["data"] += 8 * len(float_pool)
+        return sizes
+
+    # -- pass 2 -------------------------------------------------------------
+
+    def _second_pass_emit(
+        self, stmt: _Statement, symbols: dict[str, int], bases: dict[str, int]
+    ) -> bytes:
+        if stmt.kind == "data":
+            return self._emit_directive(stmt, symbols)
+        address = bases[stmt.section] + stmt.offset
+        words = self._emit_instruction(stmt, symbols, address)
+        return b"".join(struct.pack("<I", w) for w in words)
+
+    def _emit_directive(self, stmt: _Statement, symbols: dict[str, int]) -> bytes:
+        name, ops = stmt.mnemonic, stmt.operands
+        if name == ".word":
+            out = bytearray()
+            for op in ops:
+                value = self._eval_expr(op, symbols, stmt.line)
+                out.extend(struct.pack("<I", value & 0xFFFFFFFF))
+            return bytes(out)
+        if name == ".byte":
+            out = bytearray()
+            for op in ops:
+                value = self._eval_expr(op, symbols, stmt.line)
+                out.append(value & 0xFF)
+            return bytes(out)
+        if name == ".double":
+            out = bytearray()
+            for op in ops:
+                try:
+                    out.extend(struct.pack("<d", float(op)))
+                except ValueError:
+                    raise AssemblerError(
+                        f"bad double literal {op!r}", stmt.line
+                    ) from None
+            return bytes(out)
+        if name == ".space":
+            return bytes(stmt.size)
+        if name in (".ascii", ".asciz"):
+            text = self._parse_string(ops, stmt.line)
+            return text + (b"\x00" if name == ".asciz" else b"")
+        if name == ".align":
+            return bytes(stmt.size)
+        raise AssemblerError(f"unknown directive {name!r}", stmt.line)
+
+    def _emit_instruction(
+        self, stmt: _Statement, symbols: dict[str, int], address: int
+    ) -> list[int]:
+        name, ops, line = stmt.mnemonic, stmt.operands, stmt.line
+
+        # Pseudo-instructions.
+        if name == "la" or (name == "li" and _parse_int(ops[1]) is None):
+            rd = self._reg(ops[0], line)
+            value = self._eval_expr(ops[1], symbols, line) & 0xFFFFFFFF
+            return [
+                encode(Op.MOVHI, rd=rd, imm=(value >> 16) & 0xFFFF),
+                encode(Op.ORRI, rd=rd, rs1=rd, imm=value & 0xFFFF),
+            ]
+        if name == "li":
+            rd = self._reg(ops[0], line)
+            value = _parse_int(ops[1])
+            assert value is not None
+            if -32768 <= value < 32768:
+                return [encode(Op.MOVI, rd=rd, imm=value)]
+            value &= 0xFFFFFFFF
+            return [
+                encode(Op.MOVHI, rd=rd, imm=(value >> 16) & 0xFFFF),
+                encode(Op.ORRI, rd=rd, rs1=rd, imm=value & 0xFFFF),
+            ]
+        if name == "fli":
+            fd = self._freg(ops[0], line)
+            value = float(ops[1])
+            pool_label = self._pool_index[value]
+            addr = symbols[pool_label] & 0xFFFFFFFF
+            return [
+                encode(Op.MOVHI, rd=SCRATCH_REGISTER, imm=(addr >> 16) & 0xFFFF),
+                encode(
+                    Op.ORRI, rd=SCRATCH_REGISTER, rs1=SCRATCH_REGISTER,
+                    imm=addr & 0xFFFF,
+                ),
+                encode(Op.FLD, rd=fd, rs1=SCRATCH_REGISTER, imm=0),
+            ]
+        if name == "push":
+            rd = self._reg(ops[0], line)
+            return [
+                encode(Op.SUBI, rd=13, rs1=13, imm=4),
+                encode(Op.STW, rd=rd, rs1=13, imm=0),
+            ]
+        if name == "pop":
+            rd = self._reg(ops[0], line)
+            return [
+                encode(Op.LDW, rd=rd, rs1=13, imm=0),
+                encode(Op.ADDI, rd=13, rs1=13, imm=4),
+            ]
+        if name == "call":
+            return self._emit_branch(Op.BL, ops, symbols, address, line)
+        if name == "ret":
+            return [encode(Op.BR, rs1=14)]
+
+        op = OP_OF_MNEMONIC.get(name)
+        if op is None:
+            raise AssemblerError(f"unknown mnemonic {name!r}", line)
+        fmt = FORMAT_OF[op]
+
+        if fmt is Format.N:
+            if ops:
+                raise AssemblerError(f"{name} takes no operands", line)
+            return [encode(op)]
+        if fmt is Format.J:
+            return self._emit_branch(op, ops, symbols, address, line)
+        if fmt is Format.R:
+            return [self._emit_r(op, ops, line)]
+        return [self._emit_i(op, ops, symbols, line)]
+
+    def _emit_branch(
+        self, op: Op, ops: list[str], symbols: dict[str, int], address: int, line: int
+    ) -> list[int]:
+        if len(ops) != 1:
+            raise AssemblerError(f"{op.name.lower()} needs one target", line)
+        target = self._eval_expr(ops[0], symbols, line)
+        delta = target - (address + 4)
+        if delta % 4:
+            raise AssemblerError(f"branch target {ops[0]!r} not word aligned", line)
+        return [encode(op, imm=delta // 4)]
+
+    def _emit_r(self, op: Op, ops: list[str], line: int) -> int:
+        reg = self._reg
+        freg = self._freg
+        if op in (Op.CMP,):
+            self._expect(ops, 2, op, line)
+            return encode(op, rs1=reg(ops[0], line), rs2=reg(ops[1], line))
+        if op is Op.FCMP:
+            self._expect(ops, 2, op, line)
+            return encode(op, rs1=freg(ops[0], line), rs2=freg(ops[1], line))
+        if op in (Op.BR, Op.BLR):
+            self._expect(ops, 1, op, line)
+            return encode(op, rs1=reg(ops[0], line))
+        if op is Op.MOV:
+            self._expect(ops, 2, op, line)
+            return encode(op, rd=reg(ops[0], line), rs1=reg(ops[1], line))
+        if op in (Op.FMOV, Op.FNEG, Op.FSQRT):
+            self._expect(ops, 2, op, line)
+            return encode(op, rd=freg(ops[0], line), rs1=freg(ops[1], line))
+        if op is Op.FCVT:
+            self._expect(ops, 2, op, line)
+            return encode(op, rd=freg(ops[0], line), rs1=reg(ops[1], line))
+        if op is Op.FCVTI:
+            self._expect(ops, 2, op, line)
+            return encode(op, rd=reg(ops[0], line), rs1=freg(ops[1], line))
+        if op in (Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV):
+            self._expect(ops, 3, op, line)
+            return encode(
+                op,
+                rd=freg(ops[0], line),
+                rs1=freg(ops[1], line),
+                rs2=freg(ops[2], line),
+            )
+        self._expect(ops, 3, op, line)
+        return encode(
+            op, rd=reg(ops[0], line), rs1=reg(ops[1], line), rs2=reg(ops[2], line)
+        )
+
+    def _emit_i(
+        self, op: Op, ops: list[str], symbols: dict[str, int], line: int
+    ) -> int:
+        reg = self._reg
+        if op in (Op.LDW, Op.LDB, Op.STW, Op.STB, Op.FLD, Op.FST):
+            self._expect(ops, 2, op, line)
+            value_reg = (
+                self._freg(ops[0], line)
+                if op in (Op.FLD, Op.FST)
+                else reg(ops[0], line)
+            )
+            base, offset = self._mem_operand(ops[1], symbols, line)
+            return encode(op, rd=value_reg, rs1=base, imm=offset)
+        if op in (Op.MOVI, Op.MOVHI):
+            self._expect(ops, 2, op, line)
+            return encode(
+                op, rd=reg(ops[0], line), imm=self._imm(op, ops[1], symbols, line)
+            )
+        if op is Op.CMPI:
+            self._expect(ops, 2, op, line)
+            return encode(
+                op, rs1=reg(ops[0], line), imm=self._imm(op, ops[1], symbols, line)
+            )
+        if op is Op.CSRR:
+            self._expect(ops, 2, op, line)
+            return encode(op, rd=reg(ops[0], line), imm=self._csr(ops[1], line))
+        if op is Op.CSRW:
+            self._expect(ops, 2, op, line)
+            return encode(op, rs1=reg(ops[1], line), imm=self._csr(ops[0], line))
+        self._expect(ops, 3, op, line)
+        return encode(
+            op,
+            rd=reg(ops[0], line),
+            rs1=reg(ops[1], line),
+            imm=self._imm(op, ops[2], symbols, line),
+        )
+
+    # -- operand helpers ----------------------------------------------------
+
+    @staticmethod
+    def _expect(ops: list[str], count: int, op: Op, line: int) -> None:
+        if len(ops) != count:
+            raise AssemblerError(
+                f"{op.name.lower()} needs {count} operands, got {len(ops)}", line
+            )
+
+    @staticmethod
+    def _reg(text: str, line: int) -> int:
+        text = text.strip().lower()
+        if text in _REGISTER_ALIASES:
+            return _REGISTER_ALIASES[text]
+        if text.startswith("r") and text[1:].isdigit():
+            number = int(text[1:])
+            if 0 <= number <= 15:
+                return number
+        raise AssemblerError(f"bad integer register {text!r}", line)
+
+    @staticmethod
+    def _freg(text: str, line: int) -> int:
+        text = text.strip().lower()
+        if text.startswith("f") and text[1:].isdigit():
+            number = int(text[1:])
+            if 0 <= number <= 15:
+                return number
+        raise AssemblerError(f"bad float register {text!r}", line)
+
+    @staticmethod
+    def _csr(text: str, line: int) -> int:
+        text = text.strip().lower()
+        if text in CSR_NAMES:
+            return CSR_NAMES[text]
+        value = _parse_int(text)
+        if value is None or value < 0:
+            raise AssemblerError(f"bad CSR {text!r}", line)
+        return value
+
+    def _imm(self, op: Op, text: str, symbols: dict[str, int], line: int) -> int:
+        value = self._eval_expr(text, symbols, line)
+        if value >= 1 << 16 or value < -(1 << 15):
+            raise AssemblerError(
+                f"{op.name.lower()} immediate {text!r} (={value}) "
+                "does not fit 16 bits; use li/la",
+                line,
+            )
+        return value
+
+    def _mem_operand(
+        self, text: str, symbols: dict[str, int], line: int
+    ) -> tuple[int, int]:
+        text = text.strip()
+        if not text.startswith("[") or not text.endswith("]"):
+            raise AssemblerError(f"bad memory operand {text!r}", line)
+        inner = _split_operands(text[1:-1])
+        if not 1 <= len(inner) <= 2:
+            raise AssemblerError(f"bad memory operand {text!r}", line)
+        base = self._reg(inner[0], line)
+        offset = 0
+        if len(inner) == 2:
+            offset = self._eval_expr(inner[1], symbols, line)
+            if offset >= 1 << 15 or offset < -(1 << 15):
+                raise AssemblerError(f"memory offset {offset} too large", line)
+        return base, offset
+
+    def _eval_expr(self, text: str, symbols: dict[str, int], line: int) -> int:
+        text = text.strip()
+        for prefix, shift in (("lo(", 0), ("hi(", 16)):
+            if text.lower().startswith(prefix) and text.endswith(")"):
+                inner = text[len(prefix):-1].strip()
+                value = self._eval_expr(inner, symbols, line)
+                return (value >> shift) & 0xFFFF
+        value = _parse_int(text)
+        if value is not None:
+            return value
+        if _SYMBOL_RE.match(text):
+            if text not in symbols:
+                raise AssemblerError(f"undefined symbol {text!r}", line)
+            return symbols[text]
+        # Simple sym+const / sym-const arithmetic.
+        for operator in ("+", "-"):
+            idx = text.rfind(operator)
+            if idx > 0:
+                left = self._eval_expr(text[:idx], symbols, line)
+                right = self._eval_expr(text[idx + 1 :], symbols, line)
+                return left + right if operator == "+" else left - right
+        raise AssemblerError(f"cannot evaluate expression {text!r}", line)

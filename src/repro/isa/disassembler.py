@@ -1,0 +1,87 @@
+"""Disassembler: turn 32-bit words back into readable assembly.
+
+Used by error reports, debugging tools, and the fault-injection logs (GeFIN
+records the instruction at the corrupted pc when a fault leads to a crash).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.encoding import try_decode
+from repro.isa.opcodes import (
+    FLOAT_DEST_OPS,
+    FLOAT_SRC_OPS,
+    FORMAT_OF,
+    MNEMONIC_OF,
+    Format,
+    Op,
+)
+
+_MEMORY_OPS = frozenset({Op.LDW, Op.LDB, Op.STW, Op.STB, Op.FLD, Op.FST})
+
+
+def _reg_name(op: Op, index: int, is_dest: bool) -> str:
+    table = FLOAT_DEST_OPS if is_dest else FLOAT_SRC_OPS
+    prefix = "f" if op in table else "r"
+    return f"{prefix}{index}"
+
+
+def disassemble_word(word: int, address: int | None = None) -> str:
+    """Render one instruction word as assembly text.
+
+    Undecodable words render as ``.word 0x...`` so a dump of corrupted
+    memory is still printable.
+    """
+    inst = try_decode(word)
+    if inst is None:
+        return f".word {word:#010x}"
+    op = inst.op
+    mnem = MNEMONIC_OF[op]
+    fmt = FORMAT_OF[op]
+
+    if fmt is Format.N:
+        return mnem
+    if fmt is Format.J:
+        if address is not None:
+            return f"{mnem} {address + 4 + inst.imm * 4:#x}"
+        return f"{mnem} {'+' if inst.imm >= 0 else ''}{inst.imm * 4}"
+    if op in _MEMORY_OPS:
+        value = _reg_name(op, inst.rd, op in (Op.FLD, Op.FST) and op is Op.FLD)
+        if op in (Op.FLD, Op.FST):
+            value = f"f{inst.rd}"
+        else:
+            value = f"r{inst.rd}"
+        return f"{mnem} {value}, [r{inst.rs1}, {inst.imm}]"
+    if op in (Op.CMP, Op.FCMP):
+        p = "f" if op is Op.FCMP else "r"
+        return f"{mnem} {p}{inst.rs1}, {p}{inst.rs2}"
+    if op in (Op.BR, Op.BLR):
+        return f"{mnem} r{inst.rs1}"
+    if op in (Op.CSRR,):
+        return f"{mnem} r{inst.rd}, {inst.imm}"
+    if op in (Op.CSRW,):
+        return f"{mnem} {inst.imm}, r{inst.rs1}"
+    if fmt is Format.I:
+        if op in (Op.MOVI, Op.MOVHI):
+            return f"{mnem} r{inst.rd}, {inst.imm}"
+        if op is Op.CMPI:
+            return f"{mnem} r{inst.rs1}, {inst.imm}"
+        return f"{mnem} r{inst.rd}, r{inst.rs1}, {inst.imm}"
+    # R format ALU / FP.
+    rd = _reg_name(op, inst.rd, True)
+    rs1 = _reg_name(op, inst.rs1, False)
+    if op in (Op.MOV, Op.FMOV, Op.FNEG, Op.FSQRT, Op.FCVT, Op.FCVTI):
+        return f"{mnem} {rd}, {rs1}"
+    rs2 = _reg_name(op, inst.rs2, False)
+    return f"{mnem} {rd}, {rs1}, {rs2}"
+
+
+def disassemble(data: bytes, base: int = 0) -> list[str]:
+    """Disassemble a byte buffer of little-endian instruction words."""
+    lines = []
+    for offset in range(0, len(data) - len(data) % 4, 4):
+        (word,) = struct.unpack_from("<I", data, offset)
+        address = base + offset
+        lines.append(f"{address:#010x}: {disassemble_word(word, address)}")
+    return lines

@@ -1,0 +1,120 @@
+"""Encode and decode 32-bit instruction words.
+
+``decode`` is the hardware decoder: it accepts *any* 32-bit value and either
+returns a :class:`DecodedInstruction` or raises
+:class:`~repro.errors.IllegalInstruction`, exactly as a corrupted fetch would
+behave on silicon.  Decoding is a pure function of the word value, which lets
+the core memoize decoded instructions by raw word.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import EncodingError, IllegalInstruction
+from repro.isa.opcodes import FORMAT_OF, OP_BY_VALUE, ZERO_EXTENDED_IMM_OPS, Format, Op
+
+_IMM16_MIN = -(1 << 15)
+_IMM16_MAX = (1 << 16) - 1
+_IMM24_MIN = -(1 << 23)
+_IMM24_MAX = (1 << 23) - 1
+
+
+class DecodedInstruction(NamedTuple):
+    """The fields of a successfully decoded word.
+
+    ``imm`` carries the fully extended immediate: sign- or zero-extended
+    imm16 for I-format (per opcode), sign-extended imm24 for J-format, and
+    zero otherwise.
+    """
+
+    op: Op
+    rd: int
+    rs1: int
+    rs2: int
+    imm: int
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def encode(
+    op: Op,
+    rd: int = 0,
+    rs1: int = 0,
+    rs2: int = 0,
+    imm: int = 0,
+) -> int:
+    """Encode an instruction into its 32-bit word.
+
+    Raises :class:`EncodingError` when a field is out of range for the
+    opcode's format.
+    """
+    for name, reg in (("rd", rd), ("rs1", rs1), ("rs2", rs2)):
+        if not 0 <= reg <= 15:
+            raise EncodingError(f"{op.name}: register field {name}={reg} out of range")
+
+    fmt = FORMAT_OF[op]
+    word = int(op) << 24
+    if fmt is Format.R:
+        word |= (rd << 20) | (rs1 << 16) | (rs2 << 12)
+    elif fmt is Format.I:
+        if not _IMM16_MIN <= imm <= _IMM16_MAX:
+            raise EncodingError(f"{op.name}: imm16 {imm} out of range")
+        word |= (rd << 20) | (rs1 << 16) | (imm & 0xFFFF)
+    elif fmt is Format.J:
+        if not _IMM24_MIN <= imm <= _IMM24_MAX:
+            raise EncodingError(f"{op.name}: imm24 {imm} out of range")
+        word |= imm & 0xFFFFFF
+    # Format.N: opcode only.
+    return word
+
+
+def decode(word: int) -> DecodedInstruction:
+    """Decode a 32-bit word, raising :class:`IllegalInstruction` if invalid.
+
+    Validity rules enforced by the "hardware":
+
+    - the opcode byte must be a defined operation;
+    - unused low bits of R- and N-format words must be zero (so most
+      single-bit corruptions of operand fields are detectable).
+    """
+    opcode = (word >> 24) & 0xFF
+    op = OP_BY_VALUE.get(opcode)
+    if op is None:
+        raise IllegalInstruction(f"undefined opcode {opcode:#04x} in word {word:#010x}")
+
+    fmt = FORMAT_OF[op]
+    if fmt is Format.R:
+        if word & 0xFFF:
+            raise IllegalInstruction(
+                f"{op.name}: nonzero reserved bits in word {word:#010x}"
+            )
+        return DecodedInstruction(
+            op, (word >> 20) & 0xF, (word >> 16) & 0xF, (word >> 12) & 0xF, 0
+        )
+    if fmt is Format.I:
+        raw = word & 0xFFFF
+        imm = raw if op in ZERO_EXTENDED_IMM_OPS else _sign_extend(raw, 16)
+        return DecodedInstruction(op, (word >> 20) & 0xF, (word >> 16) & 0xF, 0, imm)
+    if fmt is Format.J:
+        return DecodedInstruction(op, 0, 0, 0, _sign_extend(word & 0xFFFFFF, 24))
+    # Format.N
+    if word & 0xFFFFFF:
+        raise IllegalInstruction(
+            f"{op.name}: nonzero reserved bits in word {word:#010x}"
+        )
+    return DecodedInstruction(op, 0, 0, 0, 0)
+
+
+def try_decode(word: int) -> DecodedInstruction | None:
+    """Decode a word, returning ``None`` instead of raising when invalid."""
+    try:
+        return decode(word)
+    except IllegalInstruction:
+        return None

@@ -1,0 +1,210 @@
+"""Opcode and format definitions for the simulated RISC ISA.
+
+Encoding layout (32-bit word, big-endian bit numbering):
+
+=======  ==========================================================
+Format   Fields
+=======  ==========================================================
+R        ``op[31:24] rd[23:20] rs1[19:16] rs2[15:12] 0[11:0]``
+I        ``op[31:24] rd[23:20] rs1[19:16] imm16[15:0]``
+J        ``op[31:24] imm24[23:0]`` (signed word offset or abs id)
+N        ``op[31:24] 0[23:0]``
+=======  ==========================================================
+
+Opcode values are deliberately *scattered* over the 8-bit space rather than
+packed from zero.  A particle strike flips one bit of a stored word; with
+this map roughly a third of single-bit opcode corruptions decode to an
+illegal instruction and the rest land on a *different valid operation* -
+the mix a real dense primary-opcode space produces, which is why I-side
+faults split between immediate crashes and silent misbehaviour.  (Operand-
+field corruptions are additionally caught by the reserved-bits-must-be-zero
+rule of the R/N formats.)
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Format(enum.Enum):
+    """Operand format of an instruction."""
+
+    R = "R"  # rd, rs1, rs2
+    I = "I"  # rd, rs1, imm16
+    J = "J"  # imm24
+    N = "N"  # no operands
+
+
+class Op(enum.IntEnum):
+    """Operation codes.
+
+    The integer value is the 8-bit opcode field as stored in memory.
+    """
+
+    NOP = 0x11
+
+    # Integer ALU, register forms.
+    ADD = 0x21
+    SUB = 0x25
+    MUL = 0x29
+    DIV = 0x2D
+    MOD = 0x31
+    AND = 0x35
+    ORR = 0x39
+    EOR = 0x3D
+    LSL = 0x41
+    LSR = 0x45
+    ASR = 0x49
+    MOV = 0x4D
+    CMP = 0x51
+
+    # Integer ALU, immediate forms.
+    ADDI = 0x61
+    SUBI = 0x65
+    MULI = 0x69
+    ANDI = 0x6D
+    ORRI = 0x71
+    EORI = 0x75
+    LSLI = 0x79
+    LSRI = 0x7D
+    ASRI = 0x81
+    MOVI = 0x85
+    MOVHI = 0x89
+    CMPI = 0x8D
+
+    # Memory.
+    LDW = 0x95
+    LDB = 0x99
+    STW = 0x9D
+    STB = 0xA1
+    FLD = 0xA5
+    FST = 0xA9
+
+    # Control flow.
+    B = 0xB1
+    BEQ = 0xB5
+    BNE = 0xB9
+    BLT = 0xBD
+    BGE = 0xC1
+    BGT = 0xC5
+    BLE = 0xC9
+    BL = 0xCD
+    BR = 0xD1
+    BLR = 0xD5
+
+    # Floating point (double precision, registers f0..f15).
+    FADD = 0xE1
+    FSUB = 0xE5
+    FMUL = 0xE9
+    FDIV = 0xED
+    FSQRT = 0xF1
+    FMOV = 0xF5
+    FNEG = 0xF9
+    FCMP = 0x1D
+    FCVT = 0x55   # int -> double      (fd, rs1)
+    FCVTI = 0x59  # double -> int      (rd, fs1)
+
+    # System.
+    SYSCALL = 0x05
+    ERET = 0x09
+    HALT = 0x0D
+    CSRR = 0x91   # rd <- csr[imm16]      (privileged)
+    CSRW = 0xAD   # csr[imm16] <- rs1     (privileged)
+
+
+FORMAT_OF: dict[Op, Format] = {
+    Op.NOP: Format.N,
+    Op.ADD: Format.R,
+    Op.SUB: Format.R,
+    Op.MUL: Format.R,
+    Op.DIV: Format.R,
+    Op.MOD: Format.R,
+    Op.AND: Format.R,
+    Op.ORR: Format.R,
+    Op.EOR: Format.R,
+    Op.LSL: Format.R,
+    Op.LSR: Format.R,
+    Op.ASR: Format.R,
+    Op.MOV: Format.R,
+    Op.CMP: Format.R,
+    Op.ADDI: Format.I,
+    Op.SUBI: Format.I,
+    Op.MULI: Format.I,
+    Op.ANDI: Format.I,
+    Op.ORRI: Format.I,
+    Op.EORI: Format.I,
+    Op.LSLI: Format.I,
+    Op.LSRI: Format.I,
+    Op.ASRI: Format.I,
+    Op.MOVI: Format.I,
+    Op.MOVHI: Format.I,
+    Op.CMPI: Format.I,
+    Op.LDW: Format.I,
+    Op.LDB: Format.I,
+    Op.STW: Format.I,
+    Op.STB: Format.I,
+    Op.FLD: Format.I,
+    Op.FST: Format.I,
+    Op.B: Format.J,
+    Op.BEQ: Format.J,
+    Op.BNE: Format.J,
+    Op.BLT: Format.J,
+    Op.BGE: Format.J,
+    Op.BGT: Format.J,
+    Op.BLE: Format.J,
+    Op.BL: Format.J,
+    Op.BR: Format.R,
+    Op.BLR: Format.R,
+    Op.FADD: Format.R,
+    Op.FSUB: Format.R,
+    Op.FMUL: Format.R,
+    Op.FDIV: Format.R,
+    Op.FSQRT: Format.R,
+    Op.FMOV: Format.R,
+    Op.FNEG: Format.R,
+    Op.FCMP: Format.R,
+    Op.FCVT: Format.R,
+    Op.FCVTI: Format.R,
+    Op.SYSCALL: Format.N,
+    Op.ERET: Format.N,
+    Op.HALT: Format.N,
+    Op.CSRR: Format.I,
+    Op.CSRW: Format.I,
+}
+
+#: Valid opcode byte -> Op, used by the decoder.
+OP_BY_VALUE: dict[int, Op] = {int(op): op for op in Op}
+
+#: Mnemonic (lower case) -> Op, used by the assembler.
+OP_OF_MNEMONIC: dict[str, Op] = {op.name.lower(): op for op in Op}
+
+#: Op -> mnemonic, used by the disassembler.
+MNEMONIC_OF: dict[Op, str] = {op: op.name.lower() for op in Op}
+
+#: Ops whose rd/rs fields name floating point registers.
+FLOAT_DEST_OPS = frozenset(
+    {Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FSQRT, Op.FMOV, Op.FNEG, Op.FLD, Op.FCVT}
+)
+FLOAT_SRC_OPS = frozenset(
+    {
+        Op.FADD,
+        Op.FSUB,
+        Op.FMUL,
+        Op.FDIV,
+        Op.FSQRT,
+        Op.FMOV,
+        Op.FNEG,
+        Op.FCMP,
+        Op.FCVTI,
+        Op.FST,
+    }
+)
+
+#: Ops that must only execute in kernel mode.
+PRIVILEGED_OPS = frozenset({Op.ERET, Op.HALT, Op.CSRR, Op.CSRW})
+
+#: I-format ops whose immediate is zero-extended (logical/shift); all other
+#: I-format immediates are sign-extended.
+ZERO_EXTENDED_IMM_OPS = frozenset(
+    {Op.ANDI, Op.ORRI, Op.EORI, Op.LSLI, Op.LSRI, Op.ASRI, Op.MOVHI}
+)

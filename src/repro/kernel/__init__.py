@@ -1,0 +1,16 @@
+"""The simulated operating-system kernel.
+
+A minimal kernel written in the simulated ISA: boot, syscall dispatch, timer
+interrupt handling, exception delivery (kill faulting applications), and a
+panic path.  Kernel text and data are loaded into the same simulated memory
+and are fetched/accessed through the same cache hierarchy as the
+application, so soft errors striking kernel-resident cache lines crash the
+*system*, exactly the mechanism the paper identifies behind the high beam
+System-Crash rates of small-footprint benchmarks.
+"""
+
+from repro.kernel.layout import MemoryLayout, DEFAULT_LAYOUT
+from repro.kernel.source import build_kernel
+from repro.kernel.syscalls import Syscall
+
+__all__ = ["MemoryLayout", "DEFAULT_LAYOUT", "build_kernel", "Syscall"]

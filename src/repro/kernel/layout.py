@@ -1,0 +1,150 @@
+"""Physical/virtual memory map of the simulated machine.
+
+The machine uses identity mapping (virtual == physical) but every access is
+still translated through the TLBs and an in-memory page table, so corrupted
+TLB entries or page-table words redirect accesses to wrong frames - the
+fault-propagation path the paper injects into on gem5.
+
+Default map (2 MB RAM, 4 KB pages)::
+
+    0x0000_0000  kernel text (boot, vectors, handlers)
+    0x0000_4000  kernel data (tick counters, run queue, saved state, stack)
+    0x0000_8000  page table (512 PTEs x 4 B)
+    0x0001_0000  user text (workload)
+    0x0006_0000  check-routine text (beam online SDC check)
+    0x0008_0000  user data
+    0x0014_0000  output buffer (workload results, written via sys_write)
+    0x0017_0000  golden buffer (beam mode: expected output, user read-only)
+    0x001A_0000  user stack region (grows down from 0x001F_F000)
+    0xFFFF_0000  memory-mapped devices (kernel only, uncached)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+# Page-table entry permission flags.
+PTE_VALID = 1
+PTE_READ = 2
+PTE_WRITE = 4
+PTE_EXEC = 8
+PTE_USER = 16
+
+# Memory-mapped device registers (word writes, kernel mode only).
+MMIO_BASE = 0xFFFF0000
+DEV_CONSOLE_BYTE = MMIO_BASE + 0x00   # write low byte to the console stream
+DEV_CONSOLE_WORD = MMIO_BASE + 0x04   # write 4 raw little-endian bytes
+DEV_ABORT = MMIO_BASE + 0x08          # kernel killed the app (value = cause)
+DEV_ALIVE = MMIO_BASE + 0x0C          # heartbeat from the alive syscall
+DEV_SDC_FLAG = MMIO_BASE + 0x10       # online check found an output mismatch
+DEV_CHECK_DONE = MMIO_BASE + 0x14     # online check ran to completion
+
+# Exception entry point (fixed by "hardware"; the kernel places its handler
+# there).
+EXC_VECTOR = 0x00000040
+
+# CSR numbers (mirrors repro.isa.assembler.CSR_NAMES).
+CSR_EPC = 0
+CSR_CAUSE = 1
+CSR_SCRATCH = 2
+CSR_KSP = 3
+CSR_STATUS = 4
+CSR_FAULTADDR = 5
+CSR_CYCLES = 6
+CSR_USP = 7
+CSR_TICK = 8
+
+# Exception cause codes (ArchitecturalFault.cause values, plus these).
+CAUSE_SYSCALL = 8
+CAUSE_TIMER = 16
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Addresses and sizes of every region in the simulated machine."""
+
+    memory_size: int = 0x200000            # 2 MB RAM
+
+    kernel_text_base: int = 0x00000000
+    kernel_data_base: int = 0x00004000
+    kernel_stack_top: int = 0x00007FF0
+    page_table_base: int = 0x00008000
+    kernel_end: int = 0x00010000
+
+    #: Base of the "background OS working set" region used by the beam
+    #: board model (content the real Linux kernel keeps cache-resident but
+    #: our mini-kernel does not model; see repro.beam.board).  Must have at
+    #: least the L2 size available without colliding with used regions.
+    os_background_base: int = 0x00009000
+
+    user_text_base: int = 0x00010000
+    check_text_base: int = 0x00060000
+    user_data_base: int = 0x00080000
+    output_buffer_base: int = 0x00140000
+    golden_buffer_base: int = 0x00170000
+    user_stack_base: int = 0x001A0000
+    user_stack_top: int = 0x001FF000
+
+    @property
+    def page_count(self) -> int:
+        return self.memory_size // PAGE_SIZE
+
+    @property
+    def page_table_size(self) -> int:
+        return self.page_count * 4
+
+    def region_of(self, paddr: int) -> str:
+        """Classify a physical address into a named region (for reports)."""
+        markers = [
+            (self.kernel_text_base, "kernel_text"),
+            (self.kernel_data_base, "kernel_data"),
+            (self.page_table_base, "page_table"),
+            (self.os_background_base, "os_background"),
+            (self.user_text_base, "user_text"),
+            (self.check_text_base, "check_text"),
+            (self.user_data_base, "user_data"),
+            (self.output_buffer_base, "output_buffer"),
+            (self.golden_buffer_base, "golden_buffer"),
+            (self.user_stack_base, "user_stack"),
+        ]
+        if paddr >= MMIO_BASE:
+            return "mmio"
+        name = "unmapped"
+        for base, region in sorted(markers):
+            if paddr >= base:
+                name = region
+        return name
+
+    def build_page_table(self) -> list[int]:
+        """Produce the PTE for every physical page (identity mapping).
+
+        Returns a list of ``page_count`` 32-bit PTEs.  This is the "firmware"
+        page table the kernel boots with; the simulated hardware walker reads
+        it from memory through the L2 cache.
+        """
+        kernel_perm = PTE_VALID | PTE_READ | PTE_WRITE | PTE_EXEC
+        user_text_perm = PTE_VALID | PTE_READ | PTE_EXEC | PTE_USER
+        user_rw_perm = PTE_VALID | PTE_READ | PTE_WRITE | PTE_USER
+        user_ro_perm = PTE_VALID | PTE_READ | PTE_USER
+
+        table = []
+        for vpn in range(self.page_count):
+            vaddr = vpn * PAGE_SIZE
+            if vaddr < self.kernel_end:
+                perm = kernel_perm
+            elif vaddr < self.user_data_base:
+                perm = user_text_perm
+            elif vaddr < self.golden_buffer_base:
+                perm = user_rw_perm
+            elif vaddr < self.user_stack_base:
+                perm = user_ro_perm
+            else:
+                perm = user_rw_perm
+            table.append((vpn << PAGE_SHIFT) | perm)
+        return table
+
+
+DEFAULT_LAYOUT = MemoryLayout()

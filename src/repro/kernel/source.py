@@ -1,0 +1,228 @@
+"""The kernel program, written in the simulated ISA.
+
+The kernel provides exactly what the paper's full-system setup needs:
+
+- **boot**: minimal init, then ``eret`` into the application (the firmware
+  preloads ``CSR_EPC`` = app entry and ``CSR_USP`` = user stack top);
+- **timer tick** (cause 16): bumps a tick counter and walks a run-queue
+  array - periodic kernel activity that keeps kernel text *and* data lines
+  warm in the cache hierarchy, which is the mechanism behind the paper's
+  System-Crash observations;
+- **syscalls** (cause 8): exit / write / alive / write_word / check_report;
+- **user faults** (causes 1-5): the app is killed via the abort device
+  (an *Application Crash*; the kernel itself survives).
+
+Any fault taken while the kernel itself executes (corrupted handler code,
+wild kernel pointer, misaligned kernel access) double-faults into
+:class:`~repro.errors.KernelPanic` - a *System Crash*.
+
+Kernel text is loaded at 0x0; the exception vector is the fixed address
+0x40, so the source pads the reset branch to place ``exc_entry`` exactly
+there.  Registers r1-r5 are saved/restored by the handler; syscall
+arguments arrive in the *live* user registers r0-r7.
+
+Firmware-poked kernel variables (set by :class:`repro.microarch.system.System`
+after loading, via the symbol table):
+
+- ``k_outptr``      current output-buffer cursor (absolute address);
+- ``k_beam_mode``   1 when running under the beam protocol;
+- ``k_check_entry`` entry point of the online SDC check routine;
+- ``k_check_sp``    fresh stack pointer for the check routine.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler, Program
+from repro.kernel.layout import (
+    DEV_ABORT,
+    DEV_ALIVE,
+    DEV_CHECK_DONE,
+    DEV_CONSOLE_BYTE,
+    DEV_CONSOLE_WORD,
+    DEV_SDC_FLAG,
+    MemoryLayout,
+)
+
+KERNEL_SOURCE = f"""
+; ------------------------------------------------------------------
+; kernel text: reset at 0x0, exception vector at 0x40
+; ------------------------------------------------------------------
+    .text
+_start:
+    b boot
+    .space 0x3c              ; pad so exc_entry lands at 0x40
+
+exc_entry:                   ; EXC_VECTOR = 0x40
+    push r1
+    push r2
+    push r3
+    push r4
+    push r5
+    csrr r1, cause
+    cmpi r1, 8               ; syscall?
+    beq  handle_syscall
+    cmpi r1, 16              ; timer irq?
+    beq  handle_timer
+    ; anything else is an unhandled user fault: kill the application
+kill_app:
+    la   r2, {DEV_ABORT:#x}
+    stw  r1, [r2]            ; device raises ApplicationAbort(cause)
+    ; not reached
+
+; ---------------- timer tick ----------------
+handle_timer:
+    la   r2, k_ticks
+    ldw  r3, [r2]
+    addi r3, r3, 1
+    stw  r3, [r2]
+    ; scheduler bookkeeping: walk the run queue, one line per entry
+    la   r2, k_runq
+    movi r4, 0
+tick_loop:
+    ldw  r3, [r2]
+    addi r3, r3, 1
+    stw  r3, [r2]
+    addi r2, r2, 32
+    addi r4, r4, 1
+    cmpi r4, 8
+    blt  tick_loop
+    b    exc_return
+
+; ---------------- syscall dispatch ----------------
+handle_syscall:
+    cmpi r7, 0
+    beq  sys_exit
+    cmpi r7, 1
+    beq  sys_write
+    cmpi r7, 2
+    beq  sys_alive
+    cmpi r7, 3
+    beq  sys_write_word
+    cmpi r7, 4
+    beq  sys_check_report
+    movi r1, 7               ; unknown syscall: kill with cause 7
+    b    kill_app
+
+sys_exit:
+    la   r2, k_beam_mode
+    ldw  r3, [r2]
+    cmpi r3, 0
+    beq  halt_now            ; fault-injection mode: exit immediately
+    la   r2, k_checked
+    ldw  r3, [r2]
+    cmpi r3, 0
+    bne  halt_checked        ; check already ran: this is its exit
+    ; first exit in beam mode: run the online SDC check routine
+    movi r3, 1
+    stw  r3, [r2]
+    la   r2, k_exit_status
+    stw  r0, [r2]
+    la   r2, k_check_entry
+    ldw  r3, [r2]
+    csrw epc, r3
+    la   r2, k_check_sp
+    ldw  r3, [r2]
+    csrw usp, r3
+    b    exc_return
+halt_checked:
+    la   r2, k_exit_status
+    ldw  r0, [r2]            ; report the application's status, not the check's
+halt_now:
+    halt
+
+sys_write:                   ; r0 = buf, r1 = len
+    mov  r2, r0
+    ldw  r3, [sp, 16]        ; user r1 (len) - r1 itself now holds the cause
+    la   r4, {DEV_CONSOLE_BYTE:#x}
+    la   r5, k_outptr
+    ldw  r5, [r5]
+write_loop:
+    cmpi r3, 0
+    ble  write_done
+    ldb  r1, [r2]
+    stb  r1, [r4]            ; console device
+    stb  r1, [r5]            ; in-memory output buffer (cached, exposed)
+    addi r2, r2, 1
+    addi r5, r5, 1
+    subi r3, r3, 1
+    b    write_loop
+write_done:
+    la   r1, k_outptr
+    stw  r5, [r1]
+    b    exc_return
+
+sys_write_word:              ; r0 = value
+    la   r4, {DEV_CONSOLE_WORD:#x}
+    stw  r0, [r4]
+    la   r5, k_outptr
+    ldw  r3, [r5]
+    mov  r2, r0
+    stb  r2, [r3, 0]
+    lsri r2, r2, 8
+    stb  r2, [r3, 1]
+    lsri r2, r2, 8
+    stb  r2, [r3, 2]
+    lsri r2, r2, 8
+    stb  r2, [r3, 3]
+    addi r3, r3, 4
+    stw  r3, [r5]
+    b    exc_return
+
+sys_alive:                   ; r0 = sequence number
+    la   r2, {DEV_ALIVE:#x}
+    stw  r0, [r2]
+    b    exc_return
+
+sys_check_report:            ; r0 = mismatch flag from the check routine
+    la   r2, {DEV_SDC_FLAG:#x}
+    stw  r0, [r2]
+    la   r2, {DEV_CHECK_DONE:#x}
+    movi r3, 1
+    stw  r3, [r2]
+    b    exc_return
+
+exc_return:
+    pop  r5
+    pop  r4
+    pop  r3
+    pop  r2
+    pop  r1
+    eret
+
+; ---------------- boot ----------------
+boot:
+    ; warm the tick counter / run queue once (kernel data init)
+    la   r2, k_ticks
+    movi r3, 0
+    stw  r3, [r2]
+    la   r2, k_runq
+    movi r4, 0
+boot_loop:
+    stw  r3, [r2]
+    addi r2, r2, 32
+    addi r4, r4, 1
+    cmpi r4, 8
+    blt  boot_loop
+    eret                     ; into the application (EPC/USP set by firmware)
+
+; ------------------------------------------------------------------
+; kernel data
+; ------------------------------------------------------------------
+    .data
+k_ticks:        .word 0
+k_runq:         .space 256   ; 8 entries, one 32-byte line apart
+k_exit_status:  .word 0
+k_checked:      .word 0
+k_beam_mode:    .word 0
+k_check_entry:  .word 0
+k_check_sp:     .word 0
+k_outptr:       .word 0
+"""
+
+
+def build_kernel(layout: MemoryLayout) -> Program:
+    """Assemble the kernel for the given memory layout."""
+    assembler = Assembler(
+        text_base=layout.kernel_text_base, data_base=layout.kernel_data_base
+    )
+    return assembler.assemble(KERNEL_SOURCE, entry="_start")

@@ -1,0 +1,33 @@
+"""Syscall ABI between workloads and the simulated kernel.
+
+Convention (ARM-like): the syscall number goes in ``r7``, arguments in
+``r0``-``r3``, and the ``syscall`` instruction traps into the kernel.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Syscall(enum.IntEnum):
+    """Syscall numbers dispatched by the kernel's exception handler."""
+
+    #: Terminate the program; ``r0`` = exit status.  In beam mode the first
+    #: exit instead transfers control to the online SDC check routine.
+    EXIT = 0
+
+    #: Write bytes to the console and the in-memory output buffer;
+    #: ``r0`` = buffer pointer, ``r1`` = length.
+    WRITE = 1
+
+    #: Heartbeat ("Alive" message of the beam protocol); ``r0`` = sequence.
+    ALIVE = 2
+
+    #: Write one 32-bit value (4 raw little-endian bytes) to the console and
+    #: output buffer; ``r0`` = value.  Lets workloads emit binary results
+    #: without an itoa routine.
+    WRITE_WORD = 3
+
+    #: Beam check routine reporting: ``r0`` = 1 if the online comparison
+    #: found a mismatch, 0 otherwise.
+    CHECK_REPORT = 4

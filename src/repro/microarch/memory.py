@@ -1,0 +1,50 @@
+"""Main memory: a flat physical byte store with fixed access latency.
+
+Sits below the L2 cache.  The neutron beam spot in the paper deliberately
+excluded the on-board DDR, and fault injection did not target DRAM either,
+so main memory contents are never corrupted directly - only through
+write-backs of corrupted cache lines.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SegmentationFault
+
+
+class MainMemory:
+    """Byte-addressable physical memory backing the cache hierarchy."""
+
+    def __init__(self, size: int, latency: int = 30):
+        self.size = size
+        self.latency = latency
+        self.data = bytearray(size)
+
+    # -- hierarchy interface (line granularity, used by caches) -------------
+
+    def read_block(self, paddr: int, size: int) -> tuple[bytes, int]:
+        if paddr < 0 or paddr + size > self.size:
+            raise SegmentationFault(
+                f"physical read outside memory: {paddr:#010x}", pc=0
+            )
+        return bytes(self.data[paddr : paddr + size]), self.latency
+
+    def write_block(self, paddr: int, data: bytes) -> int:
+        if paddr < 0 or paddr + len(data) > self.size:
+            raise SegmentationFault(
+                f"physical write outside memory: {paddr:#010x}", pc=0
+            )
+        self.data[paddr : paddr + len(data)] = data
+        return self.latency
+
+    # -- functional (no timing, no state change) access ----------------------
+
+    def peek(self, paddr: int, size: int) -> bytes:
+        return bytes(self.data[paddr : paddr + size])
+
+    def poke(self, paddr: int, data: bytes) -> None:
+        """Direct store used by the loader/firmware (bypasses caches)."""
+        if paddr < 0 or paddr + len(data) > self.size:
+            raise SegmentationFault(
+                f"loader write outside memory: {paddr:#010x}", pc=0
+            )
+        self.data[paddr : paddr + len(data)] = data

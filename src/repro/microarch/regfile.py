@@ -1,0 +1,88 @@
+"""The physical register file.
+
+Models a Cortex-A9-style physical register file that is larger than the
+architectural state: the 16 architectural integer registers (and 16 double
+registers) occupy the first slots; the remaining slots hold stale copies of
+recently-written values, refreshed round-robin on every writeback.  Faults
+striking a slot that is not architecturally live are masked - reproducing
+the real machine's property that most physical registers hold dead rename
+values at any instant, which keeps register-file AVF moderate despite its
+central role.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import InjectionError
+
+ARCH_REGS = 16
+INT_REG_BITS = 32
+FP_REG_BITS = 64
+_INT_MASK = 0xFFFFFFFF
+
+
+class PhysRegFile:
+    """Integer + floating-point physical register file."""
+
+    def __init__(self, int_phys_regs: int, fp_phys_regs: int):
+        if int_phys_regs < ARCH_REGS or fp_phys_regs < ARCH_REGS:
+            raise InjectionError(
+                "physical register file smaller than architectural state"
+            )
+        self.n_int = int_phys_regs
+        self.n_fp = fp_phys_regs
+        self.int_regs = [0] * int_phys_regs
+        self.fp_regs = [0.0] * fp_phys_regs
+        self._int_history = ARCH_REGS
+        self._fp_history = ARCH_REGS
+
+    # -- architectural access (used by the core; index 0..15) ----------------
+
+    def read_int(self, index: int) -> int:
+        return self.int_regs[index]
+
+    def write_int(self, index: int, value: int) -> None:
+        value &= _INT_MASK
+        self.int_regs[index] = value
+        # Refresh a rename slot with the retired value.
+        if self.n_int > ARCH_REGS:
+            self.int_regs[self._int_history] = value
+            self._int_history += 1
+            if self._int_history >= self.n_int:
+                self._int_history = ARCH_REGS
+
+    def read_fp(self, index: int) -> float:
+        return self.fp_regs[index]
+
+    def write_fp(self, index: int, value: float) -> None:
+        self.fp_regs[index] = value
+        if self.n_fp > ARCH_REGS:
+            self.fp_regs[self._fp_history] = value
+            self._fp_history += 1
+            if self._fp_history >= self.n_fp:
+                self._fp_history = ARCH_REGS
+
+    # -- fault injection interface -------------------------------------------
+
+    @property
+    def data_bits(self) -> int:
+        return self.n_int * INT_REG_BITS + self.n_fp * FP_REG_BITS
+
+    def flip_bit(self, bit_index: int) -> bool:
+        """Flip one bit; returns True when it hit an architectural register."""
+        if not 0 <= bit_index < self.data_bits:
+            raise InjectionError(f"regfile bit index {bit_index} out of range")
+        int_bits = self.n_int * INT_REG_BITS
+        if bit_index < int_bits:
+            reg = bit_index // INT_REG_BITS
+            bit = bit_index % INT_REG_BITS
+            self.int_regs[reg] = (self.int_regs[reg] ^ (1 << bit)) & _INT_MASK
+            return reg < ARCH_REGS
+        fp_index = bit_index - int_bits
+        reg = fp_index // FP_REG_BITS
+        bit = fp_index % FP_REG_BITS
+        packed = bytearray(struct.pack("<d", self.fp_regs[reg]))
+        packed[bit // 8] ^= 1 << (bit % 8)
+        self.fp_regs[reg] = struct.unpack("<d", bytes(packed))[0]
+        return reg < ARCH_REGS

@@ -1,0 +1,201 @@
+"""Full-machine snapshots for checkpoint-accelerated fault injection.
+
+An injected run is bit-identical to the fault-free run up to the injection
+cycle, so re-executing that prefix for every experiment is pure waste.  The
+campaign records snapshots at regular points of the *golden* run; each
+injection then restores the latest snapshot at or before its injection
+cycle and simulates only from there.  This is the same observation behind
+MeRLiN's acceleration of microarchitectural injection campaigns
+(Kaliorakis et al., ISCA 2017), reduced to its checkpointing core.
+
+A snapshot captures *all* mutable machine state: memory, the three caches
+(including tags/valid/dirty/LRU and the actual line payloads), both TLBs,
+the physical register file, the core's architectural and bookkeeping
+state, and the device block (console output, heartbeats, flags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationTermination
+from repro.microarch.cache import Cache
+from repro.microarch.system import System
+from repro.microarch.tlb import TLB
+
+
+@dataclass
+class _CacheState:
+    lines: list[tuple[int, bool, bool, bytes, int]]
+    clock: int
+    accesses: int
+    misses: int
+
+
+@dataclass
+class _TLBState:
+    entries: list[tuple[int, int, int, bool, int]]
+    clock: int
+    version: int
+    accesses: int
+    misses: int
+
+
+def _capture_cache(cache: Cache) -> _CacheState:
+    lines = []
+    for ways in cache.sets:
+        for line in ways:
+            lines.append(
+                (line.tag, line.valid, line.dirty, bytes(line.data), line.stamp)
+            )
+    return _CacheState(
+        lines=lines,
+        clock=cache._clock,
+        accesses=cache.accesses,
+        misses=cache.misses,
+    )
+
+
+def _restore_cache(cache: Cache, state: _CacheState) -> None:
+    index = 0
+    for ways in cache.sets:
+        for line in ways:
+            tag, valid, dirty, data, stamp = state.lines[index]
+            line.tag = tag
+            line.valid = valid
+            line.dirty = dirty
+            line.data[:] = data
+            line.stamp = stamp
+            index += 1
+    cache._clock = state.clock
+    cache.accesses = state.accesses
+    cache.misses = state.misses
+
+
+def _capture_tlb(tlb: TLB) -> _TLBState:
+    return _TLBState(
+        entries=[
+            (entry.vpn, entry.ppn, entry.perms, entry.valid, entry.stamp)
+            for entry in tlb.entries
+        ],
+        clock=tlb._clock,
+        version=tlb.version,
+        accesses=tlb.accesses,
+        misses=tlb.misses,
+    )
+
+
+def _restore_tlb(tlb: TLB, state: _TLBState) -> None:
+    tlb._map.clear()
+    for entry, (vpn, ppn, perms, valid, stamp) in zip(tlb.entries, state.entries):
+        entry.vpn = vpn
+        entry.ppn = ppn
+        entry.perms = perms
+        entry.valid = valid
+        entry.stamp = stamp
+        if valid:
+            tlb._map[vpn] = entry
+    tlb._clock = state.clock
+    tlb.version = state.version + 1  # force any derived state to refresh
+    tlb.accesses = state.accesses
+    tlb.misses = state.misses
+
+
+_CORE_FIELDS = (
+    "pc",
+    "mode",
+    "cmp",
+    "cycle",
+    "current_pc",
+    "icount",
+    "branches",
+    "branch_misses",
+    "loads",
+    "stores",
+    "syscalls",
+    "timer_irqs",
+    "next_timer",
+)
+
+
+class SystemSnapshot:
+    """A point-in-time copy of every mutable piece of a :class:`System`."""
+
+    def __init__(self, system: System):
+        self.cycle = system.core.cycle
+        self._memory = bytes(system.memory.data)
+        self._caches = {
+            name: _capture_cache(getattr(system, name))
+            for name in ("l1i", "l1d", "l2")
+        }
+        self._tlbs = {
+            name: _capture_tlb(getattr(system, name)) for name in ("itlb", "dtlb")
+        }
+        rf = system.rf
+        self._int_regs = list(rf.int_regs)
+        self._fp_regs = list(rf.fp_regs)
+        self._int_history = rf._int_history
+        self._fp_history = rf._fp_history
+        self._core = {name: getattr(system.core, name) for name in _CORE_FIELDS}
+        self._csr = list(system.core.csr)
+        devices = system._devices
+        self._output = bytes(devices.output)
+        self._alive = devices.alive_count
+        self._sdc = devices.sdc_flag
+        self._check_done = devices.check_done
+
+    def restore(self, system: System) -> None:
+        """Overwrite ``system``'s state with this snapshot.
+
+        The target must have been built with the same configuration and
+        programs (the campaign always restores into a machine loaded
+        identically to the snapshot's source).
+        """
+        system.memory.data[:] = self._memory
+        for name, state in self._caches.items():
+            _restore_cache(getattr(system, name), state)
+        for name, state in self._tlbs.items():
+            _restore_tlb(getattr(system, name), state)
+        rf = system.rf
+        rf.int_regs[:] = self._int_regs
+        rf.fp_regs[:] = self._fp_regs
+        rf._int_history = self._int_history
+        rf._fp_history = self._fp_history
+        for name, value in self._core.items():
+            setattr(system.core, name, value)
+        system.core.csr[:] = self._csr
+        devices = system._devices
+        devices.output[:] = self._output
+        devices.alive_count = self._alive
+        devices.sdc_flag = self._sdc
+        devices.check_done = self._check_done
+
+
+def record_snapshots(system: System, cycles: list[int]) -> list[SystemSnapshot]:
+    """Run ``system`` to completion, capturing snapshots at given cycles.
+
+    Returns the snapshots in cycle order.  The system is consumed (runs to
+    its terminal outcome).
+    """
+    snapshots: list[SystemSnapshot] = []
+
+    def capture():
+        snapshots.append(SystemSnapshot(system))
+
+    events = [(cycle, capture) for cycle in sorted(cycles)]
+    try:
+        system.run(max_cycles=2_000_000_000, events=events)
+    except SimulationTermination:
+        pass
+    return snapshots
+
+
+def best_snapshot(
+    snapshots: list[SystemSnapshot], cycle: int
+) -> SystemSnapshot | None:
+    """Latest snapshot at or before ``cycle`` (None if all are later)."""
+    best = None
+    for snapshot in snapshots:
+        if snapshot.cycle <= cycle and (best is None or snapshot.cycle > best.cycle):
+            best = snapshot
+    return best

@@ -1,0 +1,72 @@
+"""Performance counters.
+
+The seven counters of Section IV-D (used there to validate the gem5 model
+against the Zynq hardware) are all present: CPU cycles, branch misses, L1
+data cache accesses, L1 data cache misses, L1 data TLB misses, L1 instruction
+cache misses, L1 instruction TLB misses - plus a few extras useful for
+analysis.
+"""
+
+from __future__ import annotations
+
+
+class PerfCounters:
+    """Mutable bag of event counters for one simulation run."""
+
+    __slots__ = (
+        "cycles",
+        "instructions",
+        "branches",
+        "branch_misses",
+        "l1d_accesses",
+        "l1d_misses",
+        "l1i_accesses",
+        "l1i_misses",
+        "l2_accesses",
+        "l2_misses",
+        "dtlb_accesses",
+        "dtlb_misses",
+        "itlb_accesses",
+        "itlb_misses",
+        "syscalls",
+        "timer_irqs",
+        "loads",
+        "stores",
+    )
+
+    #: The seven counters compared against hardware in Section IV-D.
+    PAPER_COUNTERS = (
+        "cycles",
+        "branch_misses",
+        "l1d_accesses",
+        "l1d_misses",
+        "dtlb_misses",
+        "l1i_misses",
+        "itlb_misses",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def to_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def paper_counters(self) -> dict[str, int]:
+        """The Section IV-D validation subset."""
+        return {name: getattr(self, name) for name in self.PAPER_COUNTERS}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.to_dict().items() if v)
+        return f"PerfCounters({inner})"
+
+
+def relative_deviation(a: int, b: int) -> float:
+    """Relative deviation between two counter values, symmetric in a/b.
+
+    Returns 0.0 when both are zero.  Used by the Section IV-D comparison
+    (fraction of counters with "acceptable" deviation).
+    """
+    if a == 0 and b == 0:
+        return 0.0
+    return abs(a - b) / max(abs(a), abs(b))

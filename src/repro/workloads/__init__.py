@@ -1,0 +1,23 @@
+"""The 13 MiBench-analogue workloads (Table III of the paper).
+
+Each workload is a standalone program in the simulated ISA with a fixed,
+deterministic input embedded in its data segment, plus a pure-Python
+reference oracle used by the test suite to validate the assembly
+implementation and by the beam harness to derive golden outputs.
+
+Inputs are scaled down together with the default cache geometry (see
+DESIGN.md) so that each benchmark keeps its Table III class: CPU- vs
+memory- vs control-intensive, and small-footprint (leaves the kernel
+cache-resident) vs cache-filling (evicts it).
+"""
+
+from repro.workloads.base import Workload, Characteristic
+from repro.workloads.suite import MIBENCH_SUITE, get_workload, workload_names
+
+__all__ = [
+    "Workload",
+    "Characteristic",
+    "MIBENCH_SUITE",
+    "get_workload",
+    "workload_names",
+]

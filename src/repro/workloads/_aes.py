@@ -1,0 +1,264 @@
+"""Pure-Python AES-128 (T-table formulation).
+
+Used to generate the lookup tables and round keys embedded in the Rijndael
+workloads' data segments, and as the reference oracle.  The assembly
+implements exactly this T-table round structure, so the two stay in
+lockstep.  Validated against the FIPS-197 test vector in the test suite.
+"""
+
+from __future__ import annotations
+
+import struct
+
+SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+    0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+    0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+    0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+    0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+    0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+    0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+    0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+    0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+    0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+    0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+    0xB0, 0x54, 0xBB, 0x16,
+]
+
+INV_SBOX = [0] * 256
+for _i, _s in enumerate(SBOX):
+    INV_SBOX[_s] = _i
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_te() -> tuple[list[int], list[int], list[int], list[int]]:
+    te0, te1, te2, te3 = [], [], [], []
+    for x in range(256):
+        s = SBOX[x]
+        s2 = _xtime(s)
+        s3 = s2 ^ s
+        te0.append((s2 << 24) | (s << 16) | (s << 8) | s3)
+        te1.append((s3 << 24) | (s2 << 16) | (s << 8) | s)
+        te2.append((s << 24) | (s3 << 16) | (s2 << 8) | s)
+        te3.append((s << 24) | (s << 16) | (s3 << 8) | s2)
+    return te0, te1, te2, te3
+
+
+def _build_td() -> tuple[list[int], list[int], list[int], list[int]]:
+    td0, td1, td2, td3 = [], [], [], []
+    for x in range(256):
+        s = INV_SBOX[x]
+        e = _gf_mul(s, 14)
+        n = _gf_mul(s, 9)
+        d = _gf_mul(s, 13)
+        b = _gf_mul(s, 11)
+        td0.append((e << 24) | (n << 16) | (d << 8) | b)
+        td1.append((b << 24) | (e << 16) | (n << 8) | d)
+        td2.append((d << 24) | (b << 16) | (e << 8) | n)
+        td3.append((n << 24) | (d << 16) | (b << 8) | e)
+    return td0, td1, td2, td3
+
+
+TE0, TE1, TE2, TE3 = _build_te()
+TD0, TD1, TD2, TD3 = _build_td()
+
+
+def expand_key(key: bytes) -> list[int]:
+    """AES-128 key schedule: 44 round-key words (big-endian convention)."""
+    if len(key) != 16:
+        raise ValueError("AES-128 needs a 16-byte key")
+    words = list(struct.unpack(">4I", key))
+    for i in range(4, 44):
+        temp = words[i - 1]
+        if i % 4 == 0:
+            temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF  # RotWord
+            temp = (
+                (SBOX[(temp >> 24) & 0xFF] << 24)
+                | (SBOX[(temp >> 16) & 0xFF] << 16)
+                | (SBOX[(temp >> 8) & 0xFF] << 8)
+                | SBOX[temp & 0xFF]
+            )
+            temp ^= _RCON[i // 4 - 1] << 24
+        words.append(words[i - 4] ^ temp)
+    return words
+
+
+def _inv_mix_word(word: int) -> int:
+    b = [(word >> 24) & 0xFF, (word >> 16) & 0xFF, (word >> 8) & 0xFF, word & 0xFF]
+    matrix = (14, 11, 13, 9)
+    out = 0
+    for row in range(4):
+        value = 0
+        for col in range(4):
+            value ^= _gf_mul(b[col], matrix[(col - row) % 4])
+        out = (out << 8) | value
+    return out
+
+
+def decryption_key_schedule(round_keys: list[int]) -> list[int]:
+    """Equivalent-inverse-cipher key schedule (44 words)."""
+    dk = [0] * 44
+    for i in range(4):
+        dk[i] = round_keys[40 + i]
+        dk[40 + i] = round_keys[i]
+    for round_index in range(1, 10):
+        source = round_keys[4 * (10 - round_index) : 4 * (10 - round_index) + 4]
+        for i, word in enumerate(source):
+            dk[4 * round_index + i] = _inv_mix_word(word)
+    return dk
+
+
+def encrypt_block_words(state: tuple[int, int, int, int], rk: list[int]):
+    """Encrypt one block given as 4 big-endian words; returns 4 words."""
+    s0, s1, s2, s3 = (state[i] ^ rk[i] for i in range(4))
+    offset = 4
+    for _ in range(9):
+        t0 = (
+            TE0[(s0 >> 24) & 0xFF]
+            ^ TE1[(s1 >> 16) & 0xFF]
+            ^ TE2[(s2 >> 8) & 0xFF]
+            ^ TE3[s3 & 0xFF]
+            ^ rk[offset]
+        )
+        t1 = (
+            TE0[(s1 >> 24) & 0xFF]
+            ^ TE1[(s2 >> 16) & 0xFF]
+            ^ TE2[(s3 >> 8) & 0xFF]
+            ^ TE3[s0 & 0xFF]
+            ^ rk[offset + 1]
+        )
+        t2 = (
+            TE0[(s2 >> 24) & 0xFF]
+            ^ TE1[(s3 >> 16) & 0xFF]
+            ^ TE2[(s0 >> 8) & 0xFF]
+            ^ TE3[s1 & 0xFF]
+            ^ rk[offset + 2]
+        )
+        t3 = (
+            TE0[(s3 >> 24) & 0xFF]
+            ^ TE1[(s0 >> 16) & 0xFF]
+            ^ TE2[(s1 >> 8) & 0xFF]
+            ^ TE3[s2 & 0xFF]
+            ^ rk[offset + 3]
+        )
+        s0, s1, s2, s3 = t0, t1, t2, t3
+        offset += 4
+
+    def final_word(a, b, c, d, key):
+        return (
+            (SBOX[(a >> 24) & 0xFF] << 24)
+            | (SBOX[(b >> 16) & 0xFF] << 16)
+            | (SBOX[(c >> 8) & 0xFF] << 8)
+            | SBOX[d & 0xFF]
+        ) ^ key
+
+    return (
+        final_word(s0, s1, s2, s3, rk[40]),
+        final_word(s1, s2, s3, s0, rk[41]),
+        final_word(s2, s3, s0, s1, rk[42]),
+        final_word(s3, s0, s1, s2, rk[43]),
+    )
+
+
+def decrypt_block_words(state: tuple[int, int, int, int], dk: list[int]):
+    """Equivalent inverse cipher on 4 big-endian words; returns 4 words."""
+    s0, s1, s2, s3 = (state[i] ^ dk[i] for i in range(4))
+    offset = 4
+    for _ in range(9):
+        t0 = (
+            TD0[(s0 >> 24) & 0xFF]
+            ^ TD1[(s3 >> 16) & 0xFF]
+            ^ TD2[(s2 >> 8) & 0xFF]
+            ^ TD3[s1 & 0xFF]
+            ^ dk[offset]
+        )
+        t1 = (
+            TD0[(s1 >> 24) & 0xFF]
+            ^ TD1[(s0 >> 16) & 0xFF]
+            ^ TD2[(s3 >> 8) & 0xFF]
+            ^ TD3[s2 & 0xFF]
+            ^ dk[offset + 1]
+        )
+        t2 = (
+            TD0[(s2 >> 24) & 0xFF]
+            ^ TD1[(s1 >> 16) & 0xFF]
+            ^ TD2[(s0 >> 8) & 0xFF]
+            ^ TD3[s3 & 0xFF]
+            ^ dk[offset + 2]
+        )
+        t3 = (
+            TD0[(s3 >> 24) & 0xFF]
+            ^ TD1[(s2 >> 16) & 0xFF]
+            ^ TD2[(s1 >> 8) & 0xFF]
+            ^ TD3[s0 & 0xFF]
+            ^ dk[offset + 3]
+        )
+        s0, s1, s2, s3 = t0, t1, t2, t3
+        offset += 4
+
+    def final_word(a, b, c, d, key):
+        return (
+            (INV_SBOX[(a >> 24) & 0xFF] << 24)
+            | (INV_SBOX[(b >> 16) & 0xFF] << 16)
+            | (INV_SBOX[(c >> 8) & 0xFF] << 8)
+            | INV_SBOX[d & 0xFF]
+        ) ^ key
+
+    return (
+        final_word(s0, s3, s2, s1, dk[40]),
+        final_word(s1, s0, s3, s2, dk[41]),
+        final_word(s2, s1, s0, s3, dk[42]),
+        final_word(s3, s2, s1, s0, dk[43]),
+    )
+
+
+def encrypt_ecb(plaintext: bytes, key: bytes) -> bytes:
+    """ECB encryption of a 16-byte-multiple buffer."""
+    if len(plaintext) % 16:
+        raise ValueError("plaintext must be a multiple of 16 bytes")
+    rk = expand_key(key)
+    out = bytearray()
+    for i in range(0, len(plaintext), 16):
+        words = struct.unpack(">4I", plaintext[i : i + 16])
+        out.extend(struct.pack(">4I", *encrypt_block_words(words, rk)))
+    return bytes(out)
+
+
+def decrypt_ecb(ciphertext: bytes, key: bytes) -> bytes:
+    """ECB decryption of a 16-byte-multiple buffer."""
+    if len(ciphertext) % 16:
+        raise ValueError("ciphertext must be a multiple of 16 bytes")
+    dk = decryption_key_schedule(expand_key(key))
+    out = bytearray()
+    for i in range(0, len(ciphertext), 16):
+        words = struct.unpack(">4I", ciphertext[i : i + 16])
+        out.extend(struct.pack(">4I", *decrypt_block_words(words, dk)))
+    return bytes(out)

@@ -1,0 +1,139 @@
+"""Workload infrastructure: the Workload record and data-emission helpers."""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Callable
+
+from repro.isa.assembler import Assembler, Program
+from repro.kernel.layout import MemoryLayout
+
+
+class Characteristic(enum.Flag):
+    """Table III computational characteristics."""
+
+    CPU = enum.auto()
+    MEMORY = enum.auto()
+    CONTROL = enum.auto()
+
+    def describe(self) -> str:
+        parts = []
+        if self & Characteristic.CPU:
+            parts.append("CPU intensive")
+        if self & Characteristic.CONTROL:
+            parts.append("Control intensive")
+        if self & Characteristic.MEMORY:
+            parts.append("Memory intensive")
+        return ", ".join(parts)
+
+
+class Workload:
+    """One benchmark: assembly source + input metadata + reference oracle.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name as used in the paper's figures (e.g. ``"CRC32"``).
+    paper_input:
+        The input the paper used (Table III), for documentation.
+    scaled_input:
+        The scaled-down input this reproduction uses.
+    characteristics:
+        Table III classification.
+    source:
+        Complete assembly source (``.text`` + ``.data``).
+    reference:
+        Zero-argument callable returning the expected output bytes
+        (pure-Python oracle, independent of the simulator).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        paper_input: str,
+        scaled_input: str,
+        characteristics: Characteristic,
+        source: str,
+        reference: Callable[[], bytes],
+    ):
+        self.name = name
+        self.paper_input = paper_input
+        self.scaled_input = scaled_input
+        self.characteristics = characteristics
+        self.source = source
+        self._reference = reference
+        self._programs: dict[tuple[int, int], Program] = {}
+        self._reference_output: bytes | None = None
+
+    def program(self, layout: MemoryLayout) -> Program:
+        """Assemble (memoized per layout) the workload."""
+        key = (layout.user_text_base, layout.user_data_base)
+        if key not in self._programs:
+            assembler = Assembler(
+                text_base=layout.user_text_base, data_base=layout.user_data_base
+            )
+            self._programs[key] = assembler.assemble(self.source, entry="_start")
+        return self._programs[key]
+
+    def reference_output(self) -> bytes:
+        """Expected program output, computed by the Python oracle."""
+        if self._reference_output is None:
+            self._reference_output = self._reference()
+        return self._reference_output
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# Assembly data-section emission helpers.
+# ---------------------------------------------------------------------------
+
+
+def words_directive(values, per_line: int = 8) -> str:
+    """Render a sequence of ints as ``.word`` lines."""
+    values = [v & 0xFFFFFFFF for v in values]
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = values[start : start + per_line]
+        lines.append("    .word " + ", ".join(f"{v:#x}" for v in chunk))
+    return "\n".join(lines)
+
+
+def bytes_directive(data: bytes, per_line: int = 16) -> str:
+    """Render raw bytes as ``.byte`` lines."""
+    lines = []
+    for start in range(0, len(data), per_line):
+        chunk = data[start : start + per_line]
+        lines.append("    .byte " + ", ".join(f"{b:#04x}" for b in chunk))
+    return "\n".join(lines)
+
+
+def doubles_directive(values, per_line: int = 4) -> str:
+    """Render floats as ``.double`` lines (exact repr round-trip)."""
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = values[start : start + per_line]
+        lines.append("    .double " + ", ".join(repr(float(v)) for v in chunk))
+    return "\n".join(lines)
+
+
+def pack_words(values) -> bytes:
+    """Little-endian packing matching the write_word syscall."""
+    return b"".join(struct.pack("<I", v & 0xFFFFFFFF) for v in values)
+
+
+#: Common epilogue: exit(0).
+EXIT_ASM = """
+    movi r0, 0
+    movi r7, 0
+    syscall
+"""
+
+#: Common prologue: send the first Alive heartbeat.
+ALIVE_ASM = """
+    movi r0, 1
+    movi r7, 2
+    syscall
+"""

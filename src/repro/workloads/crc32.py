@@ -1,0 +1,100 @@
+"""CRC32: table-driven cyclic redundancy check over a streamed buffer.
+
+Paper input: a 26.6 MB file (CPU intensive, long memory latency).  Scaled
+input: a 20 KB buffer - 1.25x the scaled L2, so the workload streams through
+the whole cache hierarchy exactly like the original streams past its 512 KB
+L2.  Output: the final CRC-32 (IEEE, reflected) as one word.
+"""
+
+from __future__ import annotations
+
+import binascii
+import random
+
+from repro.workloads.base import (
+    ALIVE_ASM,
+    Characteristic,
+    EXIT_ASM,
+    Workload,
+    bytes_directive,
+    pack_words,
+    words_directive,
+)
+
+_SEED = 0xC3C32
+_FILE_SIZE = 20480
+_CHUNK = 2048
+
+
+def _input_data() -> bytes:
+    rng = random.Random(_SEED)
+    return bytes(rng.getrandbits(8) for _ in range(_FILE_SIZE))
+
+
+def _crc_table() -> list[int]:
+    table = []
+    for n in range(256):
+        value = n
+        for _ in range(8):
+            value = (value >> 1) ^ (0xEDB88320 if value & 1 else 0)
+        table.append(value)
+    return table
+
+
+def _reference() -> bytes:
+    return pack_words([binascii.crc32(_input_data()) & 0xFFFFFFFF])
+
+
+def _source() -> str:
+    data = _input_data()
+    n_chunks = _FILE_SIZE // _CHUNK
+    return f"""
+    .text
+_start:
+{ALIVE_ASM}
+    la   r1, file_data
+    la   r4, crc_table
+    li   r3, 0xffffffff      ; crc accumulator
+    movi r9, 0               ; chunk counter
+chunk_loop:
+    li   r2, {_CHUNK}
+byte_loop:
+    ldb  r5, [r1]
+    eor  r6, r3, r5
+    andi r6, r6, 0xff
+    lsli r6, r6, 2
+    add  r6, r6, r4
+    ldw  r6, [r6]
+    lsri r3, r3, 8
+    eor  r3, r3, r6
+    addi r1, r1, 1
+    subi r2, r2, 1
+    cmpi r2, 0
+    bgt  byte_loop
+    movi r0, 1               ; heartbeat once per chunk
+    movi r7, 2
+    syscall
+    addi r9, r9, 1
+    cmpi r9, {n_chunks}
+    blt  chunk_loop
+    li   r5, 0xffffffff
+    eor  r0, r3, r5
+    movi r7, 3               ; write_word(crc)
+    syscall
+{EXIT_ASM}
+    .data
+crc_table:
+{words_directive(_crc_table())}
+file_data:
+{bytes_directive(data)}
+"""
+
+
+WORKLOAD = Workload(
+    name="CRC32",
+    paper_input="26.6 MB file",
+    scaled_input=f"{_FILE_SIZE // 1024} KB buffer (1.25x scaled L2)",
+    characteristics=Characteristic.CPU,
+    source=_source(),
+    reference=_reference,
+)

@@ -1,0 +1,196 @@
+"""Dijkstra: single-source shortest paths over an adjacency matrix.
+
+Paper input: a 100x100 integer adjacency matrix, 100 paths per run (control
+and memory intensive, small footprint - the input does not fill the caches,
+leaving kernel lines resident).  Scaled input: a 16x16 matrix, 12 sources
+per run.  Output: one word per source - the sum of shortest distances from
+that source to every node.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import (
+    ALIVE_ASM,
+    Characteristic,
+    EXIT_ASM,
+    Workload,
+    pack_words,
+    words_directive,
+)
+
+_SEED = 0xD1357
+_NODES = 16
+_SOURCES = 12
+_INF = 0x7FFFFFFF
+
+
+def _matrix() -> list[list[int]]:
+    rng = random.Random(_SEED)
+    matrix = [[0] * _NODES for _ in range(_NODES)]
+    for i in range(_NODES):
+        for j in range(_NODES):
+            if i != j and rng.random() < 0.45:
+                matrix[i][j] = rng.randint(1, 99)
+    # Guarantee connectivity with a ring.
+    for i in range(_NODES):
+        j = (i + 1) % _NODES
+        if matrix[i][j] == 0:
+            matrix[i][j] = rng.randint(1, 99)
+    return matrix
+
+
+def _dijkstra(matrix: list[list[int]], source: int) -> list[int]:
+    dist = [_INF] * _NODES
+    visited = [False] * _NODES
+    dist[source] = 0
+    for _ in range(_NODES):
+        best, u = _INF, -1
+        for i in range(_NODES):
+            if not visited[i] and dist[i] < best:
+                best, u = dist[i], i
+        if u < 0:
+            break
+        visited[u] = True
+        for v in range(_NODES):
+            weight = matrix[u][v]
+            if weight and best + weight < dist[v]:
+                dist[v] = best + weight
+    return dist
+
+
+def _reference() -> bytes:
+    matrix = _matrix()
+    sums = []
+    for source in range(_SOURCES):
+        dist = _dijkstra(matrix, source)
+        sums.append(sum(dist) & 0xFFFFFFFF)
+    return pack_words(sums)
+
+
+def _source() -> str:
+    flat = [w for row in _matrix() for w in row]
+    return f"""
+    .text
+_start:
+{ALIVE_ASM}
+    movi r10, 0              ; source index
+source_loop:
+    ; init dist[i] = INF, visited[i] = 0
+    la   r1, dist
+    la   r2, visited
+    movi r3, 0
+    li   r4, {_INF:#x}
+    movi r5, 0
+init_loop:
+    stw  r4, [r1]
+    stw  r5, [r2]
+    addi r1, r1, 4
+    addi r2, r2, 4
+    addi r3, r3, 1
+    cmpi r3, {_NODES}
+    blt  init_loop
+    ; dist[source] = 0
+    la   r1, dist
+    lsli r2, r10, 2
+    add  r1, r1, r2
+    movi r5, 0
+    stw  r5, [r1]
+    movi r8, 0               ; iteration counter
+iter_loop:
+    ; select the unvisited node with minimum distance
+    li   r4, {_INF:#x}
+    movi r5, -1
+    movi r3, 0
+find_loop:
+    la   r1, visited
+    lsli r2, r3, 2
+    add  r1, r1, r2
+    ldw  r6, [r1]
+    cmpi r6, 0
+    bne  find_next
+    la   r1, dist
+    add  r1, r1, r2
+    ldw  r6, [r1]
+    cmp  r6, r4
+    bge  find_next
+    mov  r4, r6
+    mov  r5, r3
+find_next:
+    addi r3, r3, 1
+    cmpi r3, {_NODES}
+    blt  find_loop
+    cmpi r5, 0
+    blt  iter_done           ; no reachable unvisited node left
+    ; visited[u] = 1
+    la   r1, visited
+    lsli r2, r5, 2
+    add  r1, r1, r2
+    movi r6, 1
+    stw  r6, [r1]
+    ; relax every neighbour of u (row u of the matrix)
+    la   r9, matrix
+    lsli r2, r5, {(_NODES * 4).bit_length() - 1}
+    add  r9, r9, r2
+    movi r3, 0
+relax_loop:
+    lsli r2, r3, 2
+    add  r1, r9, r2
+    ldw  r6, [r1]
+    cmpi r6, 0
+    beq  relax_next
+    add  r6, r4, r6          ; alt = dist[u] + w
+    la   r1, dist
+    add  r1, r1, r2
+    ldw  r11, [r1]
+    cmp  r6, r11
+    bge  relax_next
+    stw  r6, [r1]
+relax_next:
+    addi r3, r3, 1
+    cmpi r3, {_NODES}
+    blt  relax_loop
+    addi r8, r8, 1
+    cmpi r8, {_NODES}
+    blt  iter_loop
+iter_done:
+    ; emit the sum of distances from this source
+    la   r1, dist
+    movi r3, 0
+    movi r6, 0
+sum_loop:
+    ldw  r2, [r1]
+    add  r6, r6, r2
+    addi r1, r1, 4
+    addi r3, r3, 1
+    cmpi r3, {_NODES}
+    blt  sum_loop
+    mov  r0, r6
+    movi r7, 3
+    syscall
+    movi r0, 1               ; heartbeat per source
+    movi r7, 2
+    syscall
+    addi r10, r10, 1
+    cmpi r10, {_SOURCES}
+    blt  source_loop
+{EXIT_ASM}
+    .data
+matrix:
+{words_directive(flat)}
+dist:
+    .space {_NODES * 4}
+visited:
+    .space {_NODES * 4}
+"""
+
+
+WORKLOAD = Workload(
+    name="Dijkstra",
+    paper_input="100x100 integer adjacency matrix",
+    scaled_input=f"{_NODES}x{_NODES} integer adjacency matrix, {_SOURCES} sources",
+    characteristics=Characteristic.CONTROL | Characteristic.MEMORY,
+    source=_source(),
+    reference=_reference,
+)

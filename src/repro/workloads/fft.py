@@ -1,0 +1,248 @@
+"""FFT: iterative radix-2 fast Fourier transform on a real wave.
+
+Paper input: a 32768-element floating point array (memory intensive).
+Scaled input: a 256-point wave (4 KB of complex double working set, 0.25x
+the scaled L2 - the same ratio as the original's 128 KB against 512 KB).
+Twiddle factors and the bit-reversal permutation are precomputed tables, as
+in the MiBench implementation.  Output: the first 16 bins quantized to
+integers (real and imaginary parts).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.workloads.base import (
+    ALIVE_ASM,
+    Characteristic,
+    EXIT_ASM,
+    Workload,
+    doubles_directive,
+    pack_words,
+    words_directive,
+)
+
+_SEED = 0xFF7
+_N = 256
+_LOG2N = 8
+_BINS = 16
+_QUANT = 1024.0
+
+
+def _wave() -> list[float]:
+    rng = random.Random(_SEED)
+    tones = [(rng.randint(1, _N // 2 - 1), rng.uniform(0.2, 1.0)) for _ in range(4)]
+    samples = []
+    for i in range(_N):
+        value = sum(
+            amp * math.sin(2.0 * math.pi * freq * i / _N) for freq, amp in tones
+        )
+        value += rng.uniform(-0.05, 0.05)
+        samples.append(value)
+    return samples
+
+
+def _bit_reversal() -> list[int]:
+    table = []
+    for i in range(_N):
+        rev = 0
+        for bit in range(_LOG2N):
+            if i & (1 << bit):
+                rev |= 1 << (_LOG2N - 1 - bit)
+        table.append(rev)
+    return table
+
+
+def _twiddles() -> tuple[list[float], list[float]]:
+    re, im = [], []
+    for j in range(_N // 2):
+        angle = -2.0 * math.pi * j / _N
+        re.append(math.cos(angle))
+        im.append(math.sin(angle))
+    return re, im
+
+
+def _fft_reference(re: list[float], im: list[float]) -> None:
+    """In-place FFT mirroring the assembly's operation order exactly."""
+    tw_re, tw_im = _twiddles()
+    m = 2
+    while m <= _N:
+        half = m // 2
+        step = _N // m
+        k = 0
+        while k < _N:
+            for j in range(half):
+                t_index = j * step
+                wr, wi = tw_re[t_index], tw_im[t_index]
+                i2 = k + j + half
+                br, bi = re[i2], im[i2]
+                tr = wr * br - wi * bi
+                ti = wr * bi + wi * br
+                i1 = k + j
+                ur, ui = re[i1], im[i1]
+                re[i1] = ur + tr
+                im[i1] = ui + ti
+                re[i2] = ur - tr
+                im[i2] = ui - ti
+            k += m
+        m *= 2
+
+
+def _reference() -> bytes:
+    wave = _wave()
+    rev = _bit_reversal()
+    re = [wave[rev[i]] for i in range(_N)]
+    im = [0.0] * _N
+    _fft_reference(re, im)
+    out = []
+    for i in range(_BINS):
+        out.append(int(re[i] * _QUANT) & 0xFFFFFFFF)
+        out.append(int(im[i] * _QUANT) & 0xFFFFFFFF)
+    return pack_words(out)
+
+
+def _source() -> str:
+    tw_re, tw_im = _twiddles()
+    return f"""
+    .text
+_start:
+{ALIVE_ASM}
+    ; bit-reversal permutation: work[i] = input[rev[i]], imag = 0
+    fsub f1, f1, f1          ; 0.0
+    movi r1, 0
+perm_loop:
+    la   r2, bitrev
+    lsli r3, r1, 2
+    add  r2, r2, r3
+    ldw  r2, [r2]            ; rev[i]
+    la   r3, in_re
+    lsli r4, r2, 3
+    add  r3, r3, r4
+    fld  f0, [r3]
+    la   r3, work_re
+    lsli r4, r1, 3
+    add  r3, r3, r4
+    fst  f0, [r3]
+    la   r3, work_im
+    add  r3, r3, r4
+    fst  f1, [r3]
+    addi r1, r1, 1
+    cmpi r1, {_N}
+    blt  perm_loop
+    ; iterative radix-2 stages
+    movi r1, 2               ; m
+stage_loop:
+    lsri r2, r1, 1           ; half = m/2
+    movi r3, {_N}
+    div  r3, r3, r1          ; step = N/m
+    movi r4, 0               ; k
+k_loop:
+    movi r5, 0               ; j
+butterfly_loop:
+    add  r6, r4, r5          ; i1 = k + j
+    add  r8, r6, r2          ; i2 = k + j + half
+    mul  r9, r5, r3          ; twiddle index = j * step
+    lsli r11, r9, 3
+    la   r10, tw_re
+    add  r10, r10, r11
+    fld  f0, [r10]           ; wr
+    la   r10, tw_im
+    add  r10, r10, r11
+    fld  f1, [r10]           ; wi
+    lsli r11, r8, 3
+    la   r10, work_re
+    add  r10, r10, r11
+    fld  f2, [r10]           ; br
+    la   r10, work_im
+    add  r10, r10, r11
+    fld  f3, [r10]           ; bi
+    fmul f4, f0, f2
+    fmul f5, f1, f3
+    fsub f4, f4, f5          ; tr = wr*br - wi*bi
+    fmul f5, f0, f3
+    fmul f6, f1, f2
+    fadd f5, f5, f6          ; ti = wr*bi + wi*br
+    lsli r11, r6, 3
+    la   r10, work_re
+    add  r10, r10, r11
+    fld  f6, [r10]           ; ur
+    fadd f7, f6, f4
+    fst  f7, [r10]           ; re[i1] = ur + tr
+    fsub f7, f6, f4
+    lsli r11, r8, 3
+    la   r10, work_re
+    add  r10, r10, r11
+    fst  f7, [r10]           ; re[i2] = ur - tr
+    lsli r11, r6, 3
+    la   r10, work_im
+    add  r10, r10, r11
+    fld  f6, [r10]           ; ui
+    fadd f7, f6, f5
+    fst  f7, [r10]           ; im[i1] = ui + ti
+    fsub f7, f6, f5
+    lsli r11, r8, 3
+    la   r10, work_im
+    add  r10, r10, r11
+    fst  f7, [r10]           ; im[i2] = ui - ti
+    addi r5, r5, 1
+    cmp  r5, r2
+    blt  butterfly_loop
+    add  r4, r4, r1
+    cmpi r4, {_N}
+    blt  k_loop
+    movi r0, 1               ; heartbeat per stage
+    movi r7, 2
+    syscall
+    lsli r1, r1, 1
+    cmpi r1, {_N}
+    ble  stage_loop
+    ; emit quantized first {_BINS} bins (re, im)
+    fli  f3, {_QUANT!r}
+    movi r1, 0
+emit_loop:
+    la   r2, work_re
+    lsli r3, r1, 3
+    add  r2, r2, r3
+    fld  f0, [r2]
+    fmul f0, f0, f3
+    fcvti r0, f0
+    movi r7, 3
+    syscall
+    la   r2, work_im
+    lsli r3, r1, 3
+    add  r2, r2, r3
+    fld  f0, [r2]
+    fmul f0, f0, f3
+    fcvti r0, f0
+    movi r7, 3
+    syscall
+    addi r1, r1, 1
+    cmpi r1, {_BINS}
+    blt  emit_loop
+{EXIT_ASM}
+    .data
+bitrev:
+{words_directive(_bit_reversal())}
+    .align 8
+in_re:
+{doubles_directive(_wave())}
+tw_re:
+{doubles_directive(tw_re)}
+tw_im:
+{doubles_directive(tw_im)}
+work_re:
+    .space {_N * 8}
+work_im:
+    .space {_N * 8}
+"""
+
+
+WORKLOAD = Workload(
+    name="FFT",
+    paper_input="a single floating point array with 32768 elements",
+    scaled_input=f"{_N}-point complex FFT (4 KB working set)",
+    characteristics=Characteristic.MEMORY,
+    source=_source(),
+    reference=_reference,
+)

@@ -1,0 +1,395 @@
+"""Jpeg C / Jpeg D: DCT-based image encode and decode.
+
+Paper input: a 512x512 PPM image, 786.5 KB (CPU intensive).  Scaled input: a
+32x32 grayscale image processed as 16 8x8 blocks with the standard JPEG
+pipeline core: level shift, 2-D DCT (as two 8x8 double matrix products with
+the orthonormal DCT matrix), quantization by the JPEG luminance table.  The
+decoder performs the reverse steps - and, as the paper observes, its
+*program flow is different from the encoder's*, not a mirror image.
+
+Output (encoder): per block, the quantized DC coefficient and a
+position-weighted checksum of all 64 quantized coefficients.
+Output (decoder): per block, the first reconstructed pixel and a
+position-weighted checksum of all 64 reconstructed pixels.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.workloads.base import (
+    ALIVE_ASM,
+    Characteristic,
+    EXIT_ASM,
+    Workload,
+    bytes_directive,
+    doubles_directive,
+    pack_words,
+    words_directive,
+)
+
+_SEED = 0x1FE6
+_DIM = 32
+_BLOCKS = (_DIM // 8) * (_DIM // 8)
+
+#: Standard JPEG luminance quantization table.
+_QUANT = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+
+def _image() -> bytes:
+    """A 32x32 grayscale test card: gradient + bright rectangle + noise."""
+    rng = random.Random(_SEED)
+    pixels = bytearray()
+    for y in range(_DIM):
+        for x in range(_DIM):
+            value = (x * 5 + y * 3) % 180 + 30
+            if 8 <= x < 22 and 10 <= y < 24:
+                value = min(255, value + 60)
+            value += rng.randint(-8, 8)
+            pixels.append(max(0, min(255, value)))
+    return bytes(pixels)
+
+
+def _dct_matrix() -> list[float]:
+    c = []
+    for u in range(8):
+        alpha = math.sqrt(0.125) if u == 0 else math.sqrt(0.25)
+        for x in range(8):
+            c.append(alpha * math.cos((2 * x + 1) * u * math.pi / 16.0))
+    return c
+
+
+def _transpose(m: list[float]) -> list[float]:
+    return [m[x * 8 + u] for u in range(8) for x in range(8)]
+
+
+def _matmul8(a: list[float], b: list[float]) -> list[float]:
+    """8x8 double matmul, k-order accumulation matching the assembly."""
+    out = [0.0] * 64
+    for i in range(8):
+        for j in range(8):
+            acc = 0.0
+            for k in range(8):
+                acc += a[i * 8 + k] * b[k * 8 + j]
+            out[i * 8 + j] = acc
+    return out
+
+
+def _blocks(image: bytes):
+    for by in range(_DIM // 8):
+        for bx in range(_DIM // 8):
+            block = []
+            for r in range(8):
+                row = (by * 8 + r) * _DIM + bx * 8
+                block.extend(image[row : row + 8])
+            yield block
+
+
+def _encode_block(block: list[int]) -> list[int]:
+    shifted = [float(p - 128) for p in block]
+    c = _dct_matrix()
+    ct = _transpose(c)
+    coeffs = _matmul8(_matmul8(c, shifted), ct)
+    return [int(coeffs[i] * (1.0 / _QUANT[i])) for i in range(64)]
+
+
+def _decode_block(quantized: list[int]) -> list[int]:
+    dequant = [float(quantized[i]) * float(_QUANT[i]) for i in range(64)]
+    c = _dct_matrix()
+    ct = _transpose(c)
+    pixels = _matmul8(_matmul8(ct, dequant), c)
+    return [max(0, min(255, int(pixels[i]) + 128)) for i in range(64)]
+
+
+def _encoded_blocks() -> list[list[int]]:
+    return [_encode_block(block) for block in _blocks(_image())]
+
+
+def _encode_reference() -> bytes:
+    out = []
+    for quantized in _encoded_blocks():
+        checksum = 0
+        for i, q in enumerate(quantized):
+            checksum = (checksum + q * (i + 1)) & 0xFFFFFFFF
+        out.extend([quantized[0] & 0xFFFFFFFF, checksum])
+    return pack_words(out)
+
+
+def _decode_reference() -> bytes:
+    out = []
+    for quantized in _encoded_blocks():
+        pixels = _decode_block(quantized)
+        checksum = 0
+        for i, p in enumerate(pixels):
+            checksum = (checksum + p * (i + 1)) & 0xFFFFFFFF
+        out.extend([pixels[0] & 0xFFFFFFFF, checksum])
+    return pack_words(out)
+
+
+_MATMUL8_ASM = """
+; ---- matmul8: r1 = A, r2 = B, r3 = OUT (8x8 row-major doubles) ----
+; clobbers r4, r5, r6, r8, r9, r11, f0, f1, f2; preserves r1, r2, r3, r10
+matmul8:
+    movi r4, 0               ; i
+m8_i:
+    lsli r8, r4, 6
+    add  r8, r8, r1          ; &A[i][0]
+    movi r5, 0               ; j
+m8_j:
+    lsli r9, r5, 3
+    add  r9, r9, r2          ; &B[0][j]
+    mov  r11, r8
+    fmov f0, f15             ; acc = 0.0
+    movi r6, 8
+m8_k:
+    fld  f1, [r11]
+    fld  f2, [r9]
+    fmul f1, f1, f2
+    fadd f0, f0, f1
+    addi r11, r11, 8
+    addi r9, r9, 64
+    subi r6, r6, 1
+    cmpi r6, 0
+    bgt  m8_k
+    lsli r9, r4, 6
+    add  r9, r9, r3
+    lsli r11, r5, 3
+    add  r9, r9, r11
+    fst  f0, [r9]
+    addi r5, r5, 1
+    cmpi r5, 8
+    blt  m8_j
+    addi r4, r4, 1
+    cmpi r4, 8
+    blt  m8_i
+    ret
+"""
+
+
+def _encode_source() -> str:
+    inv_quant = [1.0 / q for q in _QUANT]
+    return f"""
+    .text
+_start:
+{ALIVE_ASM}
+    fsub f15, f15, f15       ; global 0.0
+    movi r10, 0              ; block index
+block_loop:
+    ; extract 8x8 block with level shift into blk (doubles)
+    lsri r2, r10, 2          ; by
+    lsli r2, r2, 8           ; by * 8 rows * 32
+    andi r3, r10, 3          ; bx
+    lsli r3, r3, 3
+    add  r2, r2, r3
+    la   r1, image
+    add  r1, r1, r2          ; source pixel row
+    la   r4, blk
+    movi r5, 0               ; row
+ext_r:
+    movi r6, 0               ; col
+ext_c:
+    add  r8, r1, r6
+    ldb  r9, [r8]
+    subi r9, r9, 128
+    fcvt f0, r9
+    fst  f0, [r4]
+    addi r4, r4, 8
+    addi r6, r6, 1
+    cmpi r6, 8
+    blt  ext_c
+    addi r1, r1, {_DIM}
+    addi r5, r5, 1
+    cmpi r5, 8
+    blt  ext_r
+    ; F = C * blk * C^T
+    la   r1, dct_c
+    la   r2, blk
+    la   r3, tmp
+    call matmul8
+    la   r1, tmp
+    la   r2, dct_ct
+    la   r3, fmat
+    call matmul8
+    ; quantize + checksum
+    la   r1, fmat
+    la   r2, inv_quant
+    movi r3, 1               ; weight
+    movi r9, 0               ; checksum
+    movi r5, 0               ; i
+    movi r11, 0              ; DC holder
+q_loop:
+    fld  f0, [r1]
+    fld  f1, [r2]
+    fmul f0, f0, f1
+    fcvti r4, f0
+    cmpi r5, 0
+    bne  q_nodc
+    mov  r11, r4
+q_nodc:
+    mul  r6, r4, r3
+    add  r9, r9, r6
+    addi r1, r1, 8
+    addi r2, r2, 8
+    addi r3, r3, 1
+    addi r5, r5, 1
+    cmpi r5, 64
+    blt  q_loop
+    mov  r0, r11             ; emit DC
+    movi r7, 3
+    syscall
+    mov  r0, r9              ; emit checksum
+    movi r7, 3
+    syscall
+    movi r0, 1               ; heartbeat per block
+    movi r7, 2
+    syscall
+    addi r10, r10, 1
+    cmpi r10, {_BLOCKS}
+    blt  block_loop
+{EXIT_ASM}
+{_MATMUL8_ASM}
+    .data
+image:
+{bytes_directive(_image())}
+    .align 8
+dct_c:
+{doubles_directive(_dct_matrix())}
+dct_ct:
+{doubles_directive(_transpose(_dct_matrix()))}
+inv_quant:
+{doubles_directive([1.0 / q for q in _QUANT])}
+blk:
+    .space 512
+tmp:
+    .space 512
+fmat:
+    .space 512
+"""
+
+
+def _decode_source() -> str:
+    coeff_words = [q for block in _encoded_blocks() for q in block]
+    return f"""
+    .text
+_start:
+{ALIVE_ASM}
+    fsub f15, f15, f15       ; global 0.0
+    movi r10, 0              ; block index
+block_loop:
+    ; dequantize into fmat (doubles)
+    la   r1, coeffs
+    lsli r2, r10, 8          ; block * 64 words * 4 bytes
+    add  r1, r1, r2
+    la   r2, quant
+    la   r3, fmat
+    movi r5, 0
+dq_loop:
+    ldw  r4, [r1]
+    fcvt f0, r4
+    fld  f1, [r2]
+    fmul f0, f0, f1
+    fst  f0, [r3]
+    addi r1, r1, 4
+    addi r2, r2, 8
+    addi r3, r3, 8
+    addi r5, r5, 1
+    cmpi r5, 64
+    blt  dq_loop
+    ; P = C^T * F * C
+    la   r1, dct_ct
+    la   r2, fmat
+    la   r3, tmp
+    call matmul8
+    la   r1, tmp
+    la   r2, dct_c
+    la   r3, blk
+    call matmul8
+    ; level shift, clamp, checksum
+    la   r1, blk
+    movi r3, 1               ; weight
+    movi r9, 0               ; checksum
+    movi r5, 0               ; i
+    movi r11, 0              ; first pixel holder
+px_loop:
+    fld  f0, [r1]
+    fcvti r4, f0
+    addi r4, r4, 128
+    cmpi r4, 0
+    bge  px_lo_ok
+    movi r4, 0
+px_lo_ok:
+    cmpi r4, 255
+    ble  px_hi_ok
+    movi r4, 255
+px_hi_ok:
+    cmpi r5, 0
+    bne  px_nofirst
+    mov  r11, r4
+px_nofirst:
+    mul  r6, r4, r3
+    add  r9, r9, r6
+    addi r1, r1, 8
+    addi r3, r3, 1
+    addi r5, r5, 1
+    cmpi r5, 64
+    blt  px_loop
+    mov  r0, r11             ; emit first pixel
+    movi r7, 3
+    syscall
+    mov  r0, r9              ; emit checksum
+    movi r7, 3
+    syscall
+    movi r0, 1               ; heartbeat per block
+    movi r7, 2
+    syscall
+    addi r10, r10, 1
+    cmpi r10, {_BLOCKS}
+    blt  block_loop
+{EXIT_ASM}
+{_MATMUL8_ASM}
+    .data
+coeffs:
+{words_directive(coeff_words)}
+    .align 8
+dct_c:
+{doubles_directive(_dct_matrix())}
+dct_ct:
+{doubles_directive(_transpose(_dct_matrix()))}
+quant:
+{doubles_directive([float(q) for q in _QUANT])}
+blk:
+    .space 512
+tmp:
+    .space 512
+fmat:
+    .space 512
+"""
+
+
+ENCODE_WORKLOAD = Workload(
+    name="Jpeg C",
+    paper_input="512x512 PPM image with size of 786.5 KB",
+    scaled_input=f"{_DIM}x{_DIM} grayscale image, {_BLOCKS} DCT blocks",
+    characteristics=Characteristic.CPU,
+    source=_encode_source(),
+    reference=_encode_reference,
+)
+
+DECODE_WORKLOAD = Workload(
+    name="Jpeg D",
+    paper_input="512x512 PPM image with size of 786.5 KB",
+    scaled_input=f"{_BLOCKS} quantized DCT blocks ({_DIM}x{_DIM} image)",
+    characteristics=Characteristic.CPU,
+    source=_decode_source(),
+    reference=_decode_reference,
+)

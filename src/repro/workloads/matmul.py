@@ -1,0 +1,133 @@
+"""MatMul: dense double-precision matrix multiplication.
+
+Paper input: two 128x128 single-precision matrices (memory intensive, input
+does not fill the caches).  Scaled input: two 16x16 double matrices (6 KB of
+matrix data against the 16 KB scaled L2 - the same "does not fill L2" class
+as the original's 192 KB against 512 KB).  Output: the quantized diagonal of
+the product plus a running checksum.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import (
+    ALIVE_ASM,
+    Characteristic,
+    EXIT_ASM,
+    Workload,
+    doubles_directive,
+    pack_words,
+)
+
+_SEED = 0x3A73A7
+_N = 16
+_QUANT = 4096.0
+
+
+def _matrices() -> tuple[list[float], list[float]]:
+    rng = random.Random(_SEED)
+    a = [rng.uniform(-1.0, 1.0) for _ in range(_N * _N)]
+    b = [rng.uniform(-1.0, 1.0) for _ in range(_N * _N)]
+    return a, b
+
+
+def _reference() -> bytes:
+    a, b = _matrices()
+    diag = []
+    checksum = 0
+    for i in range(_N):
+        acc = 0.0
+        for k in range(_N):
+            acc += a[i * _N + k] * b[k * _N + i]
+        value = int(acc * _QUANT)  # trunc toward zero, matches fcvti
+        diag.append(value & 0xFFFFFFFF)
+        checksum = (checksum + value) & 0xFFFFFFFF
+    return pack_words(diag + [checksum])
+
+
+def _source() -> str:
+    a, b = _matrices()
+    row_shift = (_N * 8).bit_length() - 1  # log2(row stride in bytes)
+    return f"""
+    .text
+_start:
+{ALIVE_ASM}
+    movi r1, 0               ; i
+mm_i:
+    movi r2, 0               ; j
+mm_j:
+    ; accumulate C[i][j] = sum_k A[i][k] * B[k][j]
+    fsub f0, f0, f0          ; acc = 0.0
+    la   r4, mat_a
+    lsli r5, r1, {row_shift}
+    add  r4, r4, r5          ; &A[i][0]
+    la   r5, mat_b
+    lsli r6, r2, 3
+    add  r5, r5, r6          ; &B[0][j]
+    movi r3, {_N}
+mm_k:
+    fld  f1, [r4]
+    fld  f2, [r5]
+    fmul f1, f1, f2
+    fadd f0, f0, f1
+    addi r4, r4, 8
+    addi r5, r5, {_N * 8}
+    subi r3, r3, 1
+    cmpi r3, 0
+    bgt  mm_k
+    la   r4, mat_c
+    lsli r5, r1, {row_shift}
+    add  r4, r4, r5
+    lsli r5, r2, 3
+    add  r4, r4, r5
+    fst  f0, [r4]
+    addi r2, r2, 1
+    cmpi r2, {_N}
+    blt  mm_j
+    movi r0, 1               ; heartbeat per row
+    movi r7, 2
+    syscall
+    addi r1, r1, 1
+    cmpi r1, {_N}
+    blt  mm_i
+    ; emit quantized diagonal + checksum
+    movi r1, 0
+    movi r9, 0
+    fli  f2, {_QUANT!r}
+emit_loop:
+    la   r4, mat_c
+    muli r5, r1, {(_N + 1) * 8}
+    add  r4, r4, r5
+    fld  f0, [r4]
+    fmul f0, f0, f2
+    fcvti r0, f0
+    add  r9, r9, r0
+    movi r7, 3
+    syscall
+    addi r1, r1, 1
+    cmpi r1, {_N}
+    blt  emit_loop
+    mov  r0, r9
+    movi r7, 3
+    syscall
+{EXIT_ASM}
+    .data
+    .align 8
+mat_a:
+{doubles_directive(a)}
+mat_b:
+{doubles_directive(b)}
+mat_c:
+    .space {_N * _N * 8}
+"""
+
+
+WORKLOAD = Workload(
+    name="MatMul",
+    paper_input="128x128 single-precision floating point",
+    scaled_input=f"{_N}x{_N} double-precision matrices",
+    characteristics=Characteristic.MEMORY,
+    source=_source(),
+    reference=_reference,
+)

@@ -1,0 +1,237 @@
+"""Rijndael E/D: AES-128 ECB encryption and decryption (T-table form).
+
+Paper input: a 3.2 MB file (memory intensive - S-box/T-table lookups).
+Scaled input: 1.5 KB (96 blocks).  The assembly implements the same T-table
+round structure as :mod:`repro.workloads._aes` (validated against the
+FIPS-197 vector); tables and precomputed round keys live in the data
+segment, so their cache lines are a genuine soft-error target, as on the
+real device.  Output: the 4 output words of every block.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from repro.workloads import _aes
+from repro.workloads.base import (
+    ALIVE_ASM,
+    Characteristic,
+    EXIT_ASM,
+    Workload,
+    bytes_directive,
+    pack_words,
+    words_directive,
+)
+
+_SEED = 0xAE5128
+_BLOCKS = 96
+
+#: State registers s0..s3 and round-output registers t0..t3.
+_S_REGS = ("r1", "r2", "r3", "r4")
+_T_REGS = ("r5", "r6", "r8", "r15")
+
+#: Per-word source-state patterns: encryption rotates forward, the
+#: equivalent inverse cipher rotates backward.
+_ENC_PATTERN = [(0, 1, 2, 3), (1, 2, 3, 0), (2, 3, 0, 1), (3, 0, 1, 2)]
+_DEC_PATTERN = [(0, 3, 2, 1), (1, 0, 3, 2), (2, 1, 0, 3), (3, 2, 1, 0)]
+
+
+def _key() -> bytes:
+    rng = random.Random(_SEED)
+    return bytes(rng.getrandbits(8) for _ in range(16))
+
+
+def _plaintext() -> bytes:
+    rng = random.Random(_SEED ^ 0xFEED)
+    return bytes(rng.getrandbits(8) for _ in range(_BLOCKS * 16))
+
+
+def _be_words(buffer: bytes) -> list[int]:
+    return list(struct.unpack(f">{len(buffer) // 4}I", buffer))
+
+
+def _table_term(dst: str, src: str, shift: int, table: str, first: bool) -> list[str]:
+    lines = []
+    if shift == 24:
+        lines.append(f"    lsri r0, {src}, 24")
+    elif shift:
+        lines.append(f"    lsri r0, {src}, {shift}")
+        lines.append("    andi r0, r0, 0xff")
+    else:
+        lines.append(f"    andi r0, {src}, 0xff")
+    lines.append("    lsli r0, r0, 2")
+    lines.append(f"    la   r7, {table}")
+    lines.append("    add  r0, r0, r7")
+    if first:
+        lines.append(f"    ldw  {dst}, [r0]")
+    else:
+        lines.append("    ldw  r12, [r0]")
+        lines.append(f"    eor  {dst}, {dst}, r12")
+    return lines
+
+
+def _round_body(tables: tuple[str, str, str, str], pattern) -> str:
+    lines = []
+    shifts = (24, 16, 8, 0)
+    for word in range(4):
+        dst = _T_REGS[word]
+        for term in range(4):
+            src = _S_REGS[pattern[word][term]]
+            lines.extend(_table_term(dst, src, shifts[term], tables[term], term == 0))
+        lines.append(f"    ldw  r12, [r9, {word * 4}]")
+        lines.append(f"    eor  {dst}, {dst}, r12")
+    for word in range(4):
+        lines.append(f"    mov  {_S_REGS[word]}, {_T_REGS[word]}")
+    return "\n".join(lines)
+
+
+def _final_round(sbox_label: str, pattern) -> str:
+    lines = []
+    shifts = (24, 16, 8, 0)
+    for word in range(4):
+        dst = _T_REGS[word]
+        for term in range(4):
+            src = _S_REGS[pattern[word][term]]
+            shift = shifts[term]
+            if shift == 24:
+                lines.append(f"    lsri r0, {src}, 24")
+            elif shift:
+                lines.append(f"    lsri r0, {src}, {shift}")
+                lines.append("    andi r0, r0, 0xff")
+            else:
+                lines.append(f"    andi r0, {src}, 0xff")
+            lines.append(f"    la   r7, {sbox_label}")
+            lines.append("    add  r0, r0, r7")
+            lines.append("    ldb  r12, [r0]")
+            if shift:
+                lines.append(f"    lsli r12, r12, {shift}")
+            if term == 0:
+                lines.append(f"    mov  {dst}, r12")
+            else:
+                lines.append(f"    orr  {dst}, {dst}, r12")
+        lines.append(f"    ldw  r12, [r9, {word * 4}]")
+        lines.append(f"    eor  {dst}, {dst}, r12")
+    return "\n".join(lines)
+
+
+def _build_source(
+    input_words: list[int],
+    key_schedule: list[int],
+    tables: dict[str, list[int]],
+    sbox_bytes: bytes,
+    pattern,
+) -> str:
+    table_labels = tuple(tables)
+    data_sections = []
+    for label, values in tables.items():
+        data_sections.append(f"{label}:\n{words_directive(values)}")
+    return f"""
+    .text
+_start:
+{ALIVE_ASM}
+    movi r11, 0              ; block index
+block_loop:
+    la   r10, input_words
+    lsli r0, r11, 4
+    add  r10, r10, r0
+    ldw  r1, [r10, 0]
+    ldw  r2, [r10, 4]
+    ldw  r3, [r10, 8]
+    ldw  r4, [r10, 12]
+    la   r9, round_keys
+    ldw  r0, [r9, 0]
+    eor  r1, r1, r0
+    ldw  r0, [r9, 4]
+    eor  r2, r2, r0
+    ldw  r0, [r9, 8]
+    eor  r3, r3, r0
+    ldw  r0, [r9, 12]
+    eor  r4, r4, r0
+    addi r9, r9, 16
+    movi r10, 0              ; round counter
+round_loop:
+{_round_body(table_labels, pattern)}
+    addi r9, r9, 16
+    addi r10, r10, 1
+    cmpi r10, 9
+    blt  round_loop
+{_final_round("sbox_table", pattern)}
+    mov  r0, r5
+    movi r7, 3
+    syscall
+    mov  r0, r6
+    movi r7, 3
+    syscall
+    mov  r0, r8
+    movi r7, 3
+    syscall
+    mov  r0, r15
+    movi r7, 3
+    syscall
+    andi r0, r11, 15         ; heartbeat every 16 blocks
+    cmpi r0, 0
+    bne  no_alive
+    movi r0, 1
+    movi r7, 2
+    syscall
+no_alive:
+    addi r11, r11, 1
+    cmpi r11, {len(input_words) // 4}
+    blt  block_loop
+{EXIT_ASM}
+    .data
+input_words:
+{words_directive(input_words)}
+round_keys:
+{words_directive(key_schedule)}
+{chr(10).join(data_sections)}
+sbox_table:
+{bytes_directive(sbox_bytes)}
+"""
+
+
+def _encrypt_reference() -> bytes:
+    ciphertext = _aes.encrypt_ecb(_plaintext(), _key())
+    return pack_words(_be_words(ciphertext))
+
+
+def _decrypt_reference() -> bytes:
+    return pack_words(_be_words(_plaintext()))
+
+
+def _encrypt_source() -> str:
+    rk = _aes.expand_key(_key())
+    tables = {"te0": _aes.TE0, "te1": _aes.TE1, "te2": _aes.TE2, "te3": _aes.TE3}
+    return _build_source(
+        _be_words(_plaintext()), rk, tables, bytes(_aes.SBOX), _ENC_PATTERN
+    )
+
+
+def _decrypt_source() -> str:
+    rk = _aes.expand_key(_key())
+    dk = _aes.decryption_key_schedule(rk)
+    ciphertext = _aes.encrypt_ecb(_plaintext(), _key())
+    tables = {"td0": _aes.TD0, "td1": _aes.TD1, "td2": _aes.TD2, "td3": _aes.TD3}
+    return _build_source(
+        _be_words(ciphertext), dk, tables, bytes(_aes.INV_SBOX), _DEC_PATTERN
+    )
+
+
+ENCRYPT_WORKLOAD = Workload(
+    name="Rijndael E",
+    paper_input="3.2 MB file",
+    scaled_input=f"{_BLOCKS * 16} byte buffer, AES-128 ECB encrypt",
+    characteristics=Characteristic.MEMORY,
+    source=_encrypt_source(),
+    reference=_encrypt_reference,
+)
+
+DECRYPT_WORKLOAD = Workload(
+    name="Rijndael D",
+    paper_input="3.2 MB file",
+    scaled_input=f"{_BLOCKS * 16} byte buffer, AES-128 ECB decrypt",
+    characteristics=Characteristic.MEMORY,
+    source=_decrypt_source(),
+    reference=_decrypt_reference,
+)

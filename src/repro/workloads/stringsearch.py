@@ -1,0 +1,136 @@
+"""StringSearch: naive substring search, one word per sentence.
+
+Paper input: 1332 words searched in 1332 sentences (memory and control
+intensive, small footprint).  Scaled input: 80 words in 80 sentences
+(64-byte sentence records, 16-byte word records).  Output: one word per
+pair - the match position, or 0xFFFFFFFF when absent.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import (
+    ALIVE_ASM,
+    Characteristic,
+    EXIT_ASM,
+    Workload,
+    bytes_directive,
+    pack_words,
+)
+
+_SEED = 0x57A125
+_PAIRS = 80
+_SENTENCE_SLOT = 64
+_WORD_SLOT = 16
+
+_VOCABULARY = (
+    "soft error rate neutron beam flux cache core kernel fault inject "
+    "arm chip board test run code data crash silent bit flip mask page "
+    "table file line word block queue stack heap timer clock power"
+).split()
+
+
+def _pairs() -> list[tuple[str, str]]:
+    rng = random.Random(_SEED)
+    pairs = []
+    for _ in range(_PAIRS):
+        words = [rng.choice(_VOCABULARY) for _ in range(rng.randint(5, 8))]
+        sentence = " ".join(words)[: _SENTENCE_SLOT - _WORD_SLOT]
+        if rng.random() < 0.7:
+            needle = rng.choice(words)
+        else:
+            needle = rng.choice(_VOCABULARY) + "x"  # guaranteed absent
+        pairs.append((sentence, needle[: _WORD_SLOT - 1]))
+    return pairs
+
+
+def _packed_records() -> tuple[bytes, bytes]:
+    sentences = bytearray()
+    words = bytearray()
+    for sentence, needle in _pairs():
+        sentences.extend(sentence.encode("ascii").ljust(_SENTENCE_SLOT, b"\x00"))
+        words.extend(needle.encode("ascii").ljust(_WORD_SLOT, b"\x00"))
+    return bytes(sentences), bytes(words)
+
+
+def _reference() -> bytes:
+    results = []
+    for sentence, needle in _pairs():
+        position = sentence.find(needle)
+        results.append(position & 0xFFFFFFFF)
+    return pack_words(results)
+
+
+def _source() -> str:
+    sentences, words = _packed_records()
+    return f"""
+    .text
+_start:
+{ALIVE_ASM}
+    movi r10, 0              ; pair index
+pair_loop:
+    la   r1, sentences
+    lsli r2, r10, 6
+    add  r1, r1, r2          ; sentence record
+    la   r3, words
+    lsli r2, r10, 4
+    add  r3, r3, r2          ; word record
+    movi r9, -1              ; result
+    movi r4, 0               ; position
+pos_loop:
+    add  r5, r1, r4
+    ldb  r6, [r5]
+    cmpi r6, 0
+    beq  pair_done           ; sentence exhausted: not found
+    movi r8, 0               ; word cursor
+cmp_loop:
+    add  r2, r3, r8
+    ldb  r11, [r2]
+    cmpi r11, 0
+    beq  found               ; word exhausted: match
+    add  r2, r1, r4
+    add  r2, r2, r8
+    ldb  r6, [r2]
+    cmp  r6, r11
+    bne  next_pos
+    addi r8, r8, 1
+    b    cmp_loop
+found:
+    mov  r9, r4
+    b    pair_done
+next_pos:
+    addi r4, r4, 1
+    cmpi r4, {_SENTENCE_SLOT}
+    blt  pos_loop
+pair_done:
+    mov  r0, r9
+    movi r7, 3
+    syscall
+    andi r2, r10, 15         ; heartbeat every 16 pairs
+    cmpi r2, 0
+    bne  no_alive
+    movi r0, 1
+    movi r7, 2
+    syscall
+no_alive:
+    addi r10, r10, 1
+    cmpi r10, {_PAIRS}
+    blt  pair_loop
+{EXIT_ASM}
+    .data
+sentences:
+{bytes_directive(sentences)}
+words:
+{bytes_directive(words)}
+"""
+
+
+WORKLOAD = Workload(
+    name="StringSearch",
+    paper_input="1332 words searched in 1332 sentences",
+    scaled_input=f"{_PAIRS} words searched in {_PAIRS} sentences",
+    characteristics=Characteristic.MEMORY | Characteristic.CONTROL,
+    source=_source(),
+    reference=_reference,
+)

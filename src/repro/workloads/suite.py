@@ -1,0 +1,50 @@
+"""The 13-benchmark suite registry (Table III of the paper)."""
+
+from __future__ import annotations
+
+from repro.workloads import (
+    crc32,
+    dijkstra,
+    fft,
+    jpeg,
+    matmul,
+    qsort,
+    rijndael,
+    stringsearch,
+    susan,
+)
+from repro.workloads.base import Workload
+
+#: All 13 benchmarks, in the paper's Table III order.
+MIBENCH_SUITE: dict[str, Workload] = {
+    workload.name: workload
+    for workload in (
+        crc32.WORKLOAD,
+        dijkstra.WORKLOAD,
+        fft.WORKLOAD,
+        jpeg.ENCODE_WORKLOAD,
+        jpeg.DECODE_WORKLOAD,
+        matmul.WORKLOAD,
+        qsort.WORKLOAD,
+        rijndael.ENCRYPT_WORKLOAD,
+        rijndael.DECRYPT_WORKLOAD,
+        stringsearch.WORKLOAD,
+        susan.CORNER_WORKLOAD,
+        susan.EDGE_WORKLOAD,
+        susan.SMOOTH_WORKLOAD,
+    )
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a benchmark by its paper name (e.g. ``"Rijndael E"``)."""
+    try:
+        return MIBENCH_SUITE[name]
+    except KeyError:
+        known = ", ".join(MIBENCH_SUITE)
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def workload_names() -> list[str]:
+    """The 13 benchmark names in Table III order."""
+    return list(MIBENCH_SUITE)

@@ -1,0 +1,384 @@
+"""Susan C / Susan E / Susan S: SUSAN corner detection, edge detection and
+structure-preserving smoothing.
+
+Paper input: a 76x95 pixel image, 7.3 KB (CPU intensive, smallest footprint
+of the suite - one of the benchmarks whose beam System-Crash rate the paper
+attributes to the kernel staying cache resident).  Scaled input: a 20x20
+grayscale image with the classic 37-pixel circular USAN mask and the
+exponential brightness similarity LUT.
+
+Outputs:
+
+- Susan C: corner count, then a position-weighted checksum of corner
+  responses;
+- Susan E: per-row edge response sums (14 words) plus the edge pixel count;
+- Susan S: per-row smoothed pixel sums (14 words) plus a global checksum.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.workloads.base import (
+    ALIVE_ASM,
+    Characteristic,
+    EXIT_ASM,
+    Workload,
+    bytes_directive,
+    pack_words,
+    words_directive,
+)
+
+_SEED = 0x5E5A
+_DIM = 20
+_RADIUS = 3
+_T = 27  # brightness similarity threshold
+_MAX_USAN = 37 * 100
+_G_CORNER = _MAX_USAN // 2       # 1850
+_G_EDGE = _MAX_USAN * 3 // 4     # 2775
+
+
+def _image() -> bytes:
+    """20x20 test card: gradient + bright square + dark stripe + noise."""
+    rng = random.Random(_SEED)
+    pixels = bytearray()
+    for y in range(_DIM):
+        for x in range(_DIM):
+            value = 40 + x * 4 + y * 2
+            if 6 <= x < 14 and 5 <= y < 13:
+                value += 90
+            if 15 <= y < 17:
+                value -= 35
+            value += rng.randint(-6, 6)
+            pixels.append(max(0, min(255, value)))
+    return bytes(pixels)
+
+
+def _mask_offsets() -> list[tuple[int, int]]:
+    """The standard 37-pixel circular SUSAN mask (includes the nucleus)."""
+    spans = {-3: 1, -2: 2, -1: 3, 0: 3, 1: 3, 2: 2, 3: 1}
+    offsets = []
+    for dy, span in spans.items():
+        for dx in range(-span, span + 1):
+            offsets.append((dx, dy))
+    assert len(offsets) == 37
+    return offsets
+
+
+def _lut() -> list[int]:
+    """Brightness similarity c(r, r0) = 100 * exp(-((dI/t)^6)), dI in [-256, 255]."""
+    table = []
+    for i in range(512):
+        diff = i - 256
+        table.append(int(100.0 * math.exp(-((diff / _T) ** 6))))
+    return table
+
+
+def _flat_offsets() -> list[int]:
+    return [dy * _DIM + dx for dx, dy in _mask_offsets()]
+
+
+def _usan(image: bytes, x: int, y: int, lut: list[int]) -> int:
+    center = image[y * _DIM + x]
+    total = 0
+    for dx, dy in _mask_offsets():
+        total += lut[image[(y + dy) * _DIM + (x + dx)] - center + 256]
+    return total
+
+
+def _corner_reference() -> bytes:
+    image, lut = _image(), _lut()
+    count = 0
+    checksum = 0
+    for y in range(_RADIUS, _DIM - _RADIUS):
+        for x in range(_RADIUS, _DIM - _RADIUS):
+            n = _usan(image, x, y, lut)
+            if n < _G_CORNER:
+                count += 1
+                checksum = (checksum + (y * _DIM + x) * n) & 0xFFFFFFFF
+    return pack_words([count, checksum])
+
+
+def _edge_reference() -> bytes:
+    image, lut = _image(), _lut()
+    rows = []
+    count = 0
+    for y in range(_RADIUS, _DIM - _RADIUS):
+        row_sum = 0
+        for x in range(_RADIUS, _DIM - _RADIUS):
+            n = _usan(image, x, y, lut)
+            if n < _G_EDGE:
+                row_sum = (row_sum + (_G_EDGE - n)) & 0xFFFFFFFF
+                count += 1
+        rows.append(row_sum)
+    return pack_words(rows + [count])
+
+
+def _smooth_reference() -> bytes:
+    image, lut = _image(), _lut()
+    rows = []
+    checksum = 0
+    index = 0
+    for y in range(_RADIUS, _DIM - _RADIUS):
+        row_sum = 0
+        for x in range(_RADIUS, _DIM - _RADIUS):
+            center = image[y * _DIM + x]
+            num = 0
+            den = 0
+            for dx, dy in _mask_offsets():
+                if dx == 0 and dy == 0:
+                    continue
+                pixel = image[(y + dy) * _DIM + (x + dx)]
+                weight = lut[pixel - center + 256]
+                num += weight * pixel
+                den += weight
+            smoothed = num // den if den else center
+            row_sum = (row_sum + smoothed) & 0xFFFFFFFF
+            index += 1
+            checksum = (checksum + smoothed * index) & 0xFFFFFFFF
+        rows.append(row_sum)
+    return pack_words(rows + [checksum])
+
+
+_USAN_ASM = f"""
+; ---- usan: r1 = pixel address; returns USAN sum in r9 ----
+; clobbers r2, r3, r4, r5, r6, r9; preserves r1, r8, r10, r11
+usan:
+    ldb  r2, [r1]            ; center brightness
+    movi r9, 0               ; sum
+    la   r3, mask_offsets
+    movi r4, 0               ; mask index
+usan_loop:
+    ldw  r5, [r3]
+    add  r5, r5, r1          ; neighbour address
+    ldb  r5, [r5]
+    sub  r5, r5, r2          ; brightness difference
+    addi r5, r5, 256
+    la   r6, lut
+    add  r6, r6, r5
+    ldb  r6, [r6]
+    add  r9, r9, r6
+    addi r3, r3, 4
+    addi r4, r4, 1
+    cmpi r4, 37
+    blt  usan_loop
+    ret
+"""
+
+
+def _corner_source() -> str:
+    return f"""
+    .text
+_start:
+{ALIVE_ASM}
+    movi r10, 0              ; corner count
+    movi r11, 0              ; checksum
+    movi r8, {_RADIUS}       ; y
+c_y:
+    movi r15, {_RADIUS}      ; x (kept in r15 across the usan call)
+c_x:
+    muli r1, r8, {_DIM}
+    add  r1, r1, r15
+    la   r2, image
+    add  r1, r2, r1
+    call usan
+    li   r2, {_G_CORNER}
+    cmp  r9, r2
+    bge  c_next
+    addi r10, r10, 1
+    muli r1, r8, {_DIM}
+    add  r1, r1, r15
+    mul  r1, r1, r9
+    add  r11, r11, r1
+c_next:
+    addi r15, r15, 1
+    cmpi r15, {_DIM - _RADIUS}
+    blt  c_x
+    movi r0, 1               ; heartbeat per row
+    movi r7, 2
+    syscall
+    addi r8, r8, 1
+    cmpi r8, {_DIM - _RADIUS}
+    blt  c_y
+    mov  r0, r10
+    movi r7, 3
+    syscall
+    mov  r0, r11
+    movi r7, 3
+    syscall
+{EXIT_ASM}
+{_USAN_ASM}
+    .data
+image:
+{bytes_directive(_image())}
+mask_offsets:
+{words_directive(_flat_offsets())}
+lut:
+{bytes_directive(bytes(_lut()))}
+"""
+
+
+def _edge_source() -> str:
+    return f"""
+    .text
+_start:
+{ALIVE_ASM}
+    movi r10, 0              ; edge pixel count
+    movi r8, {_RADIUS}       ; y
+e_y:
+    movi r11, 0              ; row response sum
+    movi r15, {_RADIUS}      ; x
+e_x:
+    muli r1, r8, {_DIM}
+    add  r1, r1, r15
+    la   r2, image
+    add  r1, r2, r1
+    call usan
+    li   r2, {_G_EDGE}
+    cmp  r9, r2
+    bge  e_next
+    sub  r2, r2, r9          ; response = g - n
+    add  r11, r11, r2
+    addi r10, r10, 1
+e_next:
+    addi r15, r15, 1
+    cmpi r15, {_DIM - _RADIUS}
+    blt  e_x
+    mov  r0, r11             ; emit row response sum
+    movi r7, 3
+    syscall
+    movi r0, 1               ; heartbeat per row
+    movi r7, 2
+    syscall
+    addi r8, r8, 1
+    cmpi r8, {_DIM - _RADIUS}
+    blt  e_y
+    mov  r0, r10
+    movi r7, 3
+    syscall
+{EXIT_ASM}
+{_USAN_ASM}
+    .data
+image:
+{bytes_directive(_image())}
+mask_offsets:
+{words_directive(_flat_offsets())}
+lut:
+{bytes_directive(bytes(_lut()))}
+"""
+
+
+def _smooth_source() -> str:
+    return f"""
+    .text
+_start:
+{ALIVE_ASM}
+    movi r10, 0              ; pixel index (1-based weight source)
+    movi r11, 0              ; global checksum
+    movi r8, {_RADIUS}       ; y
+s_y:
+    movi r15, {_RADIUS}      ; x
+    la   r1, row_sum
+    movi r2, 0
+    stw  r2, [r1]
+s_x:
+    ; smoothed = sum(w * I) / sum(w) over the mask minus the nucleus
+    muli r1, r8, {_DIM}
+    add  r1, r1, r15
+    la   r2, image
+    add  r1, r2, r1          ; center address
+    ldb  r2, [r1]            ; center brightness
+    movi r5, 0               ; numerator
+    movi r6, 0               ; denominator
+    la   r3, mask_offsets
+    movi r4, 0
+sm_loop:
+    ldw  r9, [r3]
+    cmpi r9, 0               ; skip the nucleus (offset 0)
+    beq  sm_next
+    add  r9, r9, r1
+    ldb  r9, [r9]            ; neighbour brightness
+    sub  r0, r9, r2
+    addi r0, r0, 256
+    la   r7, lut
+    add  r7, r7, r0
+    ldb  r7, [r7]            ; weight
+    mul  r0, r7, r9
+    add  r5, r5, r0
+    add  r6, r6, r7
+sm_next:
+    addi r3, r3, 4
+    addi r4, r4, 1
+    cmpi r4, 37
+    blt  sm_loop
+    cmpi r6, 0
+    bne  sm_div
+    mov  r5, r2              ; flat region: keep the center pixel
+    b    sm_have
+sm_div:
+    div  r5, r5, r6
+sm_have:
+    ; accumulate row sum and checksum
+    la   r1, row_sum
+    ldw  r2, [r1]
+    add  r2, r2, r5
+    stw  r2, [r1]
+    addi r10, r10, 1
+    mul  r2, r5, r10
+    add  r11, r11, r2
+    addi r15, r15, 1
+    cmpi r15, {_DIM - _RADIUS}
+    blt  s_x
+    la   r1, row_sum
+    ldw  r0, [r1]
+    movi r7, 3
+    syscall
+    movi r0, 1               ; heartbeat per row
+    movi r7, 2
+    syscall
+    addi r8, r8, 1
+    cmpi r8, {_DIM - _RADIUS}
+    blt  s_y
+    mov  r0, r11
+    movi r7, 3
+    syscall
+{EXIT_ASM}
+    .data
+image:
+{bytes_directive(_image())}
+mask_offsets:
+{words_directive(_flat_offsets())}
+lut:
+{bytes_directive(bytes(_lut()))}
+row_sum:
+    .word 0
+"""
+
+
+CORNER_WORKLOAD = Workload(
+    name="Susan C",
+    paper_input="76x95 pixels, 7.3 KB",
+    scaled_input=f"{_DIM}x{_DIM} grayscale image, 37-pixel USAN mask",
+    characteristics=Characteristic.CPU,
+    source=_corner_source(),
+    reference=_corner_reference,
+)
+
+EDGE_WORKLOAD = Workload(
+    name="Susan E",
+    paper_input="76x95 pixels, 7.3 KB",
+    scaled_input=f"{_DIM}x{_DIM} grayscale image, 37-pixel USAN mask",
+    characteristics=Characteristic.CPU,
+    source=_edge_source(),
+    reference=_edge_reference,
+)
+
+SMOOTH_WORKLOAD = Workload(
+    name="Susan S",
+    paper_input="76x95 pixels, 7.3 KB",
+    scaled_input=f"{_DIM}x{_DIM} grayscale image, 37-pixel USAN mask",
+    characteristics=Characteristic.CPU,
+    source=_smooth_source(),
+    reference=_smooth_reference,
+)

@@ -1,0 +1,83 @@
+"""AVF -> FIT conversion and AVF aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.avf import avf_breakdown
+from repro.analysis.fit_model import injection_fit
+from repro.injection.campaign import ComponentResult, WorkloadResult
+from repro.injection.classify import FaultEffect
+from repro.injection.components import Component
+
+
+def make_workload_result() -> WorkloadResult:
+    result = WorkloadResult(workload_name="X", golden_cycles=1000)
+    result.components[Component.L2] = ComponentResult(
+        component=Component.L2,
+        injections=100,
+        population_bits=131072,
+        counts={
+            FaultEffect.MASKED: 80,
+            FaultEffect.SDC: 10,
+            FaultEffect.APP_CRASH: 6,
+            FaultEffect.SYS_CRASH: 4,
+        },
+    )
+    result.components[Component.ITLB] = ComponentResult(
+        component=Component.ITLB,
+        injections=100,
+        population_bits=4096,
+        counts={FaultEffect.MASKED: 50, FaultEffect.SDC: 50},
+    )
+    return result
+
+
+class TestInjectionFIT:
+    def test_formula(self):
+        fits = injection_fit(make_workload_result(), fit_raw=1e-5)
+        # L2 SDC: 1e-5 * 131072 * 0.10; ITLB SDC: 1e-5 * 4096 * 0.5
+        expected_sdc = 1e-5 * 131072 * 0.10 + 1e-5 * 4096 * 0.5
+        assert fits.sdc == pytest.approx(expected_sdc)
+        assert fits.app_crash == pytest.approx(1e-5 * 131072 * 0.06)
+        assert fits.sys_crash == pytest.approx(1e-5 * 131072 * 0.04)
+
+    def test_total(self):
+        fits = injection_fit(make_workload_result(), fit_raw=1e-5)
+        assert fits.total == pytest.approx(
+            fits.sdc + fits.app_crash + fits.sys_crash
+        )
+
+    def test_by_component_sums_to_totals(self):
+        fits = injection_fit(make_workload_result(), fit_raw=1e-5)
+        per_class = {effect: 0.0 for effect in (
+            FaultEffect.SDC, FaultEffect.APP_CRASH, FaultEffect.SYS_CRASH
+        )}
+        for cell in fits.by_component.values():
+            for effect, value in cell.items():
+                per_class[effect] += value
+        assert per_class[FaultEffect.SDC] == pytest.approx(fits.sdc)
+
+    def test_detection_limit_reflects_biggest_component(self):
+        fits = injection_fit(make_workload_result(), fit_raw=1e-5)
+        assert fits.detection_limit == pytest.approx(1e-5 * 131072 / 100 / 2)
+
+    def test_fit_raw_scales_linearly(self):
+        small = injection_fit(make_workload_result(), fit_raw=1e-5)
+        large = injection_fit(make_workload_result(), fit_raw=2e-5)
+        assert large.sdc == pytest.approx(2 * small.sdc)
+
+
+class TestAVFBreakdown:
+    def test_rows_per_component(self):
+        rows = avf_breakdown(make_workload_result())
+        assert {row.component for row in rows} == {Component.L2, Component.ITLB}
+
+    def test_breakdown_values(self):
+        rows = avf_breakdown(make_workload_result())
+        l2 = next(row for row in rows if row.component is Component.L2)
+        assert l2.sdc == pytest.approx(0.10)
+        assert l2.app_crash == pytest.approx(0.06)
+        assert l2.sys_crash == pytest.approx(0.04)
+        assert l2.masked == pytest.approx(0.80)
+        assert l2.avf == pytest.approx(0.20)

@@ -1,0 +1,61 @@
+"""ASCII renderers."""
+
+from __future__ import annotations
+
+from repro.analysis.report import bar_chart, format_table, signed_bar_chart
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(("A", "Blong"), [("x", 1), ("ylong", 22)])
+        lines = table.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title(self):
+        table = format_table(("A",), [("x",)], title="My title")
+        assert table.splitlines()[0] == "My title"
+
+    def test_cells_stringified(self):
+        table = format_table(("A",), [(3.5,), (None,)])
+        assert "3.5" in table and "None" in table
+
+
+class TestBarChart:
+    def test_lengths_proportional(self):
+        chart = bar_chart([("a", 10.0), ("b", 5.0)], width=20)
+        line_a, line_b = chart.splitlines()
+        assert line_a.count("#") == 20
+        assert line_b.count("#") == 10
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart([("a", 100.0), ("b", 1.0)], width=20)
+        logarithmic = bar_chart([("a", 100.0), ("b", 1.0)], width=20, log_scale=True)
+        assert logarithmic.splitlines()[1].count("#") > linear.splitlines()[1].count(
+            "#"
+        )
+
+    def test_empty(self):
+        assert bar_chart([], title="t") == "t"
+
+    def test_all_zero(self):
+        chart = bar_chart([("a", 0.0)])
+        assert "#" not in chart
+
+
+class TestSignedBarChart:
+    def test_direction(self):
+        chart = signed_bar_chart([("pos", 10.0), ("neg", -10.0)], width=10)
+        pos_line = next(line for line in chart.splitlines() if "pos" in line)
+        neg_line = next(line for line in chart.splitlines() if "neg" in line)
+        pos_left, pos_right = pos_line.split("|")[1:]
+        neg_left, neg_right = neg_line.split("|")[1:]
+        assert "#" in pos_right and "#" not in pos_left
+        assert "#" in neg_left and "#" not in neg_right
+
+    def test_values_annotated(self):
+        chart = signed_bar_chart([("a", 4.0)])
+        assert "+4.00x" in chart
+
+    def test_title_adds_axis_legend(self):
+        chart = signed_bar_chart([("a", 1.0)], title="T")
+        assert "beam higher" in chart

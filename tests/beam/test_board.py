@@ -1,0 +1,62 @@
+"""Board model: outcome distributions and calibration invariants."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.beam.board import ZEDBOARD, BoardModel, BoardModelOutcome
+from repro.injection.classify import FaultEffect
+
+
+class TestDistributions:
+    def test_platform_distribution_sums_to_one(self):
+        total = sum(p for _e, p in ZEDBOARD.platform_outcomes)
+        assert total == pytest.approx(1.0)
+
+    def test_os_line_distribution_sums_to_one(self):
+        total = sum(p for _e, p in ZEDBOARD.os_line_outcomes)
+        assert total == pytest.approx(1.0)
+
+    def test_platform_outcomes_dominated_by_sys_crash(self):
+        """The paper attributes the beam System-Crash excess to platform
+        logic; among *error* outcomes, System Crash must dominate."""
+        weights = dict(ZEDBOARD.platform_outcomes)
+        assert weights[FaultEffect.SYS_CRASH] > weights[FaultEffect.APP_CRASH]
+        assert weights[FaultEffect.SYS_CRASH] > weights.get(FaultEffect.SDC, 0)
+
+    def test_os_line_outcomes_dominated_by_sys_crash(self):
+        weights = dict(ZEDBOARD.os_line_outcomes)
+        assert weights[FaultEffect.SYS_CRASH] > weights[FaultEffect.APP_CRASH]
+
+    def test_sampling_matches_weights(self):
+        rng = random.Random(9)
+        draws = Counter(
+            ZEDBOARD.sample_platform_outcome(rng) for _ in range(20_000)
+        )
+        for effect, probability in ZEDBOARD.platform_outcomes:
+            assert draws[effect] / 20_000 == pytest.approx(probability, abs=0.02)
+
+    def test_sampling_deterministic_per_seed(self):
+        a = [ZEDBOARD.sample_os_line_outcome(random.Random(3)) for _ in range(5)]
+        b = [ZEDBOARD.sample_os_line_outcome(random.Random(3)) for _ in range(5)]
+        assert a == b
+
+
+class TestBoardModelOutcome:
+    def test_carries_effect(self):
+        exc = BoardModelOutcome(FaultEffect.SYS_CRASH)
+        assert exc.effect is FaultEffect.SYS_CRASH
+
+    def test_custom_board(self):
+        board = BoardModel(
+            name="custom",
+            platform_logic_bits=10,
+            platform_sensitivity=1.0,
+            platform_outcomes=((FaultEffect.MASKED, 1.0),),
+            os_line_outcomes=((FaultEffect.MASKED, 1.0),),
+        )
+        rng = random.Random(0)
+        assert board.sample_platform_outcome(rng) is FaultEffect.MASKED

@@ -1,0 +1,82 @@
+"""The online SDC check routine (beam protocol)."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.beam.checkroutine import build_check_program
+from repro.errors import ApplicationAbort, ProgramExit
+from repro.kernel.layout import DEFAULT_LAYOUT
+from repro.microarch.system import GOLDEN_DATA_OFFSET, System
+
+
+def beam_system(user_assembler, user_source, golden):
+    program = user_assembler.assemble(user_source, entry="_start")
+    check = build_check_program(DEFAULT_LAYOUT, len(golden))
+    return System(
+        program, check_program=check, golden_output=golden, beam_mode=True
+    )
+
+
+WRITE_AND_EXIT = """
+_start:
+    li   r0, 0x04030201
+    movi r7, 3
+    syscall
+    movi r0, 0
+    movi r7, 0
+    syscall
+"""
+
+
+class TestCheckProgram:
+    def test_assembles_into_check_region(self):
+        program = build_check_program(DEFAULT_LAYOUT, 16)
+        assert program.segment("text").base == DEFAULT_LAYOUT.check_text_base
+        assert program.segment("data").base == DEFAULT_LAYOUT.golden_buffer_base
+
+    def test_params_block_holds_pointers(self):
+        program = build_check_program(DEFAULT_LAYOUT, 99)
+        out_ptr, golden_ptr, length = struct.unpack(
+            "<3I", program.segment("data").data[:12]
+        )
+        assert out_ptr == DEFAULT_LAYOUT.output_buffer_base
+        assert golden_ptr == DEFAULT_LAYOUT.golden_buffer_base + GOLDEN_DATA_OFFSET
+        assert length == 99
+
+
+class TestOnlineCheck:
+    def test_matching_output_reports_clean(self, user_assembler):
+        golden = struct.pack("<I", 0x04030201)
+        system = beam_system(user_assembler, WRITE_AND_EXIT, golden)
+        result = system.run(max_cycles=5_000_000)
+        assert isinstance(result.outcome, ProgramExit)
+        assert result.check_done and not result.sdc_flag
+
+    def test_mismatch_detected(self, user_assembler):
+        golden = struct.pack("<I", 0x04030202)  # differs in one byte
+        system = beam_system(user_assembler, WRITE_AND_EXIT, golden)
+        result = system.run(max_cycles=5_000_000)
+        assert result.check_done and result.sdc_flag
+
+    def test_short_output_detected(self, user_assembler):
+        # Program writes 4 bytes but the golden expects 8: the tail of the
+        # output buffer is zero and must mismatch.
+        golden = struct.pack("<I", 0x04030201) + b"\x01\x02\x03\x04"
+        system = beam_system(user_assembler, WRITE_AND_EXIT, golden)
+        result = system.run(max_cycles=5_000_000)
+        assert result.check_done and result.sdc_flag
+
+    def test_corrupted_pointer_block_crashes_check(self, user_assembler):
+        """A strike on the pointer-holding params block turns the check
+        into a wild access - the Application Crash mechanism behind the
+        paper's Fig. 7 outliers."""
+        golden = struct.pack("<I", 0x04030201)
+        system = beam_system(user_assembler, WRITE_AND_EXIT, golden)
+        params = DEFAULT_LAYOUT.golden_buffer_base
+        # Corrupt the output-buffer pointer's high byte in memory.
+        system.memory.data[params + 3] ^= 0x80
+        result = system.run(max_cycles=5_000_000)
+        assert isinstance(result.outcome, ApplicationAbort)

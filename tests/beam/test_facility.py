@@ -1,0 +1,54 @@
+"""Facility model: flux, cross-sections, acceleration, fluence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.beam.facility import (
+    JESD89A_NYC_FLUX,
+    LANSCE,
+    MEASURED_FIT_RAW,
+    BeamFacility,
+)
+
+
+class TestConstants:
+    def test_paper_values(self):
+        assert LANSCE.flux == pytest.approx(3.5e5)
+        assert JESD89A_NYC_FLUX == 13.0
+        assert MEASURED_FIT_RAW == pytest.approx(2.76e-5)
+
+    def test_acceleration_factor_is_about_1e8(self):
+        """The paper: beam flux ~8 orders of magnitude above terrestrial."""
+        assert 9.0e7 < LANSCE.acceleration_factor < 1.1e8
+
+
+class TestCrossSection:
+    def test_sigma_consistent_with_fit_raw(self):
+        # FIT_raw = sigma * flux_NYC * 1e9 by definition.
+        reconstructed = LANSCE.sigma_bit * JESD89A_NYC_FLUX * 1e9
+        assert reconstructed == pytest.approx(MEASURED_FIT_RAW)
+
+    def test_strike_rate_scales_with_bits(self):
+        assert LANSCE.strike_rate(2000) == pytest.approx(
+            2 * LANSCE.strike_rate(1000)
+        )
+
+    def test_sensitivity_scales_rate(self):
+        assert LANSCE.strike_rate(1000, sensitivity=0.5) == pytest.approx(
+            0.5 * LANSCE.strike_rate(1000)
+        )
+
+
+class TestExposure:
+    def test_fluence(self):
+        assert LANSCE.fluence(10.0) == pytest.approx(3.5e6)
+
+    def test_natural_years_of_paper_campaign(self):
+        """260 beam hours ~ 2.9 million years (abstract of the paper)."""
+        years = LANSCE.natural_years(260 * 3600)
+        assert 2.5e6 < years < 3.3e6
+
+    def test_custom_facility(self):
+        weak = BeamFacility(name="weak", flux=1e3)
+        assert weak.acceleration_factor < LANSCE.acceleration_factor

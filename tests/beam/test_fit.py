@@ -1,0 +1,74 @@
+"""FIT arithmetic and counting statistics."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.beam.fit import fit_rate, poisson_interval, sample_poisson
+from repro.errors import ConfigurationError
+
+
+class TestFitRate:
+    def test_definition(self):
+        # 10 errors over 1e10 n/cm^2 -> sigma = 1e-9 cm^2;
+        # FIT = sigma * 13 * 1e9 = 13.
+        assert fit_rate(10, 1e10) == pytest.approx(13.0)
+
+    def test_linear_in_errors(self):
+        assert fit_rate(20, 1e10) == pytest.approx(2 * fit_rate(10, 1e10))
+
+    def test_zero_errors(self):
+        assert fit_rate(0, 1e10) == 0.0
+
+    def test_bad_fluence(self):
+        with pytest.raises(ConfigurationError):
+            fit_rate(1, 0.0)
+
+
+class TestPoissonInterval:
+    def test_zero_count_lower_bound_is_zero(self):
+        low, high = poisson_interval(0)
+        assert low == 0.0
+        assert 3.0 < high < 4.5  # the classic ~3.7 upper bound
+
+    def test_interval_contains_count(self):
+        for count in (1, 5, 20, 100):
+            low, high = poisson_interval(count)
+            assert low < count < high
+
+    def test_higher_confidence_is_wider(self):
+        low95, high95 = poisson_interval(10, 0.95)
+        low99, high99 = poisson_interval(10, 0.99)
+        assert low99 <= low95 and high99 >= high95
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            poisson_interval(-1)
+
+
+class TestPoissonSampler:
+    def test_zero_mean(self):
+        rng = random.Random(1)
+        assert sample_poisson(rng, 0.0) == 0
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_poisson(random.Random(1), -1.0)
+
+    @pytest.mark.parametrize("mean", [0.5, 3.0, 12.0, 80.0])
+    def test_sample_mean_converges(self, mean):
+        rng = random.Random(42)
+        draws = [sample_poisson(rng, mean) for _ in range(3000)]
+        assert statistics.mean(draws) == pytest.approx(mean, rel=0.1)
+        assert statistics.pvariance(draws) == pytest.approx(mean, rel=0.25)
+
+    @given(mean=st.floats(0.0, 200.0))
+    @settings(max_examples=50)
+    def test_samples_are_nonnegative_ints(self, mean):
+        rng = random.Random(7)
+        value = sample_poisson(rng, mean)
+        assert isinstance(value, int) and value >= 0

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import Assembler
+from repro.kernel.layout import DEFAULT_LAYOUT
+from repro.microarch.config import SCALED_A9_CONFIG
+from repro.microarch.system import System
+
+
+@pytest.fixture
+def layout():
+    return DEFAULT_LAYOUT
+
+
+@pytest.fixture
+def machine_config():
+    return SCALED_A9_CONFIG
+
+
+@pytest.fixture
+def user_assembler():
+    """Assembler targeting the user text/data regions."""
+    return Assembler(
+        text_base=DEFAULT_LAYOUT.user_text_base,
+        data_base=DEFAULT_LAYOUT.user_data_base,
+    )
+
+
+@pytest.fixture
+def run_program(user_assembler):
+    """Assemble and run a user program; returns the RunResult."""
+
+    def runner(source: str, max_cycles: int = 5_000_000, trace=None, **system_kwargs):
+        program = user_assembler.assemble(source, entry="_start")
+        system = System(program, **system_kwargs)
+        return system.run(max_cycles=max_cycles, trace=trace)
+
+    return runner
+
+
+@pytest.fixture
+def run_system(user_assembler):
+    """Like run_program but also returns the System for inspection."""
+
+    def runner(source: str, max_cycles: int = 5_000_000, **system_kwargs):
+        program = user_assembler.assemble(source, entry="_start")
+        system = System(program, **system_kwargs)
+        result = system.run(max_cycles=max_cycles)
+        return system, result
+
+    return runner
+
+
+EXIT0 = """
+    movi r0, 0
+    movi r7, 0
+    syscall
+"""
+
+
+@pytest.fixture
+def exit0():
+    """Assembly epilogue: exit(0)."""
+    return EXIT0

@@ -1,0 +1,163 @@
+"""Experiment drivers: rendering against a synthetic context.
+
+The figure/table drivers are exercised with fabricated campaign results so
+these tests are fast and deterministic; the live end-to-end path is covered
+by the benchmark harness and the slow campaign tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.fit_model import injection_fit
+from repro.beam.experiment import BeamResult
+from repro.experiments import (
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table2,
+    table3,
+    table4,
+)
+from repro.injection.campaign import ComponentResult, WorkloadResult
+from repro.injection.classify import FaultEffect
+from repro.injection.components import Component, component_bits
+from repro.microarch.config import SCALED_A9_CONFIG
+from repro.workloads import MIBENCH_SUITE
+
+
+class FakeContext:
+    """Quacks like ExperimentContext with synthetic campaign results."""
+
+    def __init__(self, seed=1):
+        self.machine = SCALED_A9_CONFIG
+        self.faults_per_component = 100
+        self.beam_hours = 100.0
+        rng = random.Random(seed)
+        self._injection = {}
+        self._beam = {}
+        for name in MIBENCH_SUITE:
+            result = WorkloadResult(workload_name=name, golden_cycles=100_000)
+            for component in Component:
+                sdc = rng.randint(0, 15)
+                app = rng.randint(0, 8)
+                sys_ = rng.randint(0, 4)
+                result.components[component] = ComponentResult(
+                    component=component,
+                    injections=100,
+                    population_bits=component_bits(SCALED_A9_CONFIG, component),
+                    counts={
+                        FaultEffect.MASKED: 100 - sdc - app - sys_,
+                        FaultEffect.SDC: sdc,
+                        FaultEffect.APP_CRASH: app,
+                        FaultEffect.SYS_CRASH: sys_,
+                    },
+                )
+            self._injection[name] = result
+            self._beam[name] = BeamResult(
+                workload_name=name,
+                beam_seconds=self.beam_hours * 3600,
+                fluence=3.5e5 * self.beam_hours * 3600,
+                golden_cycles=100_000,
+                counts={
+                    FaultEffect.SDC: rng.randint(0, 10),
+                    FaultEffect.APP_CRASH: rng.randint(0, 20),
+                    FaultEffect.SYS_CRASH: rng.randint(5, 60),
+                    FaultEffect.MASKED: rng.randint(20, 80),
+                },
+                strikes_simulated=100,
+                platform_strikes=50,
+                natural_years=1e5,
+            )
+
+    @property
+    def workloads(self):
+        return MIBENCH_SUITE
+
+    def injection_results(self):
+        return self._injection
+
+    def injection_fits(self):
+        return {n: injection_fit(r) for n, r in self._injection.items()}
+
+    def beam_results(self):
+        return self._beam
+
+
+@pytest.fixture(scope="module")
+def context():
+    return FakeContext()
+
+
+ALL_BENCH_NAMES = list(MIBENCH_SUITE)
+
+
+class TestTables:
+    def test_table2_mentions_both_setups(self, context):
+        text = table2.render(context)
+        assert "Beam" in text and "L2 Cache" in text
+
+    def test_table3_lists_all_benchmarks(self, context):
+        text = table3.render(context)
+        for name in ALL_BENCH_NAMES:
+            assert name in text
+
+    def test_table4_margins_in_percent(self, context):
+        text = table4.render(context)
+        assert "%" in text
+        for component in ("Register File", "DTLB", "ITLB", "L2 Cache"):
+            assert component in text
+
+    def test_table4_data_monotone_with_sample(self, context):
+        rows = table4.data(context)
+        for row in rows:
+            assert 0 < row.min_margin <= row.avg_margin <= row.max_margin < 1
+
+
+class TestFigures:
+    def test_fig3_fits_positive(self, context):
+        data = fig3.data(context)
+        assert set(data) == set(ALL_BENCH_NAMES)
+        for fits in data.values():
+            assert all(value >= 0 for value in fits.values())
+
+    def test_fig3_render(self, context):
+        text = fig3.render(context)
+        assert "SysCrash FIT" in text
+
+    def test_fig4_sections_per_component(self, context):
+        text = fig4.render(context)
+        for component in Component:
+            assert component.label in text
+
+    def test_fig4_breakdowns_sum_to_one(self, context):
+        for rows in fig4.data(context).values():
+            for cell in rows:
+                total = cell.sdc + cell.app_crash + cell.sys_crash + cell.masked
+                assert total == pytest.approx(1.0)
+
+    def test_fig5_totals(self, context):
+        for fits in fig5.data(context).values():
+            assert fits.total == pytest.approx(
+                fits.sdc + fits.app_crash + fits.sys_crash
+            )
+
+    @pytest.mark.parametrize("module", [fig6, fig7, fig8, fig9])
+    def test_ratio_figures_cover_suite(self, context, module):
+        rows = module.data(context)
+        assert {row.workload for row in rows} == set(ALL_BENCH_NAMES)
+        text = module.render(context)
+        assert "beam higher" in text
+
+    def test_fig10_three_bars_and_paper_reference(self, context):
+        bars = fig10.data(context)
+        assert len(bars) == 3
+        text = fig10.render(context)
+        assert "10.9" in text  # paper's headline total ratio

@@ -1,0 +1,86 @@
+"""Outcome classification against the paper's four effect classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ApplicationAbort,
+    KernelPanic,
+    ProgramExit,
+    WatchdogTimeout,
+)
+from repro.injection.classify import ERROR_CLASSES, FaultEffect, classify_run
+from repro.kernel.layout import DEFAULT_LAYOUT
+from repro.microarch.statistics import PerfCounters
+from repro.microarch.system import RunResult, System
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def system():
+    workload = get_workload("Susan C")
+    return System(workload.program(DEFAULT_LAYOUT))
+
+
+def make_result(outcome, output=b"", sdc_flag=False):
+    return RunResult(
+        outcome=outcome,
+        output=output,
+        counters=PerfCounters(),
+        cycles=1000,
+        alive_count=1,
+        sdc_flag=sdc_flag,
+        check_done=False,
+    )
+
+
+GOLDEN = b"expected"
+
+
+class TestClassification:
+    def test_clean_matching_run_is_masked(self, system):
+        result = make_result(ProgramExit(0), output=GOLDEN)
+        assert classify_run(result, GOLDEN, system) is FaultEffect.MASKED
+
+    def test_output_mismatch_is_sdc(self, system):
+        result = make_result(ProgramExit(0), output=b"corrupted")
+        assert classify_run(result, GOLDEN, system) is FaultEffect.SDC
+
+    def test_online_check_flag_is_sdc_even_with_matching_console(self, system):
+        result = make_result(ProgramExit(0), output=GOLDEN, sdc_flag=True)
+        assert classify_run(result, GOLDEN, system) is FaultEffect.SDC
+
+    def test_nonzero_exit_is_app_crash(self, system):
+        result = make_result(ProgramExit(7), output=GOLDEN)
+        assert classify_run(result, GOLDEN, system) is FaultEffect.APP_CRASH
+
+    def test_kernel_kill_is_app_crash(self, system):
+        result = make_result(ApplicationAbort(cause=2, pc=0x10000))
+        assert classify_run(result, GOLDEN, system) is FaultEffect.APP_CRASH
+
+    def test_kernel_panic_is_sys_crash(self, system):
+        result = make_result(KernelPanic("double fault", pc=0x40))
+        assert classify_run(result, GOLDEN, system) is FaultEffect.SYS_CRASH
+
+    def test_hang_with_sound_kernel_is_app_crash(self, system):
+        result = make_result(WatchdogTimeout(999_999))
+        assert classify_run(result, GOLDEN, system) is FaultEffect.APP_CRASH
+
+    def test_hang_with_corrupt_kernel_is_sys_crash(self):
+        workload = get_workload("Susan C")
+        broken = System(workload.program(DEFAULT_LAYOUT))
+        broken.memory.data[0x44] ^= 0x08  # corrupt kernel text
+        result = make_result(WatchdogTimeout(999_999))
+        assert classify_run(result, GOLDEN, broken) is FaultEffect.SYS_CRASH
+
+    def test_unknown_outcome_rejected(self, system):
+        with pytest.raises(TypeError):
+            classify_run(make_result(None), GOLDEN, system)
+
+    def test_error_classes_order(self):
+        assert ERROR_CLASSES == (
+            FaultEffect.SDC,
+            FaultEffect.APP_CRASH,
+            FaultEffect.SYS_CRASH,
+        )

@@ -1,0 +1,109 @@
+"""Instrumented injection: strike-site observability and ablation knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.injection.campaign import (
+    run_golden,
+    run_instrumented_injection,
+    run_single_injection,
+)
+from repro.injection.classify import FaultEffect
+from repro.injection.components import Component, component_bits
+from repro.injection.fault import Fault, generate_faults
+from repro.microarch.config import SCALED_A9_CONFIG
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("StringSearch")
+
+
+@pytest.fixture(scope="module")
+def golden(workload):
+    return run_golden(workload, SCALED_A9_CONFIG)
+
+
+class TestObservability:
+    def test_observation_fields(self, workload, golden):
+        fault = Fault(Component.L1D, bit_index=100, cycle=golden.cycles // 2)
+        observation = run_instrumented_injection(
+            workload, fault, SCALED_A9_CONFIG, golden
+        )
+        assert observation.fault == fault
+        assert observation.effect in set(FaultEffect)
+        assert observation.mode_at_injection in ("user", "kernel")
+
+    def test_dead_cache_line_observed_and_masked(self, workload, golden):
+        """A strike at cycle 0 hits cold caches: not live, masked."""
+        fault = Fault(Component.L2, bit_index=77, cycle=0)
+        observation = run_instrumented_injection(
+            workload, fault, SCALED_A9_CONFIG, golden
+        )
+        assert not observation.target_live
+        assert observation.target_region is None
+        assert observation.effect is FaultEffect.MASKED
+
+    def test_effect_matches_plain_injection(self, workload, golden):
+        faults = generate_faults(
+            Component.L1I,
+            component_bits(SCALED_A9_CONFIG, Component.L1I),
+            golden.cycles,
+            count=5,
+            seed=99,
+        )
+        for fault in faults:
+            plain = run_single_injection(workload, fault, SCALED_A9_CONFIG, golden)
+            instrumented = run_instrumented_injection(
+                workload, fault, SCALED_A9_CONFIG, golden
+            )
+            assert instrumented.effect == plain
+
+    def test_regions_are_meaningful(self, workload, golden):
+        regions = set()
+        faults = generate_faults(
+            Component.L1D,
+            component_bits(SCALED_A9_CONFIG, Component.L1D),
+            golden.cycles,
+            count=12,
+            seed=17,
+        )
+        for fault in faults:
+            observation = run_instrumented_injection(
+                workload, fault, SCALED_A9_CONFIG, golden
+            )
+            if observation.target_region:
+                regions.add(observation.target_region)
+        # A running system holds both user and kernel lines in L1D.
+        assert regions  # at least something live was struck
+        valid_names = {
+            "kernel_text", "kernel_data", "page_table", "user_text",
+            "user_data", "user_stack", "output_buffer", "os_background",
+            "check_text", "golden_buffer", "unmapped",
+        }
+        assert regions <= valid_names
+
+
+class TestClusterSizes:
+    def test_cluster_flips_are_applied(self, workload, golden):
+        """A 2-bit cluster in the same byte of a live line produces a
+        different corruption than a single bit (sanity via determinism)."""
+        fault = Fault(Component.L1D, bit_index=8, cycle=golden.cycles // 2)
+        single = run_single_injection(
+            workload, fault, SCALED_A9_CONFIG, golden, cluster_size=1
+        )
+        double = run_single_injection(
+            workload, fault, SCALED_A9_CONFIG, golden, cluster_size=2
+        )
+        assert single in set(FaultEffect)
+        assert double in set(FaultEffect)
+
+    def test_cluster_wraps_population(self, workload, golden):
+        bits = component_bits(SCALED_A9_CONFIG, Component.ITLB)
+        fault = Fault(Component.ITLB, bit_index=bits - 1, cycle=100)
+        effect = run_single_injection(
+            workload, fault, SCALED_A9_CONFIG, golden, cluster_size=4
+        )
+        assert effect in set(FaultEffect)

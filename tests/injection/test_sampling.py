@@ -1,0 +1,87 @@
+"""Leveugle statistical fault sampling: sizes, margins, re-adjustment."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.injection.sampling import (
+    error_margin,
+    readjusted_margin,
+    sample_size,
+)
+
+
+class TestSampleSize:
+    def test_paper_operating_point(self):
+        """~1,000 faults give ~4% margin at 99% for a large population."""
+        n = sample_size(population=10_000_000, margin=0.0407, confidence=0.99)
+        assert 950 <= n <= 1050
+
+    def test_sample_never_exceeds_population(self):
+        assert sample_size(population=50, margin=0.01) == 50
+
+    def test_tighter_margin_needs_more_faults(self):
+        loose = sample_size(10**6, margin=0.05)
+        tight = sample_size(10**6, margin=0.01)
+        assert tight > loose
+
+    def test_higher_confidence_needs_more_faults(self):
+        low = sample_size(10**6, margin=0.04, confidence=0.90)
+        high = sample_size(10**6, margin=0.04, confidence=0.99)
+        assert high > low
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            sample_size(0)
+        with pytest.raises(ConfigurationError):
+            sample_size(100, margin=0.0)
+        with pytest.raises(ConfigurationError):
+            sample_size(100, confidence=0.42)
+
+
+class TestErrorMargin:
+    def test_inverse_of_sample_size(self):
+        population = 10**6
+        for margin in (0.01, 0.02, 0.04):
+            n = sample_size(population, margin=margin)
+            achieved = error_margin(population, n)
+            assert achieved <= margin * 1.01
+
+    def test_full_census_has_zero_margin(self):
+        assert error_margin(1000, 1000) == 0.0
+
+    def test_paper_table_iv_range(self):
+        """1,000 faults, p=0.5: ~4%; the re-adjusted margins land in
+        the paper's 1.7%-4.0% band for AVFs seen in the campaigns."""
+        population = 131072 * 8  # scaled L2 bits
+        conservative = error_margin(population, 1000)
+        assert 0.038 <= conservative <= 0.042
+        for avf in (0.02, 0.1, 0.3, 0.5):
+            adjusted = readjusted_margin(population, 1000, avf)
+            assert 0.0 < adjusted <= conservative * 1.001
+
+    @given(
+        population=st.integers(1000, 10**8),
+        sample=st.integers(10, 999),
+    )
+    def test_margin_positive_and_decreasing(self, population, sample):
+        if sample >= population:
+            return
+        wider = error_margin(population, sample)
+        narrower = error_margin(population, sample * 2)
+        assert narrower <= wider
+        assert wider > 0
+
+    @given(
+        population=st.integers(10_000, 10**8),
+        sample=st.integers(10, 5_000),
+        avf=st.floats(0.0, 1.0),
+    )
+    def test_readjusted_never_exceeds_conservative(self, population, sample, avf):
+        if sample >= population:
+            return
+        conservative = error_margin(population, sample)
+        adjusted = readjusted_margin(population, sample, avf)
+        assert adjusted <= conservative * (1 + 1e-9)

@@ -1,0 +1,72 @@
+"""Wilson score intervals for fault-effect rates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.injection.campaign import ComponentResult
+from repro.injection.classify import FaultEffect
+from repro.injection.components import Component
+from repro.injection.sampling import wilson_interval
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(21, 100)
+        assert low < 0.21 < high
+
+    def test_zero_successes_lower_bound_zero(self):
+        low, high = wilson_interval(0, 100)
+        assert low == 0.0
+        assert 0 < high < 0.12
+
+    def test_all_successes_upper_bound_one(self):
+        low, high = wilson_interval(100, 100)
+        assert high == 1.0
+        assert 0.88 < low < 1.0
+
+    def test_narrows_with_trials(self):
+        low_small, high_small = wilson_interval(5, 10)
+        low_large, high_large = wilson_interval(500, 1000)
+        assert high_large - low_large < high_small - low_small
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 4)
+
+    @given(
+        successes=st.integers(0, 200),
+        trials=st.integers(1, 200),
+        confidence=st.sampled_from([0.90, 0.95, 0.99]),
+    )
+    def test_always_a_valid_interval(self, successes, trials, confidence):
+        if successes > trials:
+            successes = trials
+        low, high = wilson_interval(successes, trials, confidence)
+        assert 0.0 <= low <= successes / trials <= high <= 1.0
+
+
+class TestComponentRateInterval:
+    def test_rate_interval(self):
+        result = ComponentResult(
+            component=Component.L1D,
+            injections=100,
+            population_bits=32768,
+            counts={FaultEffect.MASKED: 79, FaultEffect.SDC: 21},
+        )
+        low, high = result.rate_interval(FaultEffect.SDC)
+        assert low < result.rate(FaultEffect.SDC) < high
+
+    def test_absent_class_interval_starts_at_zero(self):
+        result = ComponentResult(
+            component=Component.L1D,
+            injections=50,
+            population_bits=32768,
+            counts={FaultEffect.MASKED: 50},
+        )
+        low, high = result.rate_interval(FaultEffect.SYS_CRASH)
+        assert low == 0.0 and high > 0.0

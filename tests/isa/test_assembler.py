@@ -1,0 +1,216 @@
+"""Assembler: directives, labels, pseudo-instructions, error reporting."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import Assembler, Program
+from repro.isa.encoding import decode
+from repro.isa.opcodes import Op
+
+TEXT = 0x10000
+DATA = 0x20000
+
+
+@pytest.fixture
+def asm():
+    return Assembler(text_base=TEXT, data_base=DATA)
+
+
+def words(program: Program) -> list[int]:
+    data = program.segment("text").data
+    return list(struct.unpack(f"<{len(data) // 4}I", data))
+
+
+class TestBasics:
+    def test_simple_program(self, asm):
+        program = asm.assemble("_start:\n    nop\n    nop\n")
+        assert program.entry == TEXT
+        assert len(program.segment("text").data) == 8
+
+    def test_entry_defaults_to_start_label(self, asm):
+        program = asm.assemble("    nop\n_start:\n    nop\n")
+        assert program.entry == TEXT + 4
+
+    def test_explicit_entry(self, asm):
+        program = asm.assemble("main:\n    nop\n", entry="main")
+        assert program.entry == TEXT
+
+    def test_missing_entry_raises(self, asm):
+        with pytest.raises(AssemblerError):
+            asm.assemble("    nop\n", entry="nowhere")
+
+    def test_comments_stripped(self, asm):
+        program = asm.assemble("_start:\n    nop ; comment\n    nop # another\n")
+        assert len(program.segment("text").data) == 8
+
+    def test_label_and_instruction_same_line(self, asm):
+        program = asm.assemble("_start: nop\nfoo: nop\n")
+        assert program.symbols["foo"] == TEXT + 4
+
+    def test_duplicate_label_rejected(self, asm):
+        with pytest.raises(AssemblerError):
+            asm.assemble("a:\n    nop\na:\n    nop\n")
+
+    def test_unknown_mnemonic_reports_line(self, asm):
+        with pytest.raises(AssemblerError) as excinfo:
+            asm.assemble("_start:\n    nop\n    frobnicate r1\n")
+        assert excinfo.value.line == 3
+
+    def test_undefined_symbol_rejected(self, asm):
+        with pytest.raises(AssemblerError):
+            asm.assemble("_start:\n    b nowhere\n")
+
+
+class TestDirectives:
+    def test_word_directive(self, asm):
+        program = asm.assemble("_start: nop\n    .data\nv:  .word 1, 2, 0xff\n")
+        assert program.segment("data").data == struct.pack("<3I", 1, 2, 0xFF)
+
+    def test_word_with_symbol(self, asm):
+        program = asm.assemble(
+            "_start: nop\n    .data\nptr: .word target\ntarget: .word 7\n"
+        )
+        value = struct.unpack_from("<I", program.segment("data").data, 0)[0]
+        assert value == program.symbols["target"]
+
+    def test_byte_directive(self, asm):
+        program = asm.assemble("_start: nop\n    .data\nb: .byte 1, 'a', 0xff\n")
+        assert program.segment("data").data == bytes([1, ord("a"), 0xFF])
+
+    def test_double_directive(self, asm):
+        program = asm.assemble("_start: nop\n    .data\nd: .double 1.5, -2.25\n")
+        assert program.segment("data").data == struct.pack("<2d", 1.5, -2.25)
+
+    def test_space_directive(self, asm):
+        program = asm.assemble("_start: nop\n    .data\ns: .space 10\ne: .byte 1\n")
+        assert program.symbols["e"] - program.symbols["s"] == 10
+
+    def test_ascii_and_asciz(self, asm):
+        program = asm.assemble(
+            '_start: nop\n    .data\na: .ascii "hi"\nz: .asciz "yo"\n'
+        )
+        assert program.segment("data").data == b"hiyo\x00"
+
+    def test_ascii_with_escapes(self, asm):
+        program = asm.assemble('_start: nop\n    .data\ns: .ascii "a\\nb"\n')
+        assert program.segment("data").data == b"a\nb"
+
+    def test_align(self, asm):
+        program = asm.assemble(
+            "_start: nop\n    .data\n    .byte 1\n    .align 8\nd: .double 1.0\n"
+        )
+        assert program.symbols["d"] % 8 == 0
+
+    def test_align_requires_power_of_two(self, asm):
+        with pytest.raises(AssemblerError):
+            asm.assemble("_start: nop\n    .data\n    .align 3\n")
+
+    def test_negative_space_rejected(self, asm):
+        with pytest.raises(AssemblerError):
+            asm.assemble("_start: nop\n    .data\n    .space -1\n")
+
+
+class TestPseudoInstructions:
+    def test_li_small_is_one_word(self, asm):
+        program = asm.assemble("_start:\n    li r1, 100\n")
+        (word,) = words(program)
+        inst = decode(word)
+        assert inst.op is Op.MOVI and inst.imm == 100
+
+    def test_li_large_is_two_words(self, asm):
+        program = asm.assemble("_start:\n    li r1, 0x12345678\n")
+        first, second = words(program)
+        assert decode(first).op is Op.MOVHI
+        assert decode(first).imm == 0x1234
+        assert decode(second).op is Op.ORRI
+        assert decode(second).imm == 0x5678
+
+    def test_li_negative_small(self, asm):
+        program = asm.assemble("_start:\n    li r1, -5\n")
+        (word,) = words(program)
+        assert decode(word).imm == -5
+
+    def test_la_resolves_symbol(self, asm):
+        program = asm.assemble("_start:\n    la r1, buf\n    .data\nbuf: .word 0\n")
+        first, second = words(program)
+        address = program.symbols["buf"]
+        assert decode(first).imm == (address >> 16) & 0xFFFF
+        assert decode(second).imm == address & 0xFFFF
+
+    def test_push_pop_expand(self, asm):
+        program = asm.assemble("_start:\n    push r1\n    pop r1\n")
+        w = words(program)
+        assert [decode(x).op for x in w] == [Op.SUBI, Op.STW, Op.LDW, Op.ADDI]
+
+    def test_ret_is_br_lr(self, asm):
+        program = asm.assemble("_start:\n    ret\n")
+        inst = decode(words(program)[0])
+        assert inst.op is Op.BR and inst.rs1 == 14
+
+    def test_call_is_bl(self, asm):
+        program = asm.assemble("_start:\n    call f\nf:\n    ret\n")
+        inst = decode(words(program)[0])
+        assert inst.op is Op.BL and inst.imm == 0
+
+    def test_fli_uses_constant_pool(self, asm):
+        program = asm.assemble("_start:\n    fli f1, 3.25\n")
+        data = program.segment("data").data
+        assert struct.unpack("<d", data[-8:])[0] == 3.25
+
+    def test_fli_pool_dedupes_equal_constants(self, asm):
+        program = asm.assemble("_start:\n    fli f1, 2.5\n    fli f2, 2.5\n")
+        assert len(program.segment("data").data) == 8
+
+
+class TestBranches:
+    def test_backward_branch_offset(self, asm):
+        program = asm.assemble("_start:\nloop:\n    nop\n    b loop\n")
+        branch = decode(words(program)[1])
+        # target = pc + 4 + imm*4: loop is at +0, branch at +4.
+        assert branch.imm == -2
+
+    def test_forward_branch_offset(self, asm):
+        program = asm.assemble("_start:\n    b done\n    nop\ndone:\n    nop\n")
+        branch = decode(words(program)[0])
+        assert branch.imm == 1
+
+    def test_memory_operand_forms(self, asm):
+        program = asm.assemble(
+            "_start:\n    ldw r1, [r2]\n    ldw r1, [r2, 8]\n    ldw r1, [r2, -4]\n"
+        )
+        offsets = [decode(w).imm for w in words(program)]
+        assert offsets == [0, 8, -4]
+
+    def test_lo_hi_expressions(self, asm):
+        program = asm.assemble(
+            "_start:\n    movhi r1, hi(buf)\n    orri r1, r1, lo(buf)\n"
+            "    .data\nbuf: .word 0\n"
+        )
+        hi_word, lo_word = words(program)
+        address = program.symbols["buf"]
+        assert decode(hi_word).imm == (address >> 16) & 0xFFFF
+        assert decode(lo_word).imm == address & 0xFFFF
+
+    def test_symbol_arithmetic(self, asm):
+        program = asm.assemble(
+            "_start: nop\n    .data\nbase: .space 16\nv: .word base+8\n"
+        )
+        value = struct.unpack_from("<I", program.segment("data").data, 16)[0]
+        assert value == program.symbols["base"] + 8
+
+    def test_oversized_immediate_rejected(self, asm):
+        with pytest.raises(AssemblerError):
+            asm.assemble("_start:\n    addi r1, r1, 0x12345\n")
+
+    def test_bad_register_rejected(self, asm):
+        with pytest.raises(AssemblerError):
+            asm.assemble("_start:\n    add r1, r2, r16\n")
+
+    def test_csr_by_name_and_number(self, asm):
+        program = asm.assemble("_start:\n    csrr r1, epc\n    csrr r1, 0\n")
+        first, second = words(program)
+        assert decode(first).imm == decode(second).imm == 0

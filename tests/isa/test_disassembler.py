@@ -1,0 +1,72 @@
+"""Disassembler: readable text for valid words, graceful for garbage."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.isa.disassembler import disassemble, disassemble_word
+from repro.isa.encoding import encode, try_decode
+from repro.isa.opcodes import Op
+
+
+class TestDisassembleWord:
+    def test_alu(self):
+        assert disassemble_word(encode(Op.ADD, rd=1, rs1=2, rs2=3)) == "add r1, r2, r3"
+
+    def test_immediate(self):
+        assert (
+            disassemble_word(encode(Op.ADDI, rd=1, rs1=2, imm=-7))
+            == "addi r1, r2, -7"
+        )
+
+    def test_memory(self):
+        assert (
+            disassemble_word(encode(Op.LDW, rd=3, rs1=13, imm=8))
+            == "ldw r3, [r13, 8]"
+        )
+
+    def test_float_memory(self):
+        assert (
+            disassemble_word(encode(Op.FLD, rd=2, rs1=4, imm=0))
+            == "fld f2, [r4, 0]"
+        )
+
+    def test_branch_with_address(self):
+        text = disassemble_word(encode(Op.B, imm=-2), address=0x100)
+        assert text == "b 0xfc"
+
+    def test_branch_without_address(self):
+        assert disassemble_word(encode(Op.BEQ, imm=3)) == "beq +12"
+
+    def test_fp_ops_use_f_registers(self):
+        assert (
+            disassemble_word(encode(Op.FADD, rd=1, rs1=2, rs2=3))
+            == "fadd f1, f2, f3"
+        )
+
+    def test_cmp(self):
+        assert disassemble_word(encode(Op.CMP, rs1=1, rs2=2)) == "cmp r1, r2"
+
+    def test_nullary(self):
+        assert disassemble_word(encode(Op.SYSCALL)) == "syscall"
+
+    def test_garbage_renders_as_word(self):
+        assert disassemble_word(0x00000000) == ".word 0x00000000"
+
+    @given(word=st.integers(0, 0xFFFFFFFF))
+    def test_never_crashes(self, word):
+        text = disassemble_word(word)
+        assert isinstance(text, str) and text
+
+
+class TestDisassembleBuffer:
+    def test_addresses_and_lines(self):
+        words = [encode(Op.NOP), encode(Op.ADD, rd=1, rs1=1, rs2=1)]
+        data = b"".join(w.to_bytes(4, "little") for w in words)
+        lines = disassemble(data, base=0x1000)
+        assert lines[0].startswith("0x00001000: nop")
+        assert lines[1].startswith("0x00001004: add")
+
+    def test_trailing_bytes_ignored(self):
+        data = encode(Op.NOP).to_bytes(4, "little") + b"\x01\x02"
+        assert len(disassemble(data)) == 1

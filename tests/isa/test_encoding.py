@@ -1,0 +1,129 @@
+"""Encoding/decoding: round trips, field limits, illegal-word behaviour."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError, IllegalInstruction
+from repro.isa.encoding import DecodedInstruction, decode, encode, try_decode
+from repro.isa.opcodes import (
+    FORMAT_OF,
+    OP_BY_VALUE,
+    ZERO_EXTENDED_IMM_OPS,
+    Format,
+    Op,
+)
+
+R_OPS = [op for op, fmt in FORMAT_OF.items() if fmt is Format.R]
+I_OPS = [op for op, fmt in FORMAT_OF.items() if fmt is Format.I]
+J_OPS = [op for op, fmt in FORMAT_OF.items() if fmt is Format.J]
+N_OPS = [op for op, fmt in FORMAT_OF.items() if fmt is Format.N]
+
+
+class TestEncode:
+    def test_r_format_packs_fields(self):
+        word = encode(Op.ADD, rd=1, rs1=2, rs2=3)
+        assert word == (int(Op.ADD) << 24) | (1 << 20) | (2 << 16) | (3 << 12)
+
+    def test_i_format_negative_immediate(self):
+        word = encode(Op.ADDI, rd=1, rs1=2, imm=-1)
+        assert word & 0xFFFF == 0xFFFF
+
+    def test_j_format_negative_offset(self):
+        word = encode(Op.B, imm=-2)
+        assert word & 0xFFFFFF == 0xFFFFFE
+
+    @pytest.mark.parametrize("register", [-1, 16, 100])
+    def test_register_out_of_range_rejected(self, register):
+        with pytest.raises(EncodingError):
+            encode(Op.ADD, rd=register)
+
+    def test_imm16_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Op.ADDI, rd=0, rs1=0, imm=1 << 16)
+        with pytest.raises(EncodingError):
+            encode(Op.ADDI, rd=0, rs1=0, imm=-(1 << 15) - 1)
+
+    def test_imm24_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Op.B, imm=1 << 23)
+
+
+class TestDecode:
+    def test_undefined_opcode_raises(self):
+        assert 0x00 not in OP_BY_VALUE
+        with pytest.raises(IllegalInstruction):
+            decode(0x00000000)
+
+    def test_r_format_reserved_bits_must_be_zero(self):
+        word = encode(Op.ADD, rd=1, rs1=2, rs2=3) | 0x1
+        with pytest.raises(IllegalInstruction):
+            decode(word)
+
+    def test_n_format_reserved_bits_must_be_zero(self):
+        word = encode(Op.NOP) | 0x100
+        with pytest.raises(IllegalInstruction):
+            decode(word)
+
+    def test_try_decode_returns_none_for_garbage(self):
+        assert try_decode(0xFFFFFFFF) is None or isinstance(
+            try_decode(0xFFFFFFFF), DecodedInstruction
+        )
+
+    def test_sign_extension_of_i_imm(self):
+        inst = decode(encode(Op.ADDI, rd=0, rs1=0, imm=-5))
+        assert inst.imm == -5
+
+    def test_zero_extension_of_logical_imm(self):
+        inst = decode(encode(Op.ORRI, rd=0, rs1=0, imm=0xFFFF))
+        assert inst.imm == 0xFFFF
+
+    def test_j_sign_extension(self):
+        inst = decode(encode(Op.B, imm=-100))
+        assert inst.imm == -100
+
+
+class TestRoundTrip:
+    @given(
+        op=st.sampled_from(R_OPS),
+        rd=st.integers(0, 15),
+        rs1=st.integers(0, 15),
+        rs2=st.integers(0, 15),
+    )
+    def test_r_round_trip(self, op, rd, rs1, rs2):
+        inst = decode(encode(op, rd=rd, rs1=rs1, rs2=rs2))
+        assert inst == DecodedInstruction(op, rd, rs1, rs2, 0)
+
+    @given(
+        op=st.sampled_from(I_OPS),
+        rd=st.integers(0, 15),
+        rs1=st.integers(0, 15),
+        imm=st.integers(-(1 << 15), (1 << 15) - 1),
+    )
+    def test_i_round_trip(self, op, rd, rs1, imm):
+        inst = decode(encode(op, rd=rd, rs1=rs1, imm=imm))
+        assert inst.op is op and inst.rd == rd and inst.rs1 == rs1
+        if op in ZERO_EXTENDED_IMM_OPS:
+            assert inst.imm == imm & 0xFFFF
+        else:
+            assert inst.imm == imm
+
+    @given(op=st.sampled_from(J_OPS), imm=st.integers(-(1 << 23), (1 << 23) - 1))
+    def test_j_round_trip(self, op, imm):
+        inst = decode(encode(op, imm=imm))
+        assert inst.op is op and inst.imm == imm
+
+    @given(op=st.sampled_from(N_OPS))
+    def test_n_round_trip(self, op):
+        assert decode(encode(op)).op is op
+
+    @given(word=st.integers(0, 0xFFFFFFFF))
+    def test_decode_never_crashes(self, word):
+        """The hardware decoder accepts arbitrary corrupted words."""
+        result = try_decode(word)
+        assert result is None or isinstance(result, DecodedInstruction)
+
+    @given(word=st.integers(0, 0xFFFFFFFF))
+    def test_decode_is_deterministic(self, word):
+        assert try_decode(word) == try_decode(word)

@@ -1,0 +1,75 @@
+"""Opcode table invariants the decoder and injector rely on."""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import (
+    FLOAT_DEST_OPS,
+    FLOAT_SRC_OPS,
+    FORMAT_OF,
+    MNEMONIC_OF,
+    OP_BY_VALUE,
+    OP_OF_MNEMONIC,
+    PRIVILEGED_OPS,
+    ZERO_EXTENDED_IMM_OPS,
+    Format,
+    Op,
+)
+
+
+class TestTableConsistency:
+    def test_every_op_has_a_format(self):
+        assert set(FORMAT_OF) == set(Op)
+
+    def test_opcode_values_unique(self):
+        values = [int(op) for op in Op]
+        assert len(set(values)) == len(values)
+
+    def test_mnemonics_bijective(self):
+        assert set(OP_OF_MNEMONIC.values()) == set(Op)
+        assert {MNEMONIC_OF[op] for op in Op} == set(OP_OF_MNEMONIC)
+
+    def test_op_by_value_covers_all(self):
+        assert set(OP_BY_VALUE.values()) == set(Op)
+
+
+class TestSparsity:
+    def test_opcode_space_is_sparse(self):
+        """Most of the 8-bit opcode space must be *undefined* so corrupted
+        opcodes usually raise illegal-instruction (real-ISA density)."""
+        defined = len(OP_BY_VALUE)
+        assert defined / 256 < 0.30
+
+    def test_single_bit_flips_mix_invalid_and_valid(self):
+        """Single-bit flips of a defined opcode byte must produce a real
+        mix: a substantial share decodes to *nothing* (illegal
+        instruction), and a substantial share lands on a different valid
+        operation - the same duality real dense opcode spaces have, and
+        the reason injected I-side faults split between crashes and
+        silent misbehaviour."""
+        invalid_transitions = 0
+        total = 0
+        for op in Op:
+            for bit in range(8):
+                flipped = int(op) ^ (1 << bit)
+                total += 1
+                if flipped not in OP_BY_VALUE:
+                    invalid_transitions += 1
+        share = invalid_transitions / total
+        assert 0.25 < share < 0.9
+
+
+class TestGroups:
+    def test_privileged_set(self):
+        assert PRIVILEGED_OPS == {Op.ERET, Op.HALT, Op.CSRR, Op.CSRW}
+
+    def test_zero_extended_group_is_logical(self):
+        for op in ZERO_EXTENDED_IMM_OPS:
+            assert FORMAT_OF[op] is Format.I
+
+    def test_float_groups_consistent(self):
+        # Ops that both read and write f-registers appear in both sets.
+        both = FLOAT_DEST_OPS & FLOAT_SRC_OPS
+        assert Op.FADD in both and Op.FMOV in both
+        # Converts cross the files: exactly one side each.
+        assert Op.FCVT in FLOAT_DEST_OPS and Op.FCVT not in FLOAT_SRC_OPS
+        assert Op.FCVTI in FLOAT_SRC_OPS and Op.FCVTI not in FLOAT_DEST_OPS

@@ -1,0 +1,89 @@
+"""Property: disassembler output is valid assembler input (R/I formats).
+
+J-format is excluded: its disassembly renders resolved absolute targets,
+which only reassemble identically at the same address.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from hypothesis import given, strategies as st
+
+from repro.isa.assembler import Assembler
+from repro.isa.disassembler import disassemble_word
+from repro.isa.encoding import encode
+from repro.isa.opcodes import FORMAT_OF, Format, Op
+
+R_OPS = [op for op, fmt in FORMAT_OF.items() if fmt is Format.R]
+I_OPS = [
+    op
+    for op, fmt in FORMAT_OF.items()
+    if fmt is Format.I and op not in (Op.CSRR, Op.CSRW)
+]
+N_OPS = [op for op, fmt in FORMAT_OF.items() if fmt is Format.N]
+
+#: R-format ops that ignore rs2 (two-operand forms): canonical encodings
+#: carry rs2 = 0, which is what the assembler emits.
+TWO_OPERAND_R = {Op.MOV, Op.FMOV, Op.FNEG, Op.FSQRT, Op.FCVT, Op.FCVTI}
+#: R-format ops that ignore rd.
+NO_DEST_R = {Op.CMP, Op.FCMP}
+#: Single-register ops.
+ONE_OPERAND_R = {Op.BR, Op.BLR}
+#: I-format ops that ignore rs1 or rd.
+NO_RS1_I = {Op.MOVI, Op.MOVHI}
+NO_RD_I = {Op.CMPI}
+
+
+def reassemble(text: str) -> int:
+    assembler = Assembler(text_base=0x1000, data_base=0x2000)
+    program = assembler.assemble(f"_start:\n    {text}\n")
+    return struct.unpack("<I", program.segment("text").data[:4])[0]
+
+
+@given(
+    op=st.sampled_from(R_OPS),
+    rd=st.integers(0, 15),
+    rs1=st.integers(0, 15),
+    rs2=st.integers(0, 15),
+)
+def test_r_format_round_trip(op, rd, rs1, rs2):
+    if op in TWO_OPERAND_R:
+        rs2 = 0
+    if op in NO_DEST_R:
+        rd = 0
+    if op in ONE_OPERAND_R:
+        rd = rs2 = 0
+    word = encode(op, rd=rd, rs1=rs1, rs2=rs2)
+    assert reassemble(disassemble_word(word)) == word
+
+
+@given(
+    op=st.sampled_from(I_OPS),
+    rd=st.integers(0, 15),
+    rs1=st.integers(0, 15),
+    imm=st.integers(-(1 << 15), (1 << 15) - 1),
+)
+def test_i_format_round_trip(op, rd, rs1, imm):
+    if op in NO_RS1_I:
+        rs1 = 0
+    if op in NO_RD_I:
+        rd = 0
+    from repro.isa.opcodes import ZERO_EXTENDED_IMM_OPS
+
+    if op in ZERO_EXTENDED_IMM_OPS and imm < 0:
+        imm &= 0xFFFF
+    word = encode(op, rd=rd, rs1=rs1, imm=imm)
+    assert reassemble(disassemble_word(word)) == word
+
+
+@given(op=st.sampled_from(N_OPS))
+def test_n_format_round_trip(op):
+    word = encode(op)
+    assert reassemble(disassemble_word(word)) == word
+
+
+def test_csr_round_trip():
+    for op, text in ((Op.CSRR, "csrr r3, 1"), (Op.CSRW, "csrw 1, r3")):
+        word = reassemble(text)
+        assert reassemble(disassemble_word(word)) == word

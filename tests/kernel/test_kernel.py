@@ -1,0 +1,229 @@
+"""Kernel behaviour: syscalls, output plumbing, beam-mode exit redirect."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.beam.checkroutine import build_check_program
+from repro.errors import ProgramExit
+from repro.kernel.layout import DEFAULT_LAYOUT
+from repro.kernel.source import build_kernel
+from repro.microarch.system import GOLDEN_DATA_OFFSET, System
+
+
+class TestKernelImage:
+    def test_kernel_assembles(self, layout):
+        kernel = build_kernel(layout)
+        assert kernel.entry == layout.kernel_text_base
+        assert kernel.segment("text").base == layout.kernel_text_base
+        assert kernel.segment("data").base == layout.kernel_data_base
+
+    def test_exception_vector_at_0x40(self, layout):
+        kernel = build_kernel(layout)
+        assert kernel.symbols["exc_entry"] == 0x40
+
+    def test_kernel_fits_its_region(self, layout):
+        kernel = build_kernel(layout)
+        assert kernel.segment("text").end <= layout.kernel_data_base
+        assert kernel.segment("data").end <= layout.kernel_stack_top - 0x400
+
+
+class TestSyscalls:
+    def test_write_copies_to_console_and_buffer(self, run_system, exit0):
+        system, result = run_system(f"""
+_start:
+    la   r0, msg
+    movi r1, 6
+    movi r7, 1
+    syscall
+{exit0}
+    .data
+msg: .ascii "kernel"
+""")
+        assert result.output == b"kernel"
+        buffered = system.l1d.peek(DEFAULT_LAYOUT.output_buffer_base, 6)
+        assert buffered == b"kernel"
+
+    def test_write_word_byte_order(self, run_system, exit0):
+        system, result = run_system(f"""
+_start:
+    li   r0, 0x11223344
+    movi r7, 3
+    syscall
+{exit0}
+""")
+        assert result.output == struct.pack("<I", 0x11223344)
+        buffered = system.l1d.peek(DEFAULT_LAYOUT.output_buffer_base, 4)
+        assert buffered == struct.pack("<I", 0x11223344)
+
+    def test_mixed_writes_advance_cursor(self, run_system, exit0):
+        system, result = run_system(f"""
+_start:
+    la   r0, msg
+    movi r1, 3
+    movi r7, 1
+    syscall
+    movi r0, 0x41
+    movi r7, 3
+    syscall
+{exit0}
+    .data
+msg: .ascii "abc"
+""")
+        assert result.output == b"abc" + struct.pack("<I", 0x41)
+        buffered = system.l1d.peek(DEFAULT_LAYOUT.output_buffer_base, 7)
+        assert buffered == b"abcA\x00\x00\x00"
+
+    def test_alive_counts(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r0, 1
+    movi r7, 2
+    syscall
+    movi r0, 2
+    movi r7, 2
+    syscall
+{exit0}
+""")
+        assert result.alive_count == 2
+
+    def test_syscall_preserves_registers(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r1, 11
+    movi r2, 22
+    movi r3, 33
+    movi r4, 44
+    movi r5, 55
+    movi r0, 1
+    movi r7, 2
+    syscall
+    add  r0, r1, r2
+    add  r0, r0, r3
+    add  r0, r0, r4
+    add  r0, r0, r5
+    movi r7, 3
+    syscall
+{exit0}
+""")
+        assert struct.unpack("<I", result.output)[0] == 11 + 22 + 33 + 44 + 55
+
+
+class TestBeamModeExit:
+    def _beam_system(self, user_source: str, golden: bytes, user_assembler):
+        program = user_assembler.assemble(user_source, entry="_start")
+        check = build_check_program(DEFAULT_LAYOUT, len(golden))
+        return System(
+            program,
+            check_program=check,
+            golden_output=golden,
+            beam_mode=True,
+        )
+
+    def test_clean_run_passes_check(self, user_assembler):
+        golden = struct.pack("<I", 7)
+        system = self._beam_system("""
+_start:
+    movi r0, 7
+    movi r7, 3
+    syscall
+    movi r0, 0
+    movi r7, 0
+    syscall
+""", golden, user_assembler)
+        result = system.run(max_cycles=5_000_000)
+        assert isinstance(result.outcome, ProgramExit) and result.outcome.status == 0
+        assert result.check_done
+        assert not result.sdc_flag
+
+    def test_corrupted_output_flags_sdc(self, user_assembler):
+        golden = struct.pack("<I", 8)  # expected 8, program writes 7
+        system = self._beam_system("""
+_start:
+    movi r0, 7
+    movi r7, 3
+    syscall
+    movi r0, 0
+    movi r7, 0
+    syscall
+""", golden, user_assembler)
+        result = system.run(max_cycles=5_000_000)
+        assert result.check_done
+        assert result.sdc_flag
+
+    def test_exit_status_preserved_through_check(self, user_assembler):
+        golden = b""
+        system = self._beam_system("""
+_start:
+    movi r0, 5
+    movi r7, 0
+    syscall
+""", golden, user_assembler)
+        result = system.run(max_cycles=5_000_000)
+        assert isinstance(result.outcome, ProgramExit)
+        assert result.outcome.status == 5
+        assert result.check_done
+
+    def test_non_beam_mode_skips_check(self, run_program, exit0):
+        result = run_program(f"_start:\n{exit0}")
+        assert not result.check_done
+
+
+class TestSoftReset:
+    def test_soft_reset_keeps_caches_resets_core(self, run_system, exit0):
+        system, result = run_system(f"""
+_start:
+    la   r1, buf
+    movi r2, 9
+    stw  r2, [r1]
+{exit0}
+    .data
+buf: .space 8
+""")
+        assert result.exited_cleanly
+        occupancy_before = system.l1d.occupancy()
+        system.soft_reset()
+        assert system.l1d.occupancy() == occupancy_before
+        assert system.core.cycle == 0
+        assert system.core.pc == system.kernel.entry
+
+    def test_soft_reset_allows_second_run(self, run_system):
+        system, result = run_system("""
+_start:
+    movi r0, 3
+    movi r7, 3
+    syscall
+    movi r0, 0
+    movi r7, 0
+    syscall
+""")
+        first_output = result.output
+        system.soft_reset()
+        second = system.run(max_cycles=5_000_000)
+        assert second.exited_cleanly
+        assert second.output == first_output
+
+    def test_second_run_is_faster_warm(self, run_system):
+        """The warm run misses less: the hierarchy kept the working set."""
+        system, result = run_system("""
+_start:
+    movi r2, 0
+    la   r1, buf
+loop:
+    ldw  r3, [r1]
+    addi r1, r1, 32
+    addi r2, r2, 1
+    cmpi r2, 32
+    blt  loop
+    movi r0, 0
+    movi r7, 0
+    syscall
+    .data
+buf: .space 1024
+""")
+        cold_cycles = result.cycles
+        system.soft_reset()
+        warm = system.run(max_cycles=5_000_000)
+        assert warm.cycles < cold_cycles

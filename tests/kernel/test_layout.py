@@ -1,0 +1,111 @@
+"""Memory layout and page-table construction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.layout import (
+    DEFAULT_LAYOUT,
+    MMIO_BASE,
+    PAGE_SIZE,
+    PTE_EXEC,
+    PTE_READ,
+    PTE_USER,
+    PTE_VALID,
+    PTE_WRITE,
+    MemoryLayout,
+)
+
+
+class TestRegions:
+    def test_regions_ordered_and_disjoint(self):
+        layout = DEFAULT_LAYOUT
+        boundaries = [
+            layout.kernel_text_base,
+            layout.kernel_data_base,
+            layout.page_table_base,
+            layout.user_text_base,
+            layout.check_text_base,
+            layout.user_data_base,
+            layout.output_buffer_base,
+            layout.golden_buffer_base,
+            layout.user_stack_base,
+            layout.user_stack_top,
+            layout.memory_size,
+        ]
+        assert boundaries == sorted(boundaries)
+        assert len(set(boundaries)) == len(boundaries)
+
+    def test_page_table_fits_kernel_region(self):
+        layout = DEFAULT_LAYOUT
+        assert (
+            layout.page_table_base + layout.page_table_size <= layout.kernel_end
+        )
+
+    def test_os_background_region_has_room_for_scaled_l2(self):
+        layout = DEFAULT_LAYOUT
+        assert layout.os_background_base + 16 * 1024 <= layout.kernel_end
+
+    def test_region_of(self):
+        layout = DEFAULT_LAYOUT
+        assert layout.region_of(0x0) == "kernel_text"
+        assert layout.region_of(layout.page_table_base) == "page_table"
+        assert layout.region_of(layout.user_text_base) == "user_text"
+        assert layout.region_of(layout.user_stack_top - 4) == "user_stack"
+        assert layout.region_of(MMIO_BASE) == "mmio"
+
+    @given(paddr=st.integers(0, DEFAULT_LAYOUT.memory_size - 1))
+    def test_region_of_total(self, paddr):
+        assert DEFAULT_LAYOUT.region_of(paddr) != "unmapped" or paddr >= 0
+
+
+class TestPageTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return DEFAULT_LAYOUT.build_page_table()
+
+    def test_one_pte_per_page(self, table):
+        assert len(table) == DEFAULT_LAYOUT.page_count
+
+    def test_identity_mapping(self, table):
+        for vpn, pte in enumerate(table):
+            assert pte >> 12 == vpn
+
+    def test_all_valid(self, table):
+        assert all(pte & PTE_VALID for pte in table)
+
+    def test_kernel_pages_not_user_accessible(self, table):
+        layout = DEFAULT_LAYOUT
+        for vpn in range(layout.kernel_end // PAGE_SIZE):
+            assert not table[vpn] & PTE_USER
+
+    def test_user_text_is_rx_not_w(self, table):
+        vpn = DEFAULT_LAYOUT.user_text_base // PAGE_SIZE
+        pte = table[vpn]
+        assert pte & PTE_READ and pte & PTE_EXEC and pte & PTE_USER
+        assert not pte & PTE_WRITE
+
+    def test_user_data_is_rw_not_x(self, table):
+        vpn = DEFAULT_LAYOUT.user_data_base // PAGE_SIZE
+        pte = table[vpn]
+        assert pte & PTE_READ and pte & PTE_WRITE and pte & PTE_USER
+        assert not pte & PTE_EXEC
+
+    def test_golden_buffer_is_read_only(self, table):
+        vpn = DEFAULT_LAYOUT.golden_buffer_base // PAGE_SIZE
+        pte = table[vpn]
+        assert pte & PTE_READ and not pte & PTE_WRITE
+
+    def test_stack_is_rw(self, table):
+        vpn = (DEFAULT_LAYOUT.user_stack_top - 4) // PAGE_SIZE
+        pte = table[vpn]
+        assert pte & PTE_READ and pte & PTE_WRITE and pte & PTE_USER
+
+
+class TestFullSizeLayout:
+    def test_cortex_layout_consistent(self):
+        layout = MemoryLayout(memory_size=0x800000, os_background_base=0x400000)
+        table = layout.build_page_table()
+        assert len(table) == 0x800000 // PAGE_SIZE
+        assert layout.os_background_base + 512 * 1024 <= layout.memory_size

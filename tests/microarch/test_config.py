@@ -1,0 +1,85 @@
+"""Machine configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microarch.config import (
+    CORTEX_A9_CONFIG,
+    SCALED_A9_CONFIG,
+    CacheGeometry,
+    MachineConfig,
+    TLBGeometry,
+)
+
+
+class TestCacheGeometry:
+    def test_derived_quantities(self):
+        geometry = CacheGeometry(size=4096, assoc=4, line_size=32)
+        assert geometry.n_sets == 32
+        assert geometry.n_lines == 128
+        assert geometry.data_bits == 32768
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size=1000, assoc=3, line_size=32)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size=960, assoc=2, line_size=30)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size=2 * 3 * 32, assoc=2, line_size=32)
+
+
+class TestTLBGeometry:
+    def test_paper_size(self):
+        geometry = TLBGeometry()
+        assert geometry.data_bits == 4096  # 512 bytes, as in the paper
+
+
+class TestMachineConfig:
+    def test_scaled_config_preserves_paper_shape(self):
+        """Associativities match Table II; sizes scale together (8x L1,
+        32x L2), keeping L1 < L2."""
+        assert SCALED_A9_CONFIG.l1i.assoc == 4
+        assert SCALED_A9_CONFIG.l1d.assoc == 4
+        assert SCALED_A9_CONFIG.l2.assoc == 8
+        assert SCALED_A9_CONFIG.l1d.size < SCALED_A9_CONFIG.l2.size
+
+    def test_cortex_config_matches_table2(self):
+        assert CORTEX_A9_CONFIG.l1i.size == 32 * 1024
+        assert CORTEX_A9_CONFIG.l1d.size == 32 * 1024
+        assert CORTEX_A9_CONFIG.l2.size == 512 * 1024
+        assert CORTEX_A9_CONFIG.freq_hz == pytest.approx(667e6)
+
+    def test_regfile_bits(self):
+        config = SCALED_A9_CONFIG
+        expected = config.int_phys_regs * 32 + config.fp_phys_regs * 64
+        assert config.regfile_data_bits == expected
+
+    def test_too_small_regfile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(
+                name="bad",
+                l1i=SCALED_A9_CONFIG.l1i,
+                l1d=SCALED_A9_CONFIG.l1d,
+                l2=SCALED_A9_CONFIG.l2,
+                int_phys_regs=8,
+            )
+
+    def test_mismatched_line_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(
+                name="bad",
+                l1i=CacheGeometry(size=4096, assoc=4, line_size=64),
+                l1d=SCALED_A9_CONFIG.l1d,
+                l2=SCALED_A9_CONFIG.l2,
+            )
+
+    def test_with_atomic(self):
+        atomic = SCALED_A9_CONFIG.with_atomic()
+        assert atomic.atomic and not SCALED_A9_CONFIG.atomic
+        assert atomic.l1d == SCALED_A9_CONFIG.l1d

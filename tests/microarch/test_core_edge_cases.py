@@ -1,0 +1,166 @@
+"""Edge-case semantics: FP specials, saturation, prediction, banking."""
+
+from __future__ import annotations
+
+import struct
+
+
+def emitted(result):
+    return list(struct.unpack(f"<{len(result.output) // 4}I", result.output))
+
+
+def signed(value):
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+EMIT = """
+    movi r7, 3
+    syscall
+"""
+
+
+class TestFloatSpecials:
+    def test_fdiv_by_zero_gives_infinity(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    fli  f1, 1.0
+    fsub f2, f2, f2          ; 0.0
+    fdiv f3, f1, f2          ; +inf
+    fcmp f3, f1
+    bgt  is_bigger
+    movi r0, 0
+    b    out
+is_bigger:
+    movi r0, 1
+out:
+{EMIT}
+{exit0}
+""")
+        assert emitted(result) == [1]
+
+    def test_zero_over_zero_is_nan_and_unordered(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    fsub f1, f1, f1
+    fdiv f2, f1, f1          ; nan
+    fcmp f2, f2
+    bne  unordered           ; nan != nan
+    movi r0, 0
+    b    out
+unordered:
+    movi r0, 1
+out:
+{EMIT}
+{exit0}
+""")
+        assert emitted(result) == [1]
+
+    def test_sqrt_of_negative_is_nan(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    fli   f1, -4.0
+    fsqrt f2, f1
+    fcvti r0, f2             ; nan converts to 0 (saturating convert)
+{EMIT}
+{exit0}
+""")
+        assert emitted(result) == [0]
+
+    def test_fcvti_saturates_at_int32_limits(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    fli   f1, 1e20
+    fcvti r0, f1
+{EMIT}
+    fli   f2, -1e20
+    fcvti r0, f2
+{EMIT}
+{exit0}
+""")
+        words = emitted(result)
+        assert signed(words[0]) == 2**31 - 1
+        assert signed(words[1]) == -(2**31)
+
+
+class TestBranchPrediction:
+    def test_backward_loop_predicted_well(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    li   r1, 2000
+loop:
+    subi r1, r1, 1
+    cmpi r1, 0
+    bgt  loop                ; backward: predicted taken
+{exit0}
+""")
+        counters = result.counters
+        # Only the final not-taken iteration mispredicts.
+        assert counters.branch_misses <= counters.branches * 0.05
+
+    def test_forward_taken_branches_mispredict(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    li   r1, 500
+loop:
+    cmpi r1, -1
+    beq  never               ; forward not-taken: predicted correctly
+    cmpi r1, 0
+    bgt  skip                ; forward TAKEN: mispredicted every time
+    b    done
+skip:
+    subi r1, r1, 1
+    b    loop
+never:
+    nop
+done:
+{exit0}
+""")
+        counters = result.counters
+        assert counters.branch_misses >= 450
+
+
+class TestImmediateExtremes:
+    def test_movi_extremes(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r0, 32767
+{EMIT}
+    movi r0, -32768
+{EMIT}
+{exit0}
+""")
+        words = emitted(result)
+        assert words[0] == 32767 and signed(words[1]) == -32768
+
+    def test_li_full_range(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    li   r0, 0xffffffff
+{EMIT}
+    li   r0, 0x80000000
+{EMIT}
+{exit0}
+""")
+        assert emitted(result) == [0xFFFFFFFF, 0x80000000]
+
+    def test_mul_wraps(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    li   r1, 0x10001
+    mul  r0, r1, r1
+{EMIT}
+{exit0}
+""")
+        assert emitted(result) == [(0x10001 * 0x10001) & 0xFFFFFFFF]
+
+    def test_div_minint_by_minus_one_wraps(self, run_program, exit0):
+        """INT_MIN / -1 overflows; our machine wraps to INT_MIN (no trap)."""
+        result = run_program(f"""
+_start:
+    li   r1, 0x80000000
+    movi r2, -1
+    div  r0, r1, r2
+{EMIT}
+{exit0}
+""")
+        assert emitted(result) == [0x80000000]

@@ -1,0 +1,123 @@
+"""Run-loop mechanics: event scheduling, atomic mode, cycle accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProgramExit, WatchdogTimeout
+from repro.isa.assembler import Assembler
+from repro.kernel.layout import DEFAULT_LAYOUT
+from repro.microarch.config import SCALED_A9_CONFIG
+from repro.microarch.system import System
+
+SPIN = """
+_start:
+    li   r1, 30000
+spin:
+    subi r1, r1, 1
+    cmpi r1, 0
+    bgt  spin
+    movi r0, 0
+    movi r7, 0
+    syscall
+"""
+
+
+def build(source=SPIN, config=SCALED_A9_CONFIG):
+    assembler = Assembler(
+        text_base=DEFAULT_LAYOUT.user_text_base,
+        data_base=DEFAULT_LAYOUT.user_data_base,
+    )
+    return System(assembler.assemble(source, entry="_start"), config=config)
+
+
+class TestEvents:
+    def test_events_fire_in_cycle_order(self):
+        system = build()
+        fired = []
+        events = [
+            (50_000, lambda: fired.append("late")),
+            (10_000, lambda: fired.append("early")),
+            (30_000, lambda: fired.append("middle")),
+        ]
+        with pytest.raises(ProgramExit):
+            system.core.run(max_cycles=10_000_000, events=events)
+        assert fired == ["early", "middle", "late"]
+
+    def test_event_at_cycle_zero_fires_before_first_instruction(self):
+        system = build()
+        seen = {}
+        events = [(0, lambda: seen.setdefault("icount", system.core.icount))]
+        with pytest.raises(ProgramExit):
+            system.core.run(max_cycles=10_000_000, events=events)
+        assert seen["icount"] == 0
+
+    def test_event_after_exit_never_fires(self):
+        system = build()
+        fired = []
+        with pytest.raises(ProgramExit):
+            system.core.run(
+                max_cycles=10_000_000,
+                events=[(10**9, lambda: fired.append("no"))],
+            )
+        assert not fired
+
+    def test_watchdog_precedence(self):
+        system = build("_start:\nloop:\n    b loop\n")
+        with pytest.raises(WatchdogTimeout):
+            system.core.run(max_cycles=5_000)
+
+
+class TestAtomicMode:
+    def test_atomic_mode_runs_same_program(self):
+        detailed = build()
+        atomic = build(config=SCALED_A9_CONFIG.with_atomic())
+        result_detailed = detailed.run(max_cycles=10_000_000)
+        result_atomic = atomic.run(max_cycles=10_000_000)
+        assert result_detailed.exited_cleanly and result_atomic.exited_cleanly
+        assert (
+            result_detailed.counters.instructions
+            == result_atomic.counters.instructions
+        )
+
+    def test_atomic_mode_has_fewer_cycles(self):
+        detailed = build().run(max_cycles=10_000_000)
+        atomic = build(config=SCALED_A9_CONFIG.with_atomic()).run(
+            max_cycles=10_000_000
+        )
+        assert atomic.cycles < detailed.cycles
+
+    def test_atomic_mode_skips_cache_accounting(self):
+        result = build(config=SCALED_A9_CONFIG.with_atomic()).run(
+            max_cycles=10_000_000
+        )
+        assert result.counters.l1d_accesses == 0
+        assert result.counters.itlb_accesses == 0
+
+
+class TestCycleAccounting:
+    def test_cycles_at_least_instructions(self):
+        result = build().run(max_cycles=10_000_000)
+        assert result.cycles >= result.counters.instructions
+
+    def test_memory_traffic_costs_cycles(self):
+        touch = """
+_start:
+    la   r1, buf
+    movi r2, 0
+loop:
+    ldw  r3, [r1]
+    addi r1, r1, 32
+    addi r2, r2, 1
+    cmpi r2, 64
+    blt  loop
+    movi r0, 0
+    movi r7, 0
+    syscall
+    .data
+buf: .space 2048
+"""
+        result = build(touch).run(max_cycles=10_000_000)
+        # Every 32-byte stride is an L1D miss: cycles per instruction must
+        # clearly exceed 1.
+        assert result.cycles > result.counters.instructions * 1.5

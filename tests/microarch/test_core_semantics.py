@@ -1,0 +1,411 @@
+"""Instruction semantics, exercised through small assembled programs.
+
+Each program computes values and emits them with the write_word syscall;
+assertions compare against Python-computed expectations.  This validates
+the full stack: assembler -> loader -> MMU -> caches -> decoder -> ALU ->
+kernel syscall path.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+EMIT = """
+    movi r7, 3
+    syscall
+"""
+
+
+def emitted_words(result) -> list[int]:
+    data = result.output
+    return list(struct.unpack(f"<{len(data) // 4}I", data))
+
+
+def signed(value: int) -> int:
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+class TestIntegerALU:
+    def test_add_sub_mul(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r1, 1000
+    movi r2, 37
+    add  r0, r1, r2
+{EMIT}
+    sub  r0, r1, r2
+{EMIT}
+    mul  r0, r1, r2
+{EMIT}
+{exit0}
+""")
+        assert emitted_words(result) == [1037, 963, 37000]
+
+    def test_add_wraps_32_bits(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    li   r1, 0xffffffff
+    movi r2, 2
+    add  r0, r1, r2
+{EMIT}
+{exit0}
+""")
+        assert emitted_words(result) == [1]
+
+    def test_div_mod_signed(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r1, -17
+    movi r2, 5
+    div  r0, r1, r2
+{EMIT}
+    mod  r0, r1, r2
+{EMIT}
+{exit0}
+""")
+        words = [signed(w) for w in emitted_words(result)]
+        assert words == [-3, -2]  # C truncation semantics
+
+    def test_logical_ops(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    li   r1, 0xf0f0
+    li   r2, 0x0ff0
+    and  r0, r1, r2
+{EMIT}
+    orr  r0, r1, r2
+{EMIT}
+    eor  r0, r1, r2
+{EMIT}
+{exit0}
+""")
+        assert emitted_words(result) == [0x0FF0 & 0xF0F0, 0xFFF0, 0xF0F0 ^ 0x0FF0]
+
+    def test_shifts(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r1, -8
+    movi r2, 1
+    lsl  r0, r1, r2
+{EMIT}
+    lsr  r0, r1, r2
+{EMIT}
+    asr  r0, r1, r2
+{EMIT}
+    lsli r0, r1, 4
+{EMIT}
+    asri r0, r1, 2
+{EMIT}
+{exit0}
+""")
+        value = 0xFFFFFFF8
+        expected = [
+            (value << 1) & 0xFFFFFFFF,
+            value >> 1,
+            (signed(value) >> 1) & 0xFFFFFFFF,
+            (value << 4) & 0xFFFFFFFF,
+            (signed(value) >> 2) & 0xFFFFFFFF,
+        ]
+        assert emitted_words(result) == expected
+
+    def test_shift_amount_masked_to_5_bits(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r1, 1
+    movi r2, 33
+    lsl  r0, r1, r2
+{EMIT}
+{exit0}
+""")
+        assert emitted_words(result) == [2]  # 33 & 31 == 1
+
+    def test_movhi_orri_build_constant(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movhi r0, 0x1234
+    orri  r0, r0, 0x5678
+{EMIT}
+{exit0}
+""")
+        assert emitted_words(result) == [0x12345678]
+
+    def test_mov_and_movi_negative(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r1, -42
+    mov  r0, r1
+{EMIT}
+{exit0}
+""")
+        assert signed(emitted_words(result)[0]) == -42
+
+
+class TestMemoryOps:
+    def test_word_store_load(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    la   r1, buf
+    li   r2, 0xcafebabe
+    stw  r2, [r1, 4]
+    ldw  r0, [r1, 4]
+{EMIT}
+{exit0}
+    .data
+buf: .space 16
+""")
+        assert emitted_words(result) == [0xCAFEBABE]
+
+    def test_byte_store_load_zero_extends(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    la   r1, buf
+    movi r2, -1
+    stb  r2, [r1]
+    ldb  r0, [r1]
+{EMIT}
+{exit0}
+    .data
+buf: .space 4
+""")
+        assert emitted_words(result) == [0xFF]
+
+    def test_little_endian_layout(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    la   r1, buf
+    li   r2, 0x11223344
+    stw  r2, [r1]
+    ldb  r0, [r1]
+{EMIT}
+    ldb  r0, [r1, 3]
+{EMIT}
+{exit0}
+    .data
+buf: .space 4
+""")
+        assert emitted_words(result) == [0x44, 0x11]
+
+    def test_negative_offset(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    la   r1, buf
+    addi r1, r1, 8
+    movi r2, 77
+    stw  r2, [r1, -8]
+    la   r3, buf
+    ldw  r0, [r3]
+{EMIT}
+{exit0}
+    .data
+buf: .space 16
+""")
+        assert emitted_words(result) == [77]
+
+
+class TestControlFlow:
+    def test_conditional_branches(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r9, 0
+    movi r1, 5
+    movi r2, 7
+    cmp  r1, r2
+    blt  t1
+    b    f1
+t1: orri r9, r9, 1
+f1: cmp  r2, r1
+    bgt  t2
+    b    f2
+t2: orri r9, r9, 2
+f2: cmp  r1, r1
+    beq  t3
+    b    f3
+t3: orri r9, r9, 4
+f3: cmp  r1, r2
+    bne  t4
+    b    f4
+t4: orri r9, r9, 8
+f4: cmp  r1, r1
+    ble  t5
+    b    f5
+t5: orri r9, r9, 16
+f5: cmp  r1, r1
+    bge  t6
+    b    f6
+t6: orri r9, r9, 32
+f6: mov  r0, r9
+{EMIT}
+{exit0}
+""")
+        assert emitted_words(result) == [0b111111]
+
+    def test_call_and_return(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r1, 20
+    call double_it
+    mov  r0, r1
+{EMIT}
+{exit0}
+double_it:
+    add  r1, r1, r1
+    ret
+""")
+        assert emitted_words(result) == [40]
+
+    def test_nested_calls_with_stack(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r1, 3
+    call fact
+    mov  r0, r1
+{EMIT}
+{exit0}
+fact:                        ; r1 = n -> r1 = n!
+    cmpi r1, 1
+    ble  fact_base
+    push lr
+    push r1
+    subi r1, r1, 1
+    call fact
+    pop  r2
+    mul  r1, r1, r2
+    pop  lr
+fact_base:
+    ret
+""")
+        assert emitted_words(result) == [6]
+
+    def test_indirect_branch(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    la   r1, target
+    br   r1
+    movi r0, 1           ; skipped
+{EMIT}
+target:
+    movi r0, 99
+{EMIT}
+{exit0}
+""")
+        assert emitted_words(result) == [99]
+
+    def test_blr_links(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    la   r1, fn
+    blr  r1
+    mov  r0, r2
+{EMIT}
+{exit0}
+fn:
+    movi r2, 55
+    ret
+""")
+        assert emitted_words(result) == [55]
+
+
+class TestFloatingPoint:
+    def test_arith(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    fli  f1, 2.5
+    fli  f2, 4.0
+    fadd f3, f1, f2
+    fmul f4, f1, f2
+    fsub f5, f2, f1
+    fdiv f6, f2, f1
+    fli  f0, 1000.0
+    fmul f3, f3, f0
+    fcvti r0, f3
+{EMIT}
+    fmul f4, f4, f0
+    fcvti r0, f4
+{EMIT}
+    fmul f5, f5, f0
+    fcvti r0, f5
+{EMIT}
+    fmul f6, f6, f0
+    fcvti r0, f6
+{EMIT}
+{exit0}
+""")
+        assert emitted_words(result) == [6500, 10000, 1500, 1600]
+
+    def test_sqrt_and_neg(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    fli   f1, 16.0
+    fsqrt f2, f1
+    fcvti r0, f2
+{EMIT}
+    fneg  f3, f2
+    fcvti r0, f3
+{EMIT}
+{exit0}
+""")
+        words = emitted_words(result)
+        assert words[0] == 4 and signed(words[1]) == -4
+
+    def test_fcvt_round_trip(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi  r1, -123
+    fcvt  f1, r1
+    fcvti r0, f1
+{EMIT}
+{exit0}
+""")
+        assert signed(emitted_words(result)[0]) == -123
+
+    def test_fcvti_truncates_toward_zero(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    fli   f1, 2.9
+    fcvti r0, f1
+{EMIT}
+    fli   f2, -2.9
+    fcvti r0, f2
+{EMIT}
+{exit0}
+""")
+        words = emitted_words(result)
+        assert words[0] == 2 and signed(words[1]) == -2
+
+    def test_fcmp_branches(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    fli  f1, 1.0
+    fli  f2, 2.0
+    movi r9, 0
+    fcmp f1, f2
+    blt  less
+    b    after
+less:
+    movi r9, 1
+after:
+    mov  r0, r9
+{EMIT}
+{exit0}
+""")
+        assert emitted_words(result) == [1]
+
+    def test_memory_doubles(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    fli  f1, 6.25
+    la   r1, buf
+    fst  f1, [r1]
+    fld  f2, [r1]
+    fli  f3, 4.0
+    fmul f2, f2, f3
+    fcvti r0, f2
+{EMIT}
+{exit0}
+    .data
+    .align 8
+buf: .space 8
+""")
+        assert emitted_words(result) == [25]

@@ -1,0 +1,192 @@
+"""Exception and privilege model: user faults become Application Crashes
+(delivered by the kernel), kernel faults become System Crashes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ApplicationAbort, ProgramExit, WatchdogTimeout
+
+
+class TestUserFaults:
+    def test_segfault_unmapped_address(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    li   r1, 0x00700000      ; beyond the 2 MB of RAM
+    ldw  r2, [r1]
+{exit0}
+""")
+        assert isinstance(result.outcome, ApplicationAbort)
+        assert result.outcome.cause == 2  # SegmentationFault
+
+    def test_user_cannot_touch_kernel_memory(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r1, 0x100           ; kernel text
+    ldw  r2, [r1]
+{exit0}
+""")
+        assert isinstance(result.outcome, ApplicationAbort)
+
+    def test_user_cannot_write_text_pages(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    la   r1, _start
+    movi r2, 0
+    stw  r2, [r1]
+{exit0}
+""")
+        assert isinstance(result.outcome, ApplicationAbort)
+
+    def test_user_cannot_access_devices(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    li   r1, 0xffff0000
+    movi r2, 65
+    stw  r2, [r1]
+{exit0}
+""")
+        assert isinstance(result.outcome, ApplicationAbort)
+
+    def test_misaligned_word_access(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    la   r1, buf
+    addi r1, r1, 1
+    ldw  r2, [r1]
+{exit0}
+    .data
+buf: .space 8
+""")
+        assert isinstance(result.outcome, ApplicationAbort)
+        assert result.outcome.cause == 3  # AlignmentFault
+
+    def test_division_by_zero(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r1, 10
+    movi r2, 0
+    div  r3, r1, r2
+{exit0}
+""")
+        assert isinstance(result.outcome, ApplicationAbort)
+        assert result.outcome.cause == 5  # ArithmeticFault
+
+    def test_illegal_instruction(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    la   r1, garbage
+    br   r1
+{exit0}
+    .data
+garbage:
+    .word 0x00000000         ; undefined opcode
+""")
+        # Jumping into .data: the page is user-writable but not executable.
+        assert isinstance(result.outcome, ApplicationAbort)
+
+    def test_privileged_instruction_from_user(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    halt
+{exit0}
+""")
+        assert isinstance(result.outcome, ApplicationAbort)
+        assert result.outcome.cause == 4  # PrivilegeFault
+
+    def test_csr_access_from_user(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    csrr r1, epc
+{exit0}
+""")
+        assert isinstance(result.outcome, ApplicationAbort)
+
+    def test_eret_from_user(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    eret
+{exit0}
+""")
+        assert isinstance(result.outcome, ApplicationAbort)
+
+    def test_wild_jump_faults(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    li   r1, 0x001fc000      ; user stack region: readable but not executable?
+    li   r1, 0x00300000      ; actually: unmapped region
+    br   r1
+{exit0}
+""")
+        assert isinstance(result.outcome, ApplicationAbort)
+
+    def test_unknown_syscall_kills_app(self, run_program):
+        result = run_program("""
+_start:
+    movi r7, 99
+    syscall
+""")
+        assert isinstance(result.outcome, ApplicationAbort)
+        assert result.outcome.cause == 7
+
+
+class TestExitStatus:
+    def test_exit_status_propagates(self, run_program):
+        result = run_program("""
+_start:
+    movi r0, 3
+    movi r7, 0
+    syscall
+""")
+        assert isinstance(result.outcome, ProgramExit)
+        assert result.outcome.status == 3
+        assert not result.exited_cleanly
+
+    def test_clean_exit(self, run_program, exit0):
+        result = run_program(f"_start:\n{exit0}")
+        assert result.exited_cleanly
+
+
+class TestWatchdog:
+    def test_infinite_loop_times_out(self, run_program):
+        result = run_program("""
+_start:
+loop:
+    b loop
+""", max_cycles=100_000)
+        assert isinstance(result.outcome, WatchdogTimeout)
+
+    def test_kernel_intact_after_user_hang(self, run_system):
+        system, result = run_system("""
+_start:
+loop:
+    b loop
+""", max_cycles=100_000)
+        assert isinstance(result.outcome, WatchdogTimeout)
+        assert system.kernel_intact()
+
+
+class TestAppCrashDetails:
+    def test_abort_carries_faulting_pc(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    li   r1, 0x00700000
+    ldw  r2, [r1]
+{exit0}
+""")
+        assert isinstance(result.outcome, ApplicationAbort)
+        # EPC points at the faulting user instruction (inside user text).
+        assert 0x10000 <= result.outcome.pc < 0x60000
+
+    def test_app_crash_preserves_prior_output(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    movi r0, 42
+    movi r7, 3
+    syscall
+    li   r1, 0x00700000
+    ldw  r2, [r1]
+{exit0}
+""")
+        assert result.output == (42).to_bytes(4, "little")
+        assert isinstance(result.outcome, ApplicationAbort)

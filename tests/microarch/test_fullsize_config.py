@@ -1,0 +1,52 @@
+"""The faithful full-size Cortex-A9 configuration (Table II geometry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.injection.components import Component, component_bits, total_modeled_bits
+from repro.microarch.config import CORTEX_A9_CONFIG
+from repro.microarch.system import System
+from repro.workloads import get_workload
+
+
+@pytest.mark.slow
+class TestFullSizeMachine:
+    @pytest.fixture(scope="class")
+    def result_and_system(self):
+        workload = get_workload("Susan C")
+        system = System(workload.program(CORTEX_A9_CONFIG.layout), config=CORTEX_A9_CONFIG)
+        result = system.run(max_cycles=100_000_000)
+        return workload, system, result
+
+    def test_workload_runs_identically(self, result_and_system):
+        workload, _system, result = result_and_system
+        assert result.exited_cleanly
+        assert result.output == workload.reference_output()
+
+    def test_bigger_caches_miss_less(self, result_and_system):
+        _workload, _system, result = result_and_system
+        # 32 KB L1s swallow the whole working set: only cold misses remain.
+        assert result.counters.l1d_misses < 100
+        assert result.counters.l1i_misses < 100
+
+    def test_modeled_bits_match_paper_scale(self):
+        total = total_modeled_bits(CORTEX_A9_CONFIG)
+        # 32K + 32K + 512K caches = 4.6 Mbit, plus RF and TLBs.
+        assert 4_600_000 < total < 4_800_000
+        assert component_bits(CORTEX_A9_CONFIG, Component.L2) == 512 * 1024 * 8
+
+    def test_beam_steady_state_on_full_size(self):
+        workload = get_workload("Susan C")
+        system = System(
+            workload.program(CORTEX_A9_CONFIG.layout),
+            config=CORTEX_A9_CONFIG,
+            beam_mode=True,
+            golden_output=b"",
+        )
+        assert system.l2.occupancy() == 1.0
+        # The 512 KB background-OS region sits above user space.
+        region = CORTEX_A9_CONFIG.layout.region_of(
+            CORTEX_A9_CONFIG.layout.os_background_base
+        )
+        assert region == "os_background"

@@ -1,0 +1,136 @@
+"""Timer interrupts and kernel/user state banking."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ProgramExit
+
+
+class TestTimer:
+    def test_timer_fires_periodically(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    li   r1, 200000          ; ~8 timer intervals of busy work
+spin:
+    subi r1, r1, 1
+    cmpi r1, 0
+    bgt  spin
+{exit0}
+""", max_cycles=10_000_000)
+        assert isinstance(result.outcome, ProgramExit)
+        assert result.counters.timer_irqs >= 5
+
+    def test_timer_preserves_all_user_registers(self, run_program, exit0):
+        """Every register and the flags survive interrupt delivery.
+
+        The loop runs long enough to take many interrupts while repeatedly
+        re-checking that r1-r11 still hold their sentinel values.
+        """
+        result = run_program(f"""
+_start:
+    movi r1, 101
+    movi r2, 102
+    movi r3, 103
+    movi r4, 104
+    movi r5, 105
+    movi r6, 106
+    movi r8, 108
+    movi r9, 109
+    movi r10, 110
+    movi r11, 111
+    li   r15, 120000
+verify:
+    cmpi r1, 101
+    bne  corrupt
+    cmpi r2, 102
+    bne  corrupt
+    cmpi r3, 103
+    bne  corrupt
+    cmpi r4, 104
+    bne  corrupt
+    cmpi r5, 105
+    bne  corrupt
+    cmpi r6, 106
+    bne  corrupt
+    cmpi r8, 108
+    bne  corrupt
+    cmpi r9, 109
+    bne  corrupt
+    cmpi r10, 110
+    bne  corrupt
+    cmpi r11, 111
+    bne  corrupt
+    subi r15, r15, 1
+    cmpi r15, 0
+    bgt  verify
+    movi r0, 0
+{exit0}
+corrupt:
+    movi r0, 1
+    movi r7, 3
+    syscall
+{exit0}
+""", max_cycles=30_000_000)
+        assert result.counters.timer_irqs >= 3
+        assert result.output == b""  # never took the corrupt path
+        assert result.exited_cleanly
+
+    def test_flags_banked_across_interrupt(self, run_program, exit0):
+        """cmp/branch pairs behave identically under interrupt pressure.
+
+        Sums i for i in [0, 50000) with the loop condition evaluated by a
+        cmp whose dependent branch may be separated from it by an IRQ.
+        """
+        n = 50_000
+        result = run_program(f"""
+_start:
+    li   r1, {n}
+    movi r2, 0
+    movi r3, 0
+loop:
+    add  r3, r3, r2
+    addi r2, r2, 1
+    cmp  r2, r1
+    blt  loop
+    mov  r0, r3
+    movi r7, 3
+    syscall
+{exit0}
+""", max_cycles=30_000_000)
+        assert result.counters.timer_irqs > 0
+        (total,) = struct.unpack("<I", result.output)
+        assert total == (n * (n - 1) // 2) & 0xFFFFFFFF
+
+    def test_kernel_tick_counter_advances(self, run_system, exit0):
+        system, result = run_system(f"""
+_start:
+    li   r1, 150000
+spin:
+    subi r1, r1, 1
+    cmpi r1, 0
+    bgt  spin
+{exit0}
+""", max_cycles=10_000_000)
+        ticks_addr = system.kernel.symbols["k_ticks"]
+        ticks = int.from_bytes(system.l1d.peek(ticks_addr, 4), "little")
+        assert ticks == result.counters.timer_irqs
+
+    def test_sp_banking(self, run_program, exit0):
+        """User sp is preserved across syscalls and interrupts."""
+        result = run_program(f"""
+_start:
+    li   r1, 60000
+spin:
+    subi r1, r1, 1
+    cmpi r1, 0
+    bgt  spin
+    push r1                  ; use the stack after many interrupts
+    pop  r2
+    mov  r0, sp
+    movi r7, 3
+    syscall
+{exit0}
+""", max_cycles=10_000_000)
+        (sp_value,) = struct.unpack("<I", result.output)
+        assert sp_value == 0x001FF000  # untouched user stack top

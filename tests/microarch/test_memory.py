@@ -1,0 +1,51 @@
+"""Main memory model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.microarch.memory import MainMemory
+
+
+@pytest.fixture
+def memory():
+    return MainMemory(1024, latency=7)
+
+
+class TestBlocks:
+    def test_read_returns_latency(self, memory):
+        data, latency = memory.read_block(0, 32)
+        assert data == bytes(32)
+        assert latency == 7
+
+    def test_write_then_read(self, memory):
+        memory.write_block(64, b"abc")
+        data, _latency = memory.read_block(64, 3)
+        assert data == b"abc"
+
+    def test_read_out_of_bounds(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.read_block(1020, 8)
+        with pytest.raises(SegmentationFault):
+            memory.read_block(-4, 4)
+
+    def test_write_out_of_bounds(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.write_block(1023, b"xy")
+
+
+class TestFunctionalAccess:
+    def test_poke_peek(self, memory):
+        memory.poke(100, b"\x01\x02")
+        assert memory.peek(100, 2) == b"\x01\x02"
+
+    def test_poke_out_of_bounds(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.poke(1023, b"ab")
+
+    def test_peek_returns_copy(self, memory):
+        memory.poke(0, b"\x11")
+        snapshot = memory.peek(0, 1)
+        memory.poke(0, b"\x22")
+        assert snapshot == b"\x11"

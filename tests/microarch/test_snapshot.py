@@ -1,0 +1,83 @@
+"""Snapshot/restore: checkpoint-accelerated runs must be bit-identical."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.injection.campaign import (
+    record_golden_snapshots,
+    run_golden,
+    run_single_injection,
+)
+from repro.injection.components import Component, component_bits
+from repro.injection.fault import generate_faults
+from repro.kernel.layout import DEFAULT_LAYOUT
+from repro.microarch.config import SCALED_A9_CONFIG
+from repro.microarch.snapshot import SystemSnapshot, best_snapshot, record_snapshots
+from repro.microarch.system import System
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("Susan E")
+
+
+@pytest.fixture(scope="module")
+def golden(workload):
+    return run_golden(workload, SCALED_A9_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def snapshots(workload, golden):
+    return record_golden_snapshots(workload, SCALED_A9_CONFIG, golden, count=4)
+
+
+class TestSnapshotMechanics:
+    def test_snapshots_recorded_at_requested_cycles(self, snapshots, golden):
+        assert len(snapshots) == 4
+        assert all(s.cycle <= golden.cycles for s in snapshots)
+        assert sorted(s.cycle for s in snapshots) == [s.cycle for s in snapshots]
+
+    def test_best_snapshot_selection(self, snapshots):
+        cycles = [s.cycle for s in snapshots]
+        assert best_snapshot(snapshots, cycles[0] - 1) is None
+        assert best_snapshot(snapshots, cycles[0]) is snapshots[0]
+        assert best_snapshot(snapshots, cycles[-1] + 10) is snapshots[-1]
+
+    def test_restored_run_completes_identically(self, workload, golden, snapshots):
+        """Restore mid-run and finish: output and cycle count match golden."""
+        system = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        snapshots[1].restore(system)
+        result = system.run(max_cycles=golden.cycles * 3)
+        assert result.exited_cleanly
+        assert result.output == golden.output
+        assert result.cycles == golden.cycles
+
+    def test_snapshot_of_snapshot_is_stable(self, workload, snapshots):
+        system = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        snapshots[0].restore(system)
+        recopy = SystemSnapshot(system)
+        assert recopy.cycle == snapshots[0].cycle
+
+
+class TestInjectionEquivalence:
+    @pytest.mark.parametrize(
+        "component", [Component.L1D, Component.L1I, Component.REGFILE, Component.DTLB]
+    )
+    def test_checkpointed_injection_matches_full_run(
+        self, workload, golden, snapshots, component
+    ):
+        faults = generate_faults(
+            component,
+            component_bits(SCALED_A9_CONFIG, component),
+            golden.cycles,
+            count=3,
+            seed=11,
+        )
+        for fault in faults:
+            full = run_single_injection(workload, fault, SCALED_A9_CONFIG, golden)
+            fast = run_single_injection(
+                workload, fault, SCALED_A9_CONFIG, golden, snapshots=snapshots
+            )
+            assert full == fast, f"divergence for {fault}"

@@ -1,0 +1,67 @@
+"""Performance counters and Section IV-D deviation helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.microarch.statistics import PerfCounters, relative_deviation
+
+
+class TestPerfCounters:
+    def test_starts_at_zero(self):
+        counters = PerfCounters()
+        assert all(value == 0 for value in counters.to_dict().values())
+
+    def test_paper_counter_subset(self):
+        counters = PerfCounters()
+        subset = counters.paper_counters()
+        assert set(subset) == {
+            "cycles",
+            "branch_misses",
+            "l1d_accesses",
+            "l1d_misses",
+            "dtlb_misses",
+            "l1i_misses",
+            "itlb_misses",
+        }
+
+    def test_repr_omits_zeros(self):
+        counters = PerfCounters()
+        counters.cycles = 5
+        text = repr(counters)
+        assert "cycles=5" in text and "branches" not in text
+
+    def test_counters_populated_by_run(self, run_program, exit0):
+        result = run_program(f"""
+_start:
+    la   r1, buf
+    ldw  r2, [r1]
+    cmpi r2, 0
+    beq  skip
+    nop
+skip:
+{exit0}
+    .data
+buf: .word 0
+""")
+        counters = result.counters
+        assert counters.instructions > 0
+        assert counters.cycles >= counters.instructions
+        assert counters.l1d_accesses > 0
+        assert counters.l1i_misses > 0
+        assert counters.branches >= 1
+        assert counters.syscalls == 1
+
+
+class TestRelativeDeviation:
+    def test_zero_for_equal(self):
+        assert relative_deviation(10, 10) == 0.0
+
+    def test_zero_for_both_zero(self):
+        assert relative_deviation(0, 0) == 0.0
+
+    def test_symmetric(self):
+        assert relative_deviation(5, 10) == relative_deviation(10, 5)
+
+    def test_value(self):
+        assert relative_deviation(50, 100) == pytest.approx(0.5)

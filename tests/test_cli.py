@@ -1,0 +1,60 @@
+"""CLI smoke tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_inject_defaults(self):
+        args = build_parser().parse_args(["inject", "CRC32"])
+        assert args.faults == 50
+
+    def test_beam_hours(self):
+        args = build_parser().parse_args(["beam", "CRC32", "--hours", "12"])
+        assert args.hours == 12.0
+
+    def test_report_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "CRC32" in out and "Susan S" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "Susan C"]) == 0
+        out = capsys.readouterr().out
+        assert "matches oracle" in out
+
+    def test_run_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["run", "NotABenchmark"])
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "StringSearch"]) == 0
+        out = capsys.readouterr().out
+        assert "0x00010000:" in out
+        assert "syscall" in out
+
+    def test_report_single_figure_from_cache(self, capsys):
+        """`report fig10` renders from the shipped campaign cache."""
+        from pathlib import Path
+
+        from repro.injection.campaign import CampaignConfig, default_cache_dir
+
+        key = CampaignConfig(faults_per_component=100).cache_key("CRC32")
+        if not (default_cache_dir() / f"{key}.json").exists():
+            pytest.skip("shipped campaign cache absent")
+        assert main(["report", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out

@@ -1,0 +1,80 @@
+"""Exception hierarchy invariants relied on by the run loop and classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in (
+            "ConfigurationError",
+            "AssemblerError",
+            "EncodingError",
+            "ArchitecturalFault",
+            "SimulationTermination",
+            "InjectionError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_architectural_faults_are_not_terminations(self):
+        """The run loop must be able to catch faults without swallowing
+        terminal outcomes."""
+        for fault in (
+            errors.IllegalInstruction,
+            errors.SegmentationFault,
+            errors.AlignmentFault,
+            errors.PrivilegeFault,
+            errors.ArithmeticFault,
+        ):
+            assert issubclass(fault, errors.ArchitecturalFault)
+            assert not issubclass(fault, errors.SimulationTermination)
+
+    def test_terminations(self):
+        for termination in (
+            errors.ProgramExit,
+            errors.ApplicationAbort,
+            errors.KernelPanic,
+            errors.WatchdogTimeout,
+        ):
+            assert issubclass(termination, errors.SimulationTermination)
+
+    def test_cause_codes_unique(self):
+        causes = [
+            fault.cause
+            for fault in (
+                errors.IllegalInstruction,
+                errors.SegmentationFault,
+                errors.AlignmentFault,
+                errors.PrivilegeFault,
+                errors.ArithmeticFault,
+            )
+        ]
+        assert len(set(causes)) == len(causes)
+        assert all(0 < cause < 8 for cause in causes)  # below CAUSE_SYSCALL
+
+
+class TestPayloads:
+    def test_program_exit_status(self):
+        assert errors.ProgramExit(3).status == 3
+
+    def test_application_abort_fields(self):
+        abort = errors.ApplicationAbort(cause=2, pc=0x1234)
+        assert abort.cause == 2 and abort.pc == 0x1234
+
+    def test_kernel_panic_message(self):
+        panic = errors.KernelPanic("bad vector", pc=0x40)
+        assert "bad vector" in str(panic)
+
+    def test_watchdog_cycles(self):
+        assert errors.WatchdogTimeout(99).cycles == 99
+
+    def test_assembler_error_line_prefix(self):
+        error = errors.AssemblerError("boom", line=7)
+        assert "line 7" in str(error)
+
+    def test_architectural_fault_pc(self):
+        fault = errors.SegmentationFault("oops", pc=0x44)
+        assert fault.pc == 0x44

@@ -1,0 +1,35 @@
+"""Smoke tests: the runnable examples stay runnable."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "matches oracle" in out
+        assert "cycles" in out
+
+    def test_custom_workload(self, capsys):
+        out = run_example("custom_workload.py", capsys)
+        assert "expected result: 120" in out
+        assert "SDC" in out
+        assert "AppCrash" in out
+
+    @pytest.mark.slow
+    def test_observability(self, capsys):
+        out = run_example("observability.py", capsys)
+        assert "struck region" in out
+        assert "user_data" in out

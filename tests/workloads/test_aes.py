@@ -1,0 +1,74 @@
+"""AES reference implementation: FIPS-197 vectors and algebraic properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads import _aes
+
+
+class TestFIPS197:
+    KEY = bytes(range(16))
+    PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+    CIPHERTEXT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+    def test_encrypt_vector(self):
+        assert _aes.encrypt_ecb(self.PLAINTEXT, self.KEY) == self.CIPHERTEXT
+
+    def test_decrypt_vector(self):
+        assert _aes.decrypt_ecb(self.CIPHERTEXT, self.KEY) == self.PLAINTEXT
+
+    def test_key_schedule_appendix_a(self):
+        # FIPS-197 Appendix A key expansion example.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        words = _aes.expand_key(key)
+        assert len(words) == 44
+        assert words[0] == 0x2B7E1516
+        assert words[4] == 0xA0FAFE17
+        assert words[43] == 0xB6630CA6
+
+
+class TestTables:
+    def test_sbox_is_a_permutation(self):
+        assert sorted(_aes.SBOX) == list(range(256))
+
+    def test_inv_sbox_inverts(self):
+        for value in range(256):
+            assert _aes.INV_SBOX[_aes.SBOX[value]] == value
+
+    def test_te_tables_consistent_with_sbox(self):
+        for x in range(256):
+            s = _aes.SBOX[x]
+            assert (_aes.TE0[x] >> 16) & 0xFF == s
+            assert (_aes.TE2[x] >> 24) & 0xFF == s
+
+    def test_td_tables_consistent_with_inv_sbox(self):
+        for x in range(256):
+            s = _aes.INV_SBOX[x]
+            e = _aes._gf_mul(s, 14)
+            assert (_aes.TD0[x] >> 24) & 0xFF == e
+
+
+class TestProperties:
+    @given(data=st.binary(min_size=16, max_size=64), key=st.binary(min_size=16, max_size=16))
+    def test_decrypt_inverts_encrypt(self, data, key):
+        data = data[: len(data) - len(data) % 16]
+        if not data:
+            data = b"\x00" * 16
+        assert _aes.decrypt_ecb(_aes.encrypt_ecb(data, key), key) == data
+
+    @given(key=st.binary(min_size=16, max_size=16))
+    def test_encryption_changes_data(self, key):
+        plaintext = b"\x00" * 16
+        assert _aes.encrypt_ecb(plaintext, key) != plaintext
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            _aes.encrypt_ecb(b"123", b"k" * 16)
+        with pytest.raises(ValueError):
+            _aes.expand_key(b"short")
+
+    def test_gf_mul_basics(self):
+        assert _aes._gf_mul(0x57, 0x02) == 0xAE
+        assert _aes._gf_mul(0x57, 0x13) == 0xFE  # FIPS-197 example

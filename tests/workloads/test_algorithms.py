@@ -1,0 +1,183 @@
+"""Per-workload algorithmic properties of the reference oracles.
+
+The oracles are the ground truth the simulator is validated against, so
+they get their own scrutiny: cross-checks against the standard library /
+numpy and structural invariants of each algorithm.
+"""
+
+from __future__ import annotations
+
+import binascii
+import struct
+
+import numpy as np
+import pytest
+
+from repro.workloads import crc32, dijkstra, fft, jpeg, matmul, qsort, stringsearch, susan
+from repro.workloads.base import pack_words
+
+
+def words_of(data: bytes) -> list[int]:
+    return list(struct.unpack(f"<{len(data) // 4}I", data))
+
+
+class TestCRC32:
+    def test_matches_binascii(self):
+        expected = binascii.crc32(crc32._input_data()) & 0xFFFFFFFF
+        assert words_of(crc32.WORKLOAD.reference_output()) == [expected]
+
+    def test_table_spot_values(self):
+        table = crc32._crc_table()
+        assert table[0] == 0
+        assert table[1] == 0x77073096  # well-known IEEE CRC table entry
+        assert table[255] == 0x2D02EF8D
+
+    def test_input_deterministic(self):
+        assert crc32._input_data() == crc32._input_data()
+
+
+class TestDijkstra:
+    def test_distances_nonnegative_and_source_zero(self):
+        matrix = dijkstra._matrix()
+        for source in range(4):
+            dist = dijkstra._dijkstra(matrix, source)
+            assert dist[source] == 0
+            assert all(value >= 0 for value in dist)
+
+    def test_ring_guarantees_reachability(self):
+        matrix = dijkstra._matrix()
+        dist = dijkstra._dijkstra(matrix, 0)
+        assert all(value < dijkstra._INF for value in dist)
+
+    def test_triangle_inequality_over_edges(self):
+        matrix = dijkstra._matrix()
+        dist = dijkstra._dijkstra(matrix, 0)
+        for u in range(dijkstra._NODES):
+            for v in range(dijkstra._NODES):
+                if matrix[u][v]:
+                    assert dist[v] <= dist[u] + matrix[u][v]
+
+
+class TestFFT:
+    def test_matches_numpy(self):
+        wave = fft._wave()
+        rev = fft._bit_reversal()
+        re = [wave[rev[i]] for i in range(fft._N)]
+        im = [0.0] * fft._N
+        fft._fft_reference(re, im)
+        ours = np.array(re) + 1j * np.array(im)
+        reference = np.fft.fft(np.array(wave))
+        assert np.allclose(ours, reference, atol=1e-9)
+
+    def test_bit_reversal_is_an_involution(self):
+        rev = fft._bit_reversal()
+        assert all(rev[rev[i]] == i for i in range(fft._N))
+
+    def test_tone_peaks_visible(self):
+        """The synthesized wave's tones show up as spectral peaks."""
+        wave = fft._wave()
+        spectrum = np.abs(np.fft.fft(np.array(wave)))
+        noise_floor = np.median(spectrum[1 : fft._N // 2])
+        assert spectrum[1 : fft._N // 2].max() > 10 * noise_floor
+
+
+class TestJpeg:
+    def test_dct_matrix_orthonormal(self):
+        c = np.array(jpeg._dct_matrix()).reshape(8, 8)
+        assert np.allclose(c @ c.T, np.eye(8), atol=1e-12)
+
+    def test_decode_approximates_original(self):
+        """Quantization loses detail but the reconstruction must stay close
+        to the original image (JPEG's whole premise)."""
+        image = jpeg._image()
+        errors = []
+        for block, quantized in zip(jpeg._blocks(image), jpeg._encoded_blocks()):
+            decoded = jpeg._decode_block(quantized)
+            errors.extend(abs(a - b) for a, b in zip(block, decoded))
+        mean_error = sum(errors) / len(errors)
+        assert mean_error < 12.0  # coarse quant table, small blocks
+
+    def test_dc_coefficient_tracks_block_mean(self):
+        image = jpeg._image()
+        block = next(iter(jpeg._blocks(image)))
+        quantized = jpeg._encode_block(block)
+        mean_shifted = sum(p - 128 for p in block) / 64
+        # DC = 8 * mean / Q[0] (orthonormal DCT), quantized by 16.
+        assert quantized[0] == int(mean_shifted * 8 / 16)
+
+
+class TestQsort:
+    def test_checksum_matches_sorted(self):
+        output = words_of(qsort.WORKLOAD.reference_output())
+        ordered = sorted(qsort._values())
+        checksum = 0
+        for index, value in enumerate(ordered):
+            checksum = (checksum + value * (index + 1)) & 0xFFFFFFFF
+        assert output[0] == checksum
+
+    def test_samples_are_nondecreasing(self):
+        output = words_of(qsort.WORKLOAD.reference_output())
+        samples = output[1:]
+        assert samples == sorted(samples)
+
+
+class TestStringSearch:
+    def test_results_match_str_find(self):
+        output = words_of(stringsearch.WORKLOAD.reference_output())
+        for (sentence, needle), result in zip(stringsearch._pairs(), output):
+            expected = sentence.find(needle) & 0xFFFFFFFF
+            assert result == expected
+
+    def test_mix_of_hits_and_misses(self):
+        output = words_of(stringsearch.WORKLOAD.reference_output())
+        hits = sum(1 for value in output if value != 0xFFFFFFFF)
+        assert 0 < hits < len(output)
+
+
+class TestMatMul:
+    def test_diagonal_matches_numpy(self):
+        a, b = matmul._matrices()
+        na = np.array(a).reshape(16, 16)
+        nb = np.array(b).reshape(16, 16)
+        product = na @ nb
+        output = words_of(matmul.WORKLOAD.reference_output())
+        for i in range(16):
+            quantized = output[i]
+            if quantized & 0x80000000:
+                quantized -= 1 << 32
+            assert quantized == pytest.approx(product[i, i] * 4096.0, abs=1.0)
+
+
+class TestSusan:
+    def test_mask_is_the_standard_37_pixel_disc(self):
+        offsets = susan._mask_offsets()
+        assert len(offsets) == 37
+        assert (0, 0) in offsets
+        assert all(dx * dx + dy * dy <= 12 for dx, dy in offsets)
+
+    def test_lut_peak_at_zero_difference(self):
+        lut = susan._lut()
+        assert lut[256] == 100
+        assert lut[0] == 0 and lut[511] == 0
+        # Monotone decay away from zero difference.
+        assert all(lut[256 + d] >= lut[256 + d + 1] for d in range(0, 255))
+
+    def test_corners_detected_on_test_card(self):
+        output = words_of(susan.CORNER_WORKLOAD.reference_output())
+        corner_count = output[0]
+        assert 5 < corner_count < 150
+
+    def test_edges_detected_on_test_card(self):
+        output = words_of(susan.EDGE_WORKLOAD.reference_output())
+        edge_count = output[-1]
+        assert edge_count > corner_count_lower_bound()
+
+    def test_smoothing_preserves_range(self):
+        rows = words_of(susan.SMOOTH_WORKLOAD.reference_output())[:-1]
+        # 14 pixels per row, each in [0, 255].
+        assert all(0 <= row_sum <= 255 * 14 for row_sum in rows)
+
+
+def corner_count_lower_bound() -> int:
+    output = words_of(susan.CORNER_WORKLOAD.reference_output())
+    return output[0]

@@ -1,0 +1,87 @@
+"""Suite registry and workload metadata (Table III)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.layout import DEFAULT_LAYOUT
+from repro.workloads import MIBENCH_SUITE, get_workload, workload_names
+from repro.workloads.base import Characteristic
+
+EXPECTED_NAMES = [
+    "CRC32",
+    "Dijkstra",
+    "FFT",
+    "Jpeg C",
+    "Jpeg D",
+    "MatMul",
+    "Qsort",
+    "Rijndael E",
+    "Rijndael D",
+    "StringSearch",
+    "Susan C",
+    "Susan E",
+    "Susan S",
+]
+
+
+class TestRegistry:
+    def test_all_13_benchmarks_present(self):
+        assert workload_names() == EXPECTED_NAMES
+
+    def test_get_workload(self):
+        assert get_workload("CRC32").name == "CRC32"
+
+    def test_unknown_workload_lists_known(self):
+        with pytest.raises(KeyError, match="CRC32"):
+            get_workload("nope")
+
+    def test_characteristics_match_table3(self):
+        table = {
+            "CRC32": Characteristic.CPU,
+            "Dijkstra": Characteristic.CONTROL | Characteristic.MEMORY,
+            "FFT": Characteristic.MEMORY,
+            "Jpeg C": Characteristic.CPU,
+            "Jpeg D": Characteristic.CPU,
+            "MatMul": Characteristic.MEMORY,
+            "Qsort": Characteristic.MEMORY | Characteristic.CONTROL,
+            "Rijndael E": Characteristic.MEMORY,
+            "Rijndael D": Characteristic.MEMORY,
+            "StringSearch": Characteristic.MEMORY | Characteristic.CONTROL,
+            "Susan C": Characteristic.CPU,
+            "Susan E": Characteristic.CPU,
+            "Susan S": Characteristic.CPU,
+        }
+        for name, expected in table.items():
+            assert get_workload(name).characteristics == expected
+
+    def test_paper_inputs_documented(self):
+        for workload in MIBENCH_SUITE.values():
+            assert workload.paper_input
+            assert workload.scaled_input
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_programs_assemble(self, name):
+        program = get_workload(name).program(DEFAULT_LAYOUT)
+        assert program.segment("text").base == DEFAULT_LAYOUT.user_text_base
+
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_programs_fit_their_regions(self, name):
+        layout = DEFAULT_LAYOUT
+        program = get_workload(name).program(layout)
+        assert program.segment("text").end <= layout.check_text_base
+        data = program.segment("data")
+        assert data.end <= layout.output_buffer_base
+
+    def test_program_memoized_per_layout(self):
+        workload = get_workload("CRC32")
+        assert workload.program(DEFAULT_LAYOUT) is workload.program(DEFAULT_LAYOUT)
+
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_reference_outputs_nonempty_and_stable(self, name):
+        workload = get_workload(name)
+        first = workload.reference_output()
+        assert first
+        assert workload.reference_output() == first
