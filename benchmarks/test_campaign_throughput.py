@@ -1,0 +1,77 @@
+"""Campaign engine throughput: injections/sec, serial vs. parallel.
+
+Measures the end-to-end rate of the parallel campaign engine on a live
+(uncached) mini-campaign and records the parallel speedup in
+``extra_info``.  The >= 1.8x speedup acceptance bar is only asserted on
+machines with at least four cores - a single-core container cannot
+exhibit parallelism, only pool overhead - but the byte-identical-results
+guarantee is asserted everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.injection.campaign import record_golden_snapshots, run_golden
+from repro.injection.components import Component, component_bits
+from repro.injection.fault import generate_faults
+from repro.injection.parallel import MachineImage, run_injection_plan
+from repro.microarch.config import SCALED_A9_CONFIG
+from repro.workloads import get_workload
+
+#: Enough work to amortize pool start-up, small enough for a quick bench.
+FAULTS_PER_COMPONENT = 24
+COMPONENTS = (Component.REGFILE, Component.L1D, Component.DTLB)
+
+
+def _build_plan():
+    workload = get_workload("StringSearch")
+    golden = run_golden(workload, SCALED_A9_CONFIG)
+    snapshots = record_golden_snapshots(workload, SCALED_A9_CONFIG, golden)
+    image = MachineImage.capture(workload, SCALED_A9_CONFIG, golden, snapshots)
+    plan = {
+        component: generate_faults(
+            component,
+            component_bits(SCALED_A9_CONFIG, component),
+            golden.cycles,
+            count=FAULTS_PER_COMPONENT,
+            seed=9,
+        )
+        for component in COMPONENTS
+    }
+    return image, plan
+
+
+def test_campaign_throughput_serial_vs_parallel(benchmark):
+    """Injections/sec at jobs=1 vs jobs=cpu_count; speedup in extra_info."""
+    image, plan = _build_plan()
+    total = sum(len(faults) for faults in plan.values())
+    cores = os.cpu_count() or 1
+
+    serial_effects = benchmark.pedantic(
+        lambda: run_injection_plan(image, plan, jobs=1), rounds=3, iterations=1
+    )
+    serial_seconds = benchmark.stats.stats.mean
+
+    start = time.perf_counter()
+    parallel_effects = run_injection_plan(image, plan, jobs=cores)
+    parallel_seconds = time.perf_counter() - start
+
+    speedup = serial_seconds / parallel_seconds
+    benchmark.extra_info["injections"] = total
+    benchmark.extra_info["serial_inj_per_sec"] = round(total / serial_seconds, 2)
+    benchmark.extra_info["parallel_jobs"] = cores
+    benchmark.extra_info["parallel_inj_per_sec"] = round(
+        total / parallel_seconds, 2
+    )
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    # Determinism holds at any worker count, on any machine.
+    assert parallel_effects == serial_effects
+    # The speedup bar only makes sense where parallelism is available.
+    if cores >= 4:
+        assert speedup >= 1.8, (
+            f"parallel campaign speedup {speedup:.2f}x below the 1.8x bar "
+            f"on a {cores}-core machine"
+        )

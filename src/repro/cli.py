@@ -7,9 +7,10 @@ Commands
     Boot the machine, run one benchmark, print outcome and counters.
 ``list``
     List the 13 benchmarks with their inputs and characteristics.
-``inject <benchmark> [-n FAULTS]``
+``inject <benchmark> [-n FAULTS] [-j JOBS]``
     Fault-injection campaign for one benchmark; prints the AVF breakdown
-    and FIT prediction.
+    and FIT prediction.  ``--jobs`` fans injections out over worker
+    processes (0 = one per core) with bit-identical results.
 ``beam <benchmark> [--hours H]``
     Simulated beam campaign for one benchmark; prints FIT rates with
     confidence intervals.
@@ -64,7 +65,7 @@ def _cmd_run(args) -> int:
 def _cmd_inject(args) -> int:
     workload = get_workload(args.benchmark)
     campaign = InjectionCampaign(
-        CampaignConfig(faults_per_component=args.faults),
+        CampaignConfig(faults_per_component=args.faults, jobs=args.jobs),
         progress=lambda message: print(f"  .. {message}", file=sys.stderr),
     )
     result = campaign.run_workload(workload)
@@ -173,6 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("benchmark")
     inject.add_argument("-n", "--faults", type=int, default=50,
                         help="faults per component (default 50)")
+    inject.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes; 0 = one per CPU core "
+                        "(default 1, results identical for any value)")
     inject.set_defaults(func=_cmd_inject)
 
     beam = sub.add_parser("beam", help="simulated beam campaign")

@@ -1,9 +1,17 @@
 """Fault-injection campaign orchestration.
 
 A campaign runs, per workload and per component, a statistical sample of
-single-bit injections: each injection boots a *fresh* machine (caches cold,
-exactly as GeFIN resets state between experiments), runs to the injection
-cycle, flips the bit, runs to a terminal outcome, and classifies it.
+single-bit injections: each injection starts from a pristine machine state
+(caches cold, exactly as GeFIN resets state between experiments), runs to
+the injection cycle, flips the bit, runs to a terminal outcome, and
+classifies it.
+
+Execution is delegated to :mod:`repro.injection.parallel`: the golden run
+and its checkpoints are captured once per (workload, machine) as a shared
+:class:`~repro.injection.parallel.MachineImage`, and the injections fan out
+over ``CampaignConfig.jobs`` worker processes.  Results are deterministic -
+bit-identical for any ``jobs`` value - because every injection is a pure
+function of (image, fault) and tallies are accumulated in fault order.
 
 Results are cached on disk keyed by (machine, workload, sample size, seed)
 so analyses and benchmark harnesses can share one expensive campaign.
@@ -20,6 +28,13 @@ from typing import Callable, Iterable
 from repro.injection.classify import FaultEffect, classify_run
 from repro.injection.components import Component, component_bits, component_target
 from repro.injection.fault import Fault, generate_faults
+from repro.injection.parallel import (
+    WATCHDOG_FACTOR,
+    WATCHDOG_SLACK,
+    MachineImage,
+    run_injection_plan,
+    watchdog_budget,
+)
 from repro.injection.sampling import (
     error_margin,
     readjusted_margin,
@@ -30,9 +45,20 @@ from repro.microarch.snapshot import best_snapshot, record_snapshots
 from repro.microarch.system import RunResult, System
 from repro.workloads.base import Workload
 
-#: Cycle budget for injected runs, relative to the fault-free duration.
-WATCHDOG_FACTOR = 2.5
-WATCHDOG_SLACK = 50_000
+__all__ = [
+    "WATCHDOG_FACTOR",
+    "WATCHDOG_SLACK",
+    "CampaignConfig",
+    "ComponentResult",
+    "WorkloadResult",
+    "InjectionCampaign",
+    "InjectionObservation",
+    "default_cache_dir",
+    "run_golden",
+    "run_single_injection",
+    "run_instrumented_injection",
+    "record_golden_snapshots",
+]
 
 
 def default_cache_dir() -> Path:
@@ -56,6 +82,11 @@ class CampaignConfig:
     #: recent technologies as a source of underestimation (Section II);
     #: setting 2 or 4 explores that uncertainty.
     cluster_size: int = 1
+    #: Worker processes for the injection fan-out: 1 runs in-process, N > 1
+    #: uses a multiprocessing pool, 0 means one per CPU core.  Results are
+    #: bit-identical regardless of the value (it is deliberately *not*
+    #: part of the cache key).
+    jobs: int = 1
 
     def cache_key(self, workload_name: str) -> str:
         cluster = f"-c{self.cluster_size}" if self.cluster_size != 1 else ""
@@ -202,8 +233,7 @@ def run_single_injection(
             target.flip_bit((fault.bit_index + offset) % population)
 
     events = [(fault.cycle, flip)]
-    budget = int(golden.cycles * WATCHDOG_FACTOR) + WATCHDOG_SLACK
-    result = system.run(max_cycles=budget, events=events)
+    result = system.run(max_cycles=watchdog_budget(golden.cycles), events=events)
     return classify_run(result, golden.output, system)
 
 
@@ -258,8 +288,9 @@ def run_instrumented_injection(
         if not observed.get("flipped"):
             target.flip_bit(fault.bit_index)
 
-    budget = int(golden.cycles * WATCHDOG_FACTOR) + WATCHDOG_SLACK
-    result = system.run(max_cycles=budget, events=[(fault.cycle, flip)])
+    result = system.run(
+        max_cycles=watchdog_budget(golden.cycles), events=[(fault.cycle, flip)]
+    )
     effect = classify_run(result, golden.output, system)
     return InjectionObservation(
         fault=fault,
@@ -308,12 +339,18 @@ class InjectionCampaign:
         try:
             return WorkloadResult.from_dict(json.loads(path.read_text()))
         except (ValueError, KeyError):
+            # A truncated or stale file (e.g. a killed campaign before
+            # writes were atomic) is treated as a miss, but visibly so.
+            self._progress(f"cache: ignoring corrupt {path.name}, re-running")
             return None
 
     def _store(self, result: WorkloadResult) -> None:
+        """Atomically persist a result (a killed run never truncates)."""
         path = self._cache_path(result.workload_name)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(result.to_dict(), indent=1))
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(result.to_dict(), indent=1))
+        os.replace(tmp, path)
 
     # -- execution -------------------------------------------------------------
 
@@ -323,13 +360,26 @@ class InjectionCampaign:
         components: Iterable[Component] = tuple(Component),
         use_cache: bool = True,
     ) -> WorkloadResult:
-        """Campaign for one workload across the requested components."""
-        if use_cache:
-            cached = self._load_cached(workload.name)
-            if cached is not None and all(
-                component in cached.components for component in components
-            ):
-                return cached
+        """Campaign for one workload across the requested components.
+
+        A cached result that covers only *some* of the requested components
+        is extended in place: only the missing components are campaigned,
+        and the merged result is stored back.
+        """
+        components = tuple(components)
+        cached = self._load_cached(workload.name) if use_cache else None
+        missing = [
+            component
+            for component in components
+            if cached is None or component not in cached.components
+        ]
+        if cached is not None and not missing:
+            return cached
+        if cached is not None:
+            self._progress(
+                f"{workload.name}: cache missing "
+                + ",".join(component.name for component in missing)
+            )
 
         machine = self.config.machine
         golden = run_golden(workload, machine)
@@ -338,38 +388,38 @@ class InjectionCampaign:
             snapshots = record_golden_snapshots(
                 workload, machine, golden, count=self.config.checkpoint_count
             )
-        result = WorkloadResult(
-            workload_name=workload.name, golden_cycles=golden.cycles
+        image = MachineImage.capture(
+            workload,
+            machine,
+            golden,
+            snapshots,
+            cluster_size=self.config.cluster_size,
         )
-        for component in components:
-            bits = component_bits(machine, component)
-            faults = generate_faults(
+        plan = {
+            component: generate_faults(
                 component,
-                bits,
+                component_bits(machine, component),
                 golden.cycles,
                 self.config.faults_per_component,
                 seed=self.config.seed,
             )
+            for component in missing
+        }
+        effects = run_injection_plan(
+            image, plan, jobs=self.config.jobs, progress=self._progress
+        )
+
+        result = cached if cached is not None else WorkloadResult(
+            workload_name=workload.name, golden_cycles=golden.cycles
+        )
+        for component in missing:
             counts: dict[FaultEffect, int] = {}
-            for index, fault in enumerate(faults):
-                effect = run_single_injection(
-                    workload,
-                    fault,
-                    machine,
-                    golden,
-                    snapshots=snapshots,
-                    cluster_size=self.config.cluster_size,
-                )
+            for effect in effects[component]:
                 counts[effect] = counts.get(effect, 0) + 1
-                if (index + 1) % 10 == 0:
-                    self._progress(
-                        f"{workload.name}/{component.name}: "
-                        f"{index + 1}/{len(faults)}"
-                    )
             result.components[component] = ComponentResult(
                 component=component,
-                injections=len(faults),
-                population_bits=bits,
+                injections=len(plan[component]),
+                population_bits=component_bits(machine, component),
                 counts=counts,
                 confidence=self.config.confidence,
             )

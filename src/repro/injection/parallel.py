@@ -1,0 +1,215 @@
+"""Parallel, deterministic execution of injection campaigns.
+
+The statistical campaigns behind the paper's figures are tens of thousands
+of *independent* full-system simulations (1,000 faults x 6 components x 13
+benchmarks), which makes them an embarrassingly parallel job farm - the way
+DAVOS's SBFI tool and checkpoint-restore harnesses treat them.  This module
+supplies the farm:
+
+- a :class:`MachineImage`: one pickle-friendly bundle of everything a
+  worker needs for a (workload, machine) pair - the assembled program, the
+  machine configuration, the golden run's output/duration, and the golden
+  checkpoints;
+- an :class:`ImageInjector`: a worker-local machine built *once* from the
+  image; every injection restores either a golden checkpoint or the
+  pristine boot snapshot instead of re-assembling the kernel, re-loading
+  the program and re-writing the page table;
+- :func:`run_injection_plan`: fans a fault plan out over a
+  ``multiprocessing`` pool.
+
+Determinism guarantee: the fault lists are generated up front from the
+campaign seed, every injection is a pure function of (image, fault), and
+results are collected into slots indexed by (component, fault index).  The
+returned effects - and therefore the campaign tallies - are identical for
+any worker count and any scheduling order (enforced by the serial/parallel
+equivalence tests).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.injection.classify import FaultEffect, classify_run
+from repro.injection.components import Component, component_target
+from repro.injection.fault import Fault
+from repro.isa.assembler import Program
+from repro.microarch.config import MachineConfig
+from repro.microarch.snapshot import SystemSnapshot, best_snapshot
+from repro.microarch.system import RunResult, System
+
+#: Cycle budget for injected runs, relative to the fault-free duration.
+WATCHDOG_FACTOR = 2.5
+WATCHDOG_SLACK = 50_000
+
+
+def watchdog_budget(golden_cycles: int) -> int:
+    """Cycle budget for an injected run given the fault-free duration."""
+    return int(golden_cycles * WATCHDOG_FACTOR) + WATCHDOG_SLACK
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Map a ``jobs`` knob onto a worker count (``0`` means all cores)."""
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass
+class MachineImage:
+    """Shared machine image: one (workload, machine) pair, ready to inject.
+
+    Building this once per campaign - instead of once per injection -
+    removes the constant per-experiment costs: kernel assembly, program
+    load, page-table write, and the golden/checkpoint runs.  The image is
+    pickle-friendly so a worker pool can receive it whole.
+    """
+
+    name: str
+    program: Program
+    machine: MachineConfig
+    golden_cycles: int
+    golden_output: bytes
+    snapshots: list[SystemSnapshot] = field(default_factory=list)
+    cluster_size: int = 1
+
+    @classmethod
+    def capture(
+        cls,
+        workload,
+        machine: MachineConfig,
+        golden: RunResult,
+        snapshots: list[SystemSnapshot] | None = None,
+        cluster_size: int = 1,
+    ) -> "MachineImage":
+        """Bundle a workload's golden run into a shippable image."""
+        return cls(
+            name=workload.name,
+            program=workload.program(machine.layout),
+            machine=machine,
+            golden_cycles=golden.cycles,
+            golden_output=golden.output,
+            snapshots=list(snapshots or []),
+            cluster_size=cluster_size,
+        )
+
+
+class ImageInjector:
+    """Run injections against one reusable machine built from an image.
+
+    The :class:`~repro.microarch.system.System` is assembled exactly once.
+    Every injection then *restores* state - the latest golden checkpoint at
+    or before the injection cycle, or the pristine boot snapshot when none
+    applies - which overwrites all mutable machine state and is therefore
+    bit-identical to booting a fresh machine (the fidelity tests assert
+    this).
+    """
+
+    def __init__(self, image: MachineImage):
+        self.image = image
+        self.system = System(image.program, config=image.machine)
+        self.pristine = SystemSnapshot(self.system)
+        self.budget = watchdog_budget(image.golden_cycles)
+
+    def run_fault(self, fault: Fault) -> FaultEffect:
+        """Execute one injection experiment and classify its effect."""
+        image = self.image
+        system = self.system
+        snapshot = best_snapshot(image.snapshots, fault.cycle)
+        if snapshot is None:
+            snapshot = self.pristine
+        snapshot.restore(system)
+        target = component_target(system, fault.component)
+        population = target.data_bits
+        cluster = image.cluster_size
+
+        def flip():
+            for offset in range(cluster):
+                target.flip_bit((fault.bit_index + offset) % population)
+
+        result = system.run(max_cycles=self.budget, events=[(fault.cycle, flip)])
+        return classify_run(result, image.golden_output, system)
+
+
+# -- worker pool ------------------------------------------------------------
+
+# Worker-process state: one ImageInjector per process, built by the pool
+# initializer.  Under fork the image is inherited; under spawn it is
+# pickled once per worker (MachineImage is pickle-friendly by design).
+_WORKER_INJECTOR: ImageInjector | None = None
+
+
+def _init_worker(image: MachineImage) -> None:
+    global _WORKER_INJECTOR
+    _WORKER_INJECTOR = ImageInjector(image)
+
+
+def _run_task(task: tuple[int, int, Fault]) -> tuple[int, int, FaultEffect]:
+    component_index, fault_index, fault = task
+    assert _WORKER_INJECTOR is not None, "worker initializer did not run"
+    return component_index, fault_index, _WORKER_INJECTOR.run_fault(fault)
+
+
+def _pool_context():
+    # fork shares the (potentially large) image copy-on-write; fall back to
+    # the platform default where fork does not exist.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_injection_plan(
+    image: MachineImage,
+    plan: Mapping[Component, Sequence[Fault]],
+    jobs: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> dict[Component, list[FaultEffect]]:
+    """Execute every fault in ``plan``; returns effects in fault order.
+
+    ``plan`` maps each component to its (seed-deterministic) fault list.
+    With ``jobs == 1`` everything runs in-process; otherwise injections fan
+    out over a worker pool.  Either way the result is the same: effects
+    keyed by component, listed in fault order, independent of scheduling.
+    """
+    progress = progress or (lambda message: None)
+    components = list(plan)
+    effects: dict[Component, list] = {
+        component: [None] * len(plan[component]) for component in components
+    }
+    tasks = [
+        (component_index, fault_index, fault)
+        for component_index, component in enumerate(components)
+        for fault_index, fault in enumerate(plan[component])
+    ]
+    done = {component: 0 for component in components}
+    totals = {component: len(plan[component]) for component in components}
+
+    def record(component_index: int, fault_index: int, effect: FaultEffect):
+        component = components[component_index]
+        effects[component][fault_index] = effect
+        done[component] += 1
+        if done[component] % 10 == 0 or done[component] == totals[component]:
+            progress(
+                f"{image.name}/{component.name}: "
+                f"{done[component]}/{totals[component]}"
+            )
+
+    jobs = min(resolve_jobs(jobs), max(1, len(tasks)))
+    if jobs == 1:
+        injector = ImageInjector(image)
+        for component_index, fault_index, fault in tasks:
+            record(component_index, fault_index, injector.run_fault(fault))
+        return effects
+
+    chunksize = max(1, len(tasks) // (jobs * 4))
+    with _pool_context().Pool(
+        processes=jobs, initializer=_init_worker, initargs=(image,)
+    ) as pool:
+        for component_index, fault_index, effect in pool.imap_unordered(
+            _run_task, tasks, chunksize=chunksize
+        ):
+            record(component_index, fault_index, effect)
+    return effects

@@ -220,9 +220,20 @@ k_outptr:       .word 0
 """
 
 
+# Assembling the kernel is a pure function of the layout, and campaigns
+# construct thousands of Systems against a handful of layouts, so the
+# assembled Program is memoized per layout.  Program and its segments are
+# frozen dataclasses: sharing one instance across machines is safe.
+_KERNEL_CACHE: dict[MemoryLayout, Program] = {}
+
+
 def build_kernel(layout: MemoryLayout) -> Program:
-    """Assemble the kernel for the given memory layout."""
-    assembler = Assembler(
-        text_base=layout.kernel_text_base, data_base=layout.kernel_data_base
-    )
-    return assembler.assemble(KERNEL_SOURCE, entry="_start")
+    """Assemble the kernel for the given memory layout (memoized)."""
+    program = _KERNEL_CACHE.get(layout)
+    if program is None:
+        assembler = Assembler(
+            text_base=layout.kernel_text_base, data_base=layout.kernel_data_base
+        )
+        program = assembler.assemble(KERNEL_SOURCE, entry="_start")
+        _KERNEL_CACHE[layout] = program
+    return program

@@ -546,15 +546,16 @@ _HANDLERS = {
 
 # Shared decode memoization: word -> (handler, rd, rs1, rs2, imm) or None for
 # illegal words.  Decode is a pure function so the table is safe to share.
+# The hot path is a single dict .get(): a hit returns the tuple directly,
+# and None covers both a cold word and a memoized-illegal word, so the
+# interpreter loop pays no sentinel comparison per instruction.  The slow
+# path (:func:`_decode_slow`) disambiguates the two.
 _DECODE_CACHE: dict[int, tuple | None] = {}
 _DECODE_CACHE_LIMIT = 1 << 20
-_MISSING = object()
 
 
-def _decode_cached(word: int):
-    entry = _DECODE_CACHE.get(word, _MISSING)
-    if entry is not _MISSING:
-        return entry
+def _decode_slow(word: int):
+    """Decode miss path: populate the memo; returns None for illegal words."""
     if len(_DECODE_CACHE) > _DECODE_CACHE_LIMIT:
         _DECODE_CACHE.clear()
     try:
@@ -563,6 +564,13 @@ def _decode_cached(word: int):
     except IllegalInstruction:
         entry = None
     _DECODE_CACHE[word] = entry
+    return entry
+
+
+def _decode_cached(word: int):
+    entry = _DECODE_CACHE.get(word)
+    if entry is None:
+        entry = _decode_slow(word)
     return entry
 
 
@@ -689,9 +697,51 @@ class Core:
                 )
             data = self.memory.data[vaddr : vaddr + size]
             return int.from_bytes(data, "little"), 0
-        paddr, latency = self._translate(vaddr, self.dtlb, PTE_READ)
-        data, cache_latency = self.l1d.read(paddr, size)
-        return int.from_bytes(data, "little"), latency + cache_latency
+        paddr = self._data_hit_paddr(vaddr, PTE_READ)
+        if paddr < 0:
+            paddr, latency = self._translate(vaddr, self.dtlb, PTE_READ)
+            data, cache_latency = self.l1d.read(paddr, size)
+            return int.from_bytes(data, "little"), latency + cache_latency
+        l1d = self.l1d
+        tag = paddr >> l1d._offset_bits
+        for line in l1d.sets[tag & l1d._set_mask]:
+            if line.valid and line.tag == tag:
+                l1d._clock += 1
+                l1d.accesses += 1
+                line.stamp = l1d._clock
+                offset = paddr & l1d._offset_mask
+                return (
+                    int.from_bytes(line.data[offset : offset + size], "little"),
+                    l1d.hit_latency,
+                )
+        data, cache_latency = l1d.read(paddr, size)
+        return int.from_bytes(data, "little"), cache_latency
+
+    def _data_hit_paddr(self, vaddr: int, need: int) -> int:
+        """DTLB-hit fast path: the physical address, or -1 to take the
+        full :meth:`_translate` walk.
+
+        Pure reads until the hit is certain, then exactly the side effects
+        of a :meth:`TLB.lookup` hit - so a -1 return leaves no trace and
+        the caller's fallback replays the canonical sequence.
+        """
+        dtlb = self.dtlb
+        vpn = vaddr >> PAGE_SHIFT
+        entry = dtlb._map.get(vpn)
+        if entry is None or not entry.valid or entry.vpn != vpn:
+            return -1
+        perms = entry.perms
+        if not perms & PTE_VALID or not perms & need:
+            return -1
+        if self.mode == Mode.USER and not perms & PTE_USER:
+            return -1
+        paddr = (entry.ppn << PAGE_SHIFT) | (vaddr & 0xFFF)
+        if paddr >= self.layout.memory_size:
+            return -1
+        dtlb.accesses += 1
+        dtlb._clock += 1
+        entry.stamp = dtlb._clock
+        return paddr
 
     def store_int(self, vaddr: int, value: int, size: int) -> int:
         self.stores += 1
@@ -714,8 +764,24 @@ class Core:
                 )
             self.memory.data[vaddr : vaddr + size] = data
             return 0
-        paddr, latency = self._translate(vaddr, self.dtlb, PTE_WRITE)
-        return latency + self.l1d.write(paddr, data)
+        paddr = self._data_hit_paddr(vaddr, PTE_WRITE)
+        if paddr < 0:
+            paddr, latency = self._translate(vaddr, self.dtlb, PTE_WRITE)
+            return latency + self.l1d.write(paddr, data)
+        l1d = self.l1d
+        if l1d._write_through:
+            return l1d.write(paddr, data)
+        tag = paddr >> l1d._offset_bits
+        for line in l1d.sets[tag & l1d._set_mask]:
+            if line.valid and line.tag == tag:
+                l1d._clock += 1
+                l1d.accesses += 1
+                line.stamp = l1d._clock
+                line.dirty = True
+                offset = paddr & l1d._offset_mask
+                line.data[offset : offset + size] = data
+                return l1d.hit_latency
+        return l1d.write(paddr, data)
 
     def load_double(self, vaddr: int) -> tuple[float, int]:
         self.loads += 1
@@ -792,11 +858,13 @@ class Core:
             word = int.from_bytes(data, "little")
             fetch_latency = tlb_latency + cache_latency
 
-        entry = _decode_cached(word)
+        entry = _DECODE_CACHE.get(word)
         if entry is None:
-            raise IllegalInstruction(
-                f"illegal instruction {word:#010x} at {pc:#010x}", pc=pc
-            )
+            entry = _decode_slow(word)
+            if entry is None:
+                raise IllegalInstruction(
+                    f"illegal instruction {word:#010x} at {pc:#010x}", pc=pc
+                )
         self.pc = pc + 4
         handler, rd, rs1, rs2, imm = entry
         cost = handler(self, rd, rs1, rs2, imm)
@@ -811,8 +879,14 @@ class Core:
         passes their timestamp (used by the fault injectors).
 
         ``trace``, if given, is called with the core before every
-        instruction (used by :mod:`repro.microarch.trace`; costs a branch
-        per instruction when unused).
+        instruction (used by :mod:`repro.microarch.trace`).
+
+        Once no events remain to fire and no trace hook is installed,
+        execution switches to :meth:`_run_fast`, a fetch/decode/execute
+        loop with the per-instruction event and trace branches removed and
+        hot attribute lookups hoisted into locals.  Its semantics are
+        cycle-for-cycle identical to this loop (the injection equivalence
+        suite depends on that).
 
         This method always exits by raising: :class:`ProgramExit`,
         :class:`ApplicationAbort`, :class:`KernelPanic` or
@@ -823,6 +897,8 @@ class Core:
         next_event = pending[-1][0] if pending else None
 
         while True:
+            if next_event is None and trace is None:
+                self._run_fast(max_cycles)  # always exits by raising
             cycle = self.cycle
             if next_event is not None and cycle >= next_event:
                 _cycle, action = pending.pop()
@@ -843,6 +919,133 @@ class Core:
                 self.step()
             except ArchitecturalFault as fault:
                 if self.mode == Mode.KERNEL:
+                    raise KernelPanic(str(fault), pc=self.current_pc) from fault
+                self.enter_kernel(
+                    fault.cause, epc=self.current_pc, faultaddr=fault.pc
+                )
+                self.cycle += 4
+
+    def _run_fast(self, max_cycles: int) -> None:
+        """Event-free, trace-free interpreter loop (the campaign hot path).
+
+        This is :meth:`step` inlined into the run loop with invariant
+        lookups (memory buffer, cache/TLB methods, the decode memo) bound
+        to locals.  Any behavioural change here must keep it bit-exact
+        with the slow loop in :meth:`run`.
+        """
+        atomic = self.atomic
+        memory_data = self.memory.data
+        memory_size = self.memory.size
+        translate = self._translate
+        itlb = self.itlb
+        itlb_map = itlb._map
+        l1i = self.l1i
+        l1i_read = l1i.read
+        l1i_sets = l1i.sets
+        offset_bits = l1i._offset_bits
+        set_mask = l1i._set_mask
+        offset_mask = l1i._offset_mask
+        l1i_hit_latency = l1i.hit_latency
+        page_shift = PAGE_SHIFT
+        pte_fetch_ok = PTE_VALID | PTE_EXEC
+        pte_user = PTE_USER
+        layout_memory_size = self.layout.memory_size
+        decode_get = _DECODE_CACHE.get
+        int_from_bytes = int.from_bytes
+        mode_user = Mode.USER
+        mode_kernel = Mode.KERNEL
+
+        while True:
+            cycle = self.cycle
+            if cycle >= self.next_timer:
+                if self.mode is mode_user:
+                    self.timer_irqs += 1
+                    self.enter_kernel(CAUSE_TIMER, epc=self.pc)
+                    self.next_timer = cycle + self.timer_interval
+                # In kernel mode the interrupt stays pending until eret.
+            if cycle >= max_cycles:
+                raise WatchdogTimeout(cycle)
+            pc = self.pc
+            self.current_pc = pc
+            try:
+                if pc & 3:
+                    raise AlignmentFault(f"misaligned fetch at {pc:#010x}", pc=pc)
+                if pc >= MMIO_BASE:
+                    raise SegmentationFault(
+                        f"fetch from device space {pc:#010x}", pc=pc
+                    )
+                if atomic:
+                    if pc + 4 > memory_size:
+                        raise SegmentationFault(
+                            f"fetch outside memory {pc:#010x}", pc=pc
+                        )
+                    word = int_from_bytes(memory_data[pc : pc + 4], "little")
+                    fetch_latency = 0
+                else:
+                    # Inline ITLB-hit fast path.  Checks are pure reads; the
+                    # side effects (access/clock counters, the LRU stamp) are
+                    # applied only once the hit is certain, so falling back
+                    # to the full _translate() on any miss, permission
+                    # problem or bounds problem replays the exact sequence
+                    # the slow path would have produced.
+                    vpn = pc >> page_shift
+                    tlb_entry = itlb_map.get(vpn)
+                    paddr = -1
+                    if (
+                        tlb_entry is not None
+                        and tlb_entry.valid
+                        and tlb_entry.vpn == vpn
+                    ):
+                        perms = tlb_entry.perms
+                        if (
+                            perms & pte_fetch_ok == pte_fetch_ok
+                            and (perms & pte_user or self.mode is not mode_user)
+                        ):
+                            candidate = (tlb_entry.ppn << page_shift) | (
+                                pc & 0xFFF
+                            )
+                            if candidate < layout_memory_size:
+                                itlb.accesses += 1
+                                itlb._clock += 1
+                                tlb_entry.stamp = itlb._clock
+                                paddr = candidate
+                                tlb_latency = 0
+                    if paddr < 0:
+                        paddr, tlb_latency = translate(pc, itlb, PTE_EXEC)
+                    # Inline L1I-hit fast path, same discipline as above.
+                    tag = paddr >> offset_bits
+                    word = -1
+                    for line in l1i_sets[tag & set_mask]:
+                        if line.valid and line.tag == tag:
+                            l1i._clock += 1
+                            l1i.accesses += 1
+                            line.stamp = l1i._clock
+                            offset = paddr & offset_mask
+                            word = int_from_bytes(
+                                line.data[offset : offset + 4], "little"
+                            )
+                            fetch_latency = tlb_latency + l1i_hit_latency
+                            break
+                    if word < 0:
+                        data, cache_latency = l1i_read(paddr, 4)
+                        word = int_from_bytes(data, "little")
+                        fetch_latency = tlb_latency + cache_latency
+
+                entry = decode_get(word)
+                if entry is None:
+                    entry = _decode_slow(word)
+                    if entry is None:
+                        raise IllegalInstruction(
+                            f"illegal instruction {word:#010x} at {pc:#010x}",
+                            pc=pc,
+                        )
+                self.pc = pc + 4
+                handler, rd, rs1, rs2, imm = entry
+                cost = handler(self, rd, rs1, rs2, imm)
+                self.icount += 1
+                self.cycle = cycle + 1 + fetch_latency + cost
+            except ArchitecturalFault as fault:
+                if self.mode is mode_kernel:
                     raise KernelPanic(str(fault), pc=self.current_pc) from fault
                 self.enter_kernel(
                     fault.cause, epc=self.current_pc, faultaddr=fault.pc

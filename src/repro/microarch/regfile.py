@@ -37,6 +37,13 @@ class PhysRegFile:
         self._int_history = ARCH_REGS
         self._fp_history = ARCH_REGS
 
+    def reset(self) -> None:
+        """Power-on state: all registers zero, rename cursors at the start."""
+        self.int_regs[:] = [0] * self.n_int
+        self.fp_regs[:] = [0.0] * self.n_fp
+        self._int_history = ARCH_REGS
+        self._fp_history = ARCH_REGS
+
     # -- architectural access (used by the core; index 0..15) ----------------
 
     def read_int(self, index: int) -> int:

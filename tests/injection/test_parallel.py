@@ -1,0 +1,192 @@
+"""Parallel campaign engine: determinism, machine-image reuse, fan-out.
+
+The acceptance bar for the engine is strict: for the same CampaignConfig,
+any worker count must produce *byte-identical* ``WorkloadResult.to_dict()``
+output, and the restore-based injector must match the legacy
+build-a-fresh-System path bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.injection.campaign import (
+    CampaignConfig,
+    InjectionCampaign,
+    record_golden_snapshots,
+    run_golden,
+    run_single_injection,
+)
+from repro.injection.components import Component, component_bits
+from repro.injection.fault import generate_faults
+from repro.injection.parallel import (
+    ImageInjector,
+    MachineImage,
+    resolve_jobs,
+    run_injection_plan,
+    watchdog_budget,
+)
+from repro.microarch.config import SCALED_A9_CONFIG
+from repro.workloads import get_workload
+
+#: Small but real campaign: the fastest workload and two cheap components.
+WORKLOAD = "StringSearch"
+COMPONENTS = (Component.REGFILE, Component.DTLB)
+FAULTS = 5
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload(WORKLOAD)
+
+
+@pytest.fixture(scope="module")
+def golden(workload):
+    return run_golden(workload, SCALED_A9_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def snapshots(workload, golden):
+    return record_golden_snapshots(workload, SCALED_A9_CONFIG, golden, count=4)
+
+
+@pytest.fixture(scope="module")
+def image(workload, golden, snapshots):
+    return MachineImage.capture(workload, SCALED_A9_CONFIG, golden, snapshots)
+
+
+class TestResolveJobs:
+    def test_positive_is_passthrough(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_zero_and_negative_mean_all_cores(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-3) == resolve_jobs(0)
+
+
+class TestWatchdogBudget:
+    def test_budget_scales_with_golden_duration(self):
+        assert watchdog_budget(100_000) > watchdog_budget(10_000) > 10_000
+
+
+class TestImageInjector:
+    """The reusable-machine path must equal the fresh-machine path."""
+
+    def test_matches_legacy_fresh_system_path(
+        self, workload, golden, snapshots, image
+    ):
+        injector = ImageInjector(image)
+        for component in COMPONENTS:
+            faults = generate_faults(
+                component,
+                component_bits(SCALED_A9_CONFIG, component),
+                golden.cycles,
+                count=3,
+                seed=13,
+            )
+            for fault in faults:
+                legacy = run_single_injection(
+                    workload, fault, SCALED_A9_CONFIG, golden, snapshots=snapshots
+                )
+                assert injector.run_fault(fault) == legacy, fault
+
+    def test_pristine_restore_matches_fresh_boot(self, workload, golden, image):
+        """A fault before the first checkpoint uses the pristine image."""
+        first_checkpoint = image.snapshots[0].cycle
+        early = generate_faults(
+            Component.L1D,
+            component_bits(SCALED_A9_CONFIG, Component.L1D),
+            first_checkpoint,  # all faults land before the first checkpoint
+            count=2,
+            seed=3,
+        )
+        injector = ImageInjector(image)
+        for fault in early:
+            assert fault.cycle < first_checkpoint
+            legacy = run_single_injection(workload, fault, SCALED_A9_CONFIG, golden)
+            assert injector.run_fault(fault) == legacy
+
+    def test_injector_is_reusable_and_order_independent(self, golden, image):
+        faults = generate_faults(
+            Component.REGFILE,
+            component_bits(SCALED_A9_CONFIG, Component.REGFILE),
+            golden.cycles,
+            count=4,
+            seed=17,
+        )
+        injector = ImageInjector(image)
+        forward = [injector.run_fault(fault) for fault in faults]
+        backward = [injector.run_fault(fault) for fault in reversed(faults)]
+        assert forward == list(reversed(backward))
+
+
+class TestPlanExecution:
+    def test_effects_keyed_and_ordered_by_fault(self, golden, image):
+        plan = {
+            component: generate_faults(
+                component,
+                component_bits(SCALED_A9_CONFIG, component),
+                golden.cycles,
+                count=3,
+                seed=2,
+            )
+            for component in COMPONENTS
+        }
+        effects = run_injection_plan(image, plan, jobs=1)
+        assert set(effects) == set(COMPONENTS)
+        assert all(len(effects[c]) == 3 for c in COMPONENTS)
+        # Re-running yields the same ordered effects (pure function).
+        assert run_injection_plan(image, plan, jobs=1) == effects
+
+    def test_progress_reports_completion(self, golden, image):
+        plan = {
+            Component.REGFILE: generate_faults(
+                Component.REGFILE,
+                component_bits(SCALED_A9_CONFIG, Component.REGFILE),
+                golden.cycles,
+                count=2,
+                seed=2,
+            )
+        }
+        messages = []
+        run_injection_plan(image, plan, jobs=1, progress=messages.append)
+        assert any("REGFILE: 2/2" in message for message in messages)
+
+
+@pytest.mark.slow
+class TestSerialParallelEquivalence:
+    """Acceptance: byte-identical campaign output for jobs in {1, 2, 4}."""
+
+    @pytest.fixture(scope="class")
+    def per_jobs_results(self, tmp_path_factory, workload):
+        results = {}
+        for jobs in (1, 2, 4):
+            campaign = InjectionCampaign(
+                CampaignConfig(faults_per_component=FAULTS, seed=5, jobs=jobs),
+                cache_dir=tmp_path_factory.mktemp(f"jobs{jobs}"),
+            )
+            results[jobs] = campaign.run_workload(
+                workload, components=COMPONENTS
+            )
+        return results
+
+    def test_byte_identical_across_worker_counts(self, per_jobs_results):
+        serial = per_jobs_results[1].to_dict()
+        assert per_jobs_results[2].to_dict() == serial
+        assert per_jobs_results[4].to_dict() == serial
+
+    def test_identical_component_counts(self, per_jobs_results):
+        for jobs in (2, 4):
+            for component in COMPONENTS:
+                assert (
+                    per_jobs_results[jobs].components[component].counts
+                    == per_jobs_results[1].components[component].counts
+                )
+
+    def test_all_injections_accounted(self, per_jobs_results):
+        for result in per_jobs_results.values():
+            for component in COMPONENTS:
+                tally = result.components[component]
+                assert tally.injections == FAULTS
+                assert sum(tally.counts.values()) == FAULTS

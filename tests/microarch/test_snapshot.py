@@ -13,7 +13,13 @@ from repro.injection.components import Component, component_bits
 from repro.injection.fault import generate_faults
 from repro.kernel.layout import DEFAULT_LAYOUT
 from repro.microarch.config import SCALED_A9_CONFIG
-from repro.microarch.snapshot import SystemSnapshot, best_snapshot, record_snapshots
+from repro.microarch.snapshot import (
+    SystemSnapshot,
+    best_snapshot,
+    deserialize_snapshots,
+    record_snapshots,
+    serialize_snapshots,
+)
 from repro.microarch.system import System
 from repro.workloads import get_workload
 
@@ -59,6 +65,45 @@ class TestSnapshotMechanics:
         snapshots[0].restore(system)
         recopy = SystemSnapshot(system)
         assert recopy.cycle == snapshots[0].cycle
+
+
+class TestSnapshotSerialization:
+    """Pickle round-trip fidelity: shipped snapshots must restore bit-exact."""
+
+    def test_round_trip_preserves_every_field(self, snapshots):
+        clones = deserialize_snapshots(serialize_snapshots(snapshots))
+        assert len(clones) == len(snapshots)
+        for original, clone in zip(snapshots, clones):
+            assert clone is not original
+            assert vars(clone) == vars(original)
+
+    def test_restored_clone_completes_identically(self, workload, golden, snapshots):
+        """A deserialized snapshot drives the machine exactly like the original."""
+        clone = deserialize_snapshots(serialize_snapshots(snapshots))[2]
+        system = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        clone.restore(system)
+        result = system.run(max_cycles=golden.cycles * 3)
+        assert result.exited_cleanly
+        assert result.output == golden.output
+        assert result.cycles == golden.cycles
+
+    def test_restore_from_clone_matches_restore_from_original(
+        self, workload, snapshots
+    ):
+        clone = deserialize_snapshots(serialize_snapshots(snapshots))[0]
+        a = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        b = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        snapshots[0].restore(a)
+        clone.restore(b)
+        assert vars(SystemSnapshot(a)) == vars(SystemSnapshot(b))
+
+    def test_deserialize_rejects_foreign_payloads(self):
+        import pickle
+
+        with pytest.raises(TypeError):
+            deserialize_snapshots(pickle.dumps("not a snapshot list"))
+        with pytest.raises(TypeError):
+            deserialize_snapshots(pickle.dumps([object()]))
 
 
 class TestInjectionEquivalence:
