@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 
 def format_table(
@@ -28,6 +28,48 @@ def format_table(
     out.append("-+-".join("-" * width for width in widths))
     out.extend(line(row) for row in materialized)
     return "\n".join(out)
+
+
+def telemetry_table(summary: Mapping) -> str:
+    """Render a campaign telemetry summary as an ASCII report.
+
+    ``summary`` is the plain dict produced by
+    :meth:`repro.injection.telemetry.CampaignTelemetry.summary` (or an
+    object exposing ``summary()``): per-component class tallies followed
+    by a harness-health footer (throughput, replays, retries, timeouts,
+    worker deaths, quarantines).
+    """
+    if hasattr(summary, "summary"):
+        summary = summary.summary()
+    class_names = []
+    for tallies in summary["components"].values():
+        for name in tallies:
+            if name not in class_names:
+                class_names.append(name)
+    rows = [
+        [component, *(tallies.get(name, 0) for name in class_names)]
+        for component, tallies in summary["components"].items()
+    ]
+    table = format_table(
+        ["Component", *class_names], rows, title="Campaign telemetry"
+    )
+    rate = summary["injections_per_second"]
+    footer = [
+        f"injections : {summary['completed']}/{summary['planned']}"
+        + (f" ({summary['replayed']} replayed from journal)"
+           if summary["replayed"] else ""),
+        f"throughput : {rate:.2f} inj/s over {summary['elapsed_seconds']:.1f}s",
+    ]
+    health = [
+        (key, summary[key])
+        for key in ("retries", "timeouts", "worker_deaths", "quarantined")
+        if summary[key]
+    ]
+    if health:
+        footer.append(
+            "harness    : " + ", ".join(f"{key} {value}" for key, value in health)
+        )
+    return table + "\n" + "\n".join(footer)
 
 
 def bar_chart(

@@ -7,10 +7,14 @@ Commands
     Boot the machine, run one benchmark, print outcome and counters.
 ``list``
     List the 13 benchmarks with their inputs and characteristics.
-``inject <benchmark> [-n FAULTS] [-j JOBS]``
-    Fault-injection campaign for one benchmark; prints the AVF breakdown
-    and FIT prediction.  ``--jobs`` fans injections out over worker
-    processes (0 = one per core) with bit-identical results.
+``inject <benchmark> [-n FAULTS] [-j JOBS] [--journal DIR] [--resume]``
+    Fault-injection campaign for one benchmark; prints the AVF breakdown,
+    FIT prediction, and a telemetry summary.  ``--jobs`` fans injections
+    out over worker processes (0 = one per core) with bit-identical
+    results.  ``--journal`` records every completed injection in an
+    append-only JSONL journal; ``--resume`` replays it so a killed
+    campaign continues where it stopped.  ``--timeout``/``--retries``
+    bound stuck or worker-killing faults.
 ``beam <benchmark> [--hours H]``
     Simulated beam campaign for one benchmark; prints FIT rates with
     confidence intervals.
@@ -27,10 +31,12 @@ import sys
 
 from repro.analysis.avf import avf_breakdown
 from repro.analysis.fit_model import injection_fit
+from repro.analysis.report import telemetry_table
 from repro.beam.experiment import BeamCampaignConfig, BeamExperiment
 from repro.experiments import get_context
 from repro.injection.campaign import CampaignConfig, InjectionCampaign
 from repro.injection.classify import FaultEffect
+from repro.injection.telemetry import CampaignTelemetry
 from repro.isa.disassembler import disassemble
 from repro.kernel.layout import DEFAULT_LAYOUT
 from repro.microarch.system import System
@@ -63,10 +69,24 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_inject(args) -> int:
+    from pathlib import Path
+
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal DIR", file=sys.stderr)
+        return 2
     workload = get_workload(args.benchmark)
+    telemetry = CampaignTelemetry()
     campaign = InjectionCampaign(
-        CampaignConfig(faults_per_component=args.faults, jobs=args.jobs),
+        CampaignConfig(
+            faults_per_component=args.faults,
+            jobs=args.jobs,
+            injection_timeout=args.timeout,
+            max_retries=args.retries,
+        ),
         progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+        journal_dir=Path(args.journal) if args.journal else None,
+        resume=args.resume,
+        telemetry=telemetry,
     )
     result = campaign.run_workload(workload)
     print(f"{workload.name}: {args.faults} faults/component "
@@ -78,9 +98,15 @@ def _cmd_inject(args) -> int:
             f"App {cell.app_crash * 100:5.1f}%  Sys {cell.sys_crash * 100:5.1f}%  "
             f"AVF {cell.avf * 100:5.1f}% (+/- {margin * 100:.1f}%)"
         )
+    quarantined = sum(c.quarantined for c in result.components.values())
+    if quarantined:
+        print(f"  WARNING: {quarantined} fault(s) quarantined and excluded "
+              f"from the tallies (see journal/progress log)")
     fits = injection_fit(result)
     print(f"  predicted FIT: SDC {fits.sdc:.2f}  App {fits.app_crash:.2f}  "
           f"Sys {fits.sys_crash:.2f}  total {fits.total:.2f}")
+    if telemetry.completed or telemetry.quarantined:
+        print(telemetry_table(telemetry.summary()))
     return 0
 
 
@@ -177,6 +203,19 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("-j", "--jobs", type=int, default=1,
                         help="worker processes; 0 = one per CPU core "
                         "(default 1, results identical for any value)")
+    inject.add_argument("--journal", metavar="DIR", default=None,
+                        help="append every completed injection to a JSONL "
+                        "journal under DIR (crash-safe record)")
+    inject.add_argument("--resume", action="store_true",
+                        help="replay an existing journal and dispatch only "
+                        "the missing injections (requires --journal)")
+    inject.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-injection wall-clock limit; a worker "
+                        "stuck longer is killed and the fault retried")
+    inject.add_argument("--retries", type=int, default=2,
+                        help="re-dispatches of a fault whose worker died, "
+                        "timed out or raised before it is quarantined "
+                        "(default 2)")
     inject.set_defaults(func=_cmd_inject)
 
     beam = sub.add_parser("beam", help="simulated beam campaign")

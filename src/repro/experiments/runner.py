@@ -9,7 +9,13 @@ runs and full reproductions:
 - ``REPRO_BEAM_HOURS``: simulated effective beam time per workload
   (default 300 h);
 - ``REPRO_CACHE_DIR``: where campaign results are cached (default
-  ``.repro_cache``).
+  ``.repro_cache``);
+- ``REPRO_JOBS``: injection worker processes (default 1; 0 = one per
+  core; results are bit-identical for any value);
+- ``REPRO_JOURNAL_DIR``: when set, every completed injection is appended
+  to a per-workload JSONL journal under this directory and interrupted
+  campaigns resume from it automatically - a killed ``report all`` run
+  loses at most the injections that were in flight.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.injection.campaign import (
     InjectionCampaign,
     WorkloadResult,
 )
+from repro.injection.telemetry import CampaignTelemetry
 from repro.microarch.config import MachineConfig, SCALED_A9_CONFIG
 from repro.workloads import MIBENCH_SUITE
 
@@ -35,6 +42,15 @@ def default_faults() -> int:
 
 def default_beam_hours() -> float:
     return float(os.environ.get("REPRO_BEAM_HOURS", "300"))
+
+
+def default_jobs() -> int:
+    return int(os.environ.get("REPRO_JOBS", "1"))
+
+
+def default_journal_dir() -> Path | None:
+    value = os.environ.get("REPRO_JOURNAL_DIR")
+    return Path(value) if value else None
 
 
 class ExperimentContext:
@@ -48,6 +64,8 @@ class ExperimentContext:
         cache_dir: Path | None = None,
         seed: int = 0,
         progress: Callable[[str], None] | None = None,
+        jobs: int | None = None,
+        journal_dir: Path | None = None,
     ):
         self.machine = machine
         self.faults_per_component = (
@@ -55,15 +73,24 @@ class ExperimentContext:
         )
         self.beam_hours = beam_hours if beam_hours is not None else default_beam_hours()
         self.seed = seed
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.journal_dir = (
+            journal_dir if journal_dir is not None else default_journal_dir()
+        )
         self._progress = progress
+        self.telemetry = CampaignTelemetry()
         self._injection = InjectionCampaign(
             CampaignConfig(
                 faults_per_component=self.faults_per_component,
                 seed=seed,
                 machine=machine,
+                jobs=self.jobs,
             ),
             cache_dir=cache_dir,
             progress=progress,
+            journal_dir=self.journal_dir,
+            resume=self.journal_dir is not None,
+            telemetry=self.telemetry,
         )
         self._beam = BeamExperiment(
             BeamCampaignConfig(beam_hours=self.beam_hours, seed=seed, machine=machine),

@@ -15,6 +15,12 @@ function of (image, fault) and tallies are accumulated in fault order.
 
 Results are cached on disk keyed by (machine, workload, sample size, seed)
 so analyses and benchmark harnesses can share one expensive campaign.
+
+With a ``journal_dir``, every completed injection is additionally appended
+to a per-workload JSONL journal (:mod:`repro.injection.journal`), and
+``resume=True`` replays an interrupted campaign's journal so only the
+missing fault indices are re-dispatched - the resumed tallies are
+bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -25,16 +31,21 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
 
+from repro.errors import InjectionError
 from repro.injection.classify import FaultEffect, classify_run
 from repro.injection.components import Component, component_bits, component_target
 from repro.injection.fault import Fault, generate_faults
+from repro.injection.journal import InjectionJournal, JournalMeta
 from repro.injection.parallel import (
+    DEFAULT_MAX_RETRIES,
     WATCHDOG_FACTOR,
     WATCHDOG_SLACK,
     MachineImage,
+    QuarantinedFault,
     run_injection_plan,
     watchdog_budget,
 )
+from repro.injection.telemetry import CampaignTelemetry
 from repro.injection.sampling import (
     error_margin,
     readjusted_margin,
@@ -83,10 +94,18 @@ class CampaignConfig:
     #: setting 2 or 4 explores that uncertainty.
     cluster_size: int = 1
     #: Worker processes for the injection fan-out: 1 runs in-process, N > 1
-    #: uses a multiprocessing pool, 0 means one per CPU core.  Results are
-    #: bit-identical regardless of the value (it is deliberately *not*
+    #: uses a supervised worker farm, 0 means one per CPU core.  Results
+    #: are bit-identical regardless of the value (it is deliberately *not*
     #: part of the cache key).
     jobs: int = 1
+    #: Per-injection wall-clock limit in seconds (workers only); a worker
+    #: holding one injection longer is killed and the fault retried.
+    #: ``None`` disables the limit.  Not part of the cache key: like
+    #: ``jobs``, it cannot change a completed injection's effect.
+    injection_timeout: float | None = None
+    #: Bound on re-dispatches of a fault whose worker died, timed out, or
+    #: raised; past it the fault is quarantined (reported, not tallied).
+    max_retries: int = DEFAULT_MAX_RETRIES
 
     def cache_key(self, workload_name: str) -> str:
         cluster = f"-c{self.cluster_size}" if self.cluster_size != 1 else ""
@@ -105,6 +124,10 @@ class ComponentResult:
     population_bits: int
     counts: dict[FaultEffect, int] = field(default_factory=dict)
     confidence: float = 0.99
+    #: Faults retired by the farm after repeatedly killing/stalling
+    #: workers; excluded from ``injections`` and every rate, but carried
+    #: here so they are reported rather than silently dropped.
+    quarantined: int = 0
 
     def rate(self, effect: FaultEffect) -> float:
         if not self.injections:
@@ -140,21 +163,30 @@ class ComponentResult:
             "injections": self.injections,
             "population_bits": self.population_bits,
             "confidence": self.confidence,
+            "quarantined": self.quarantined,
             "counts": {e.name: self.counts.get(e, 0) for e in FaultEffect},
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ComponentResult":
+        counts = {
+            FaultEffect[name]: count
+            for name, count in payload["counts"].items()
+            if count
+        }
+        tallied = sum(counts.values())
+        if tallied != payload["injections"]:
+            raise InjectionError(
+                f"campaign record for {payload['component']} claims "
+                f"{payload['injections']} injections but tallies {tallied}"
+            )
         return cls(
             component=Component[payload["component"]],
             injections=payload["injections"],
             population_bits=payload["population_bits"],
             confidence=payload["confidence"],
-            counts={
-                FaultEffect[name]: count
-                for name, count in payload["counts"].items()
-                if count
-            },
+            quarantined=payload.get("quarantined", 0),
+            counts=counts,
         )
 
 
@@ -261,8 +293,15 @@ def run_instrumented_injection(
     machine: MachineConfig,
     golden: RunResult,
     snapshots: list | None = None,
+    cluster_size: int = 1,
 ) -> InjectionObservation:
-    """Like :func:`run_single_injection`, with strike-site observability."""
+    """Like :func:`run_single_injection`, with strike-site observability.
+
+    ``cluster_size`` follows the same multi-cell-upset model as
+    :func:`run_single_injection` - the instrumentation only changes what
+    is *observed*, never which bits are flipped (the equivalence tests
+    assert identical effects for every cluster size).
+    """
     from repro.microarch.cache import Cache  # local import avoids a cycle
 
     system = System(workload.program(machine.layout), config=machine)
@@ -275,6 +314,7 @@ def run_instrumented_injection(
 
     def flip():
         observed["mode"] = system.core.mode.name.lower()
+        population = target.data_bits
         if isinstance(target, Cache):
             line = target.line_at(fault.bit_index)
             observed["live"] = line.valid
@@ -282,11 +322,12 @@ def run_instrumented_injection(
                 observed["region"] = machine.layout.region_of(
                     target.line_base_paddr(fault.bit_index)
                 )
+            first_unflipped = 0
         else:
             observed["live"] = target.flip_bit(fault.bit_index)
-            observed["flipped"] = True
-        if not observed.get("flipped"):
-            target.flip_bit(fault.bit_index)
+            first_unflipped = 1
+        for offset in range(first_unflipped, cluster_size):
+            target.flip_bit((fault.bit_index + offset) % population)
 
     result = system.run(
         max_cycles=watchdog_budget(golden.cycles), events=[(fault.cycle, flip)]
@@ -315,16 +356,31 @@ def record_golden_snapshots(
 
 
 class InjectionCampaign:
-    """Run (and cache) fault-injection campaigns over the suite."""
+    """Run (and cache) fault-injection campaigns over the suite.
+
+    With ``journal_dir``, each workload's campaign writes a per-injection
+    JSONL journal (named after the cache key); ``resume=True`` replays an
+    existing journal so a killed campaign continues mid-component instead
+    of restarting.  ``telemetry`` (a shared
+    :class:`~repro.injection.telemetry.CampaignTelemetry`) accumulates
+    running tallies, throughput, and retry/quarantine counters across the
+    whole run.
+    """
 
     def __init__(
         self,
         config: CampaignConfig | None = None,
         cache_dir: Path | None = None,
         progress: Callable[[str], None] | None = None,
+        journal_dir: Path | None = None,
+        resume: bool = False,
+        telemetry: CampaignTelemetry | None = None,
     ):
         self.config = config or CampaignConfig()
         self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.resume = resume
+        self.telemetry = telemetry
         self._progress = progress or (lambda message: None)
 
     # -- caching -------------------------------------------------------------
@@ -337,12 +393,19 @@ class InjectionCampaign:
         if not path.exists():
             return None
         try:
-            return WorkloadResult.from_dict(json.loads(path.read_text()))
-        except (ValueError, KeyError):
+            result = WorkloadResult.from_dict(json.loads(path.read_text()))
+        except (ValueError, KeyError, InjectionError):
             # A truncated or stale file (e.g. a killed campaign before
             # writes were atomic) is treated as a miss, but visibly so.
             self._progress(f"cache: ignoring corrupt {path.name}, re-running")
             return None
+        # The cache key spans everything that determines the raw counts -
+        # but *confidence* only affects derived margins/intervals, so it is
+        # re-derived from the active config rather than frozen at whatever
+        # level the cache was first written with.
+        for component_result in result.components.values():
+            component_result.confidence = self.config.confidence
+        return result
 
     def _store(self, result: WorkloadResult) -> None:
         """Atomically persist a result (a killed run never truncates)."""
@@ -351,6 +414,30 @@ class InjectionCampaign:
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(result.to_dict(), indent=1))
         os.replace(tmp, path)
+
+    # -- journaling ------------------------------------------------------------
+
+    def _journal_path(self, workload_name: str) -> Path:
+        assert self.journal_dir is not None
+        return self.journal_dir / (self.config.cache_key(workload_name) + ".jsonl")
+
+    def _open_journal(
+        self, workload_name: str, golden_cycles: int
+    ) -> InjectionJournal | None:
+        if self.journal_dir is None:
+            return None
+        meta = JournalMeta(
+            workload=workload_name,
+            machine=self.config.machine.name,
+            faults_per_component=self.config.faults_per_component,
+            seed=self.config.seed,
+            cluster_size=self.config.cluster_size,
+            golden_cycles=golden_cycles,
+        )
+        path = self._journal_path(workload_name)
+        if self.resume:
+            return InjectionJournal.open(path, meta)
+        return InjectionJournal.create(path, meta)
 
     # -- execution -------------------------------------------------------------
 
@@ -405,9 +492,32 @@ class InjectionCampaign:
             )
             for component in missing
         }
-        effects = run_injection_plan(
-            image, plan, jobs=self.config.jobs, progress=self._progress
-        )
+        journal = self._open_journal(workload.name, golden.cycles)
+        quarantined: list[QuarantinedFault] = []
+        try:
+            effects = run_injection_plan(
+                image,
+                plan,
+                jobs=self.config.jobs,
+                progress=self._progress,
+                journal=journal,
+                telemetry=self.telemetry,
+                timeout=self.config.injection_timeout,
+                max_retries=self.config.max_retries,
+                quarantined=quarantined,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+        quarantine_tally: dict[Component, int] = {}
+        for entry in quarantined:
+            quarantine_tally[entry.component] = (
+                quarantine_tally.get(entry.component, 0) + 1
+            )
+            self._progress(
+                f"{workload.name}/{entry.component.name}: fault "
+                f"{entry.fault_index} quarantined ({entry.reason})"
+            )
 
         result = cached if cached is not None else WorkloadResult(
             workload_name=workload.name, golden_cycles=golden.cycles
@@ -415,13 +525,16 @@ class InjectionCampaign:
         for component in missing:
             counts: dict[FaultEffect, int] = {}
             for effect in effects[component]:
+                if effect is None:
+                    continue  # quarantined slot: reported above, not tallied
                 counts[effect] = counts.get(effect, 0) + 1
             result.components[component] = ComponentResult(
                 component=component,
-                injections=len(plan[component]),
+                injections=sum(counts.values()),
                 population_bits=component_bits(machine, component),
                 counts=counts,
                 confidence=self.config.confidence,
+                quarantined=quarantine_tally.get(component, 0),
             )
         if use_cache:
             self._store(result)

@@ -1,0 +1,341 @@
+"""Append-only injection journal: the crash-safe record of a campaign.
+
+Production fault-injection harnesses (DAVOS, FAIL*) treat the *harness* as
+fault-tolerant: every completed experiment is durably recorded the moment
+it finishes, so a killed campaign - SIGKILL on the driver, a powered-off
+node, an OOM-killed worker - loses at most the experiments that were still
+in flight.  This module provides that substrate as a JSONL journal:
+
+- line 1 is a ``meta`` record fingerprinting the campaign (workload,
+  machine, sample size, seed, cluster size, golden duration).  Resuming
+  against a journal whose fingerprint does not match the active
+  configuration raises :class:`~repro.errors.InjectionError` instead of
+  silently mixing incompatible samples;
+- every completed injection appends one ``injection`` record (component,
+  fault index, bit, cycle, effect, wall-time) with a single ``os.write``
+  on an ``O_APPEND`` descriptor followed by ``fsync`` - a crash can
+  truncate only the final line, never interleave or corrupt earlier ones;
+- faults that repeatedly kill workers append a ``quarantine`` record, so
+  they are reported rather than silently dropped.
+
+Replay (:func:`read_journal` / :meth:`InjectionJournal.resume`) tolerates
+a truncated trailing line - exactly what a SIGKILL mid-append leaves
+behind - but rejects corruption anywhere else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.errors import InjectionError
+from repro.injection.classify import FaultEffect
+from repro.injection.components import Component
+
+#: Bump when the journal line format changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JournalMeta:
+    """Campaign fingerprint stored as the journal's first line.
+
+    A journal is only replayable against the exact campaign that wrote
+    it: the fault lists are regenerated from (seed, component population,
+    golden duration), so any drift in these knobs silently remaps fault
+    indices.  ``golden_cycles`` additionally guards against simulator
+    changes that alter the golden run itself.
+    """
+
+    workload: str
+    machine: str
+    faults_per_component: int
+    seed: int
+    cluster_size: int
+    golden_cycles: int
+    version: int = JOURNAL_VERSION
+
+    def to_line(self) -> dict:
+        payload = asdict(self)
+        payload["type"] = "meta"
+        return payload
+
+    @classmethod
+    def from_line(cls, payload: dict) -> "JournalMeta":
+        return cls(
+            workload=payload["workload"],
+            machine=payload["machine"],
+            faults_per_component=payload["faults_per_component"],
+            seed=payload["seed"],
+            cluster_size=payload["cluster_size"],
+            golden_cycles=payload["golden_cycles"],
+            version=payload["version"],
+        )
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One completed injection experiment."""
+
+    component: Component
+    index: int
+    bit_index: int
+    cycle: int
+    effect: FaultEffect
+    wall_time: float
+
+    def to_line(self) -> dict:
+        return {
+            "type": "injection",
+            "component": self.component.name,
+            "index": self.index,
+            "bit": self.bit_index,
+            "cycle": self.cycle,
+            "effect": self.effect.name,
+            "wall": round(self.wall_time, 6),
+        }
+
+    @classmethod
+    def from_line(cls, payload: dict) -> "InjectionRecord":
+        return cls(
+            component=Component[payload["component"]],
+            index=payload["index"],
+            bit_index=payload["bit"],
+            cycle=payload["cycle"],
+            effect=FaultEffect[payload["effect"]],
+            wall_time=payload["wall"],
+        )
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """A fault retired after repeatedly killing or timing out workers."""
+
+    component: Component
+    index: int
+    bit_index: int
+    cycle: int
+    reason: str
+
+    def to_line(self) -> dict:
+        return {
+            "type": "quarantine",
+            "component": self.component.name,
+            "index": self.index,
+            "bit": self.bit_index,
+            "cycle": self.cycle,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_line(cls, payload: dict) -> "QuarantineRecord":
+        return cls(
+            component=Component[payload["component"]],
+            index=payload["index"],
+            bit_index=payload["bit"],
+            cycle=payload["cycle"],
+            reason=payload["reason"],
+        )
+
+
+def read_journal(
+    path: Path,
+) -> tuple[JournalMeta, list[InjectionRecord], list[QuarantineRecord]]:
+    """Parse a journal file into (meta, injections, quarantines).
+
+    A truncated *final* line (the footprint of a kill mid-append) is
+    ignored; an unparseable line anywhere else, or a missing/invalid meta
+    header, raises :class:`InjectionError`.
+    """
+    raw = Path(path).read_bytes()
+    lines = raw.split(b"\n")
+    # A journal written through append() always ends every complete record
+    # with a newline, so the last split element is either empty (clean) or
+    # a partial record (killed mid-append) - droppable either way.
+    trailing = lines.pop() if lines else b""
+    if trailing:
+        try:
+            json.loads(trailing)
+        except ValueError:
+            pass  # genuinely truncated: drop it
+        else:
+            lines.append(trailing)  # complete record missing its newline
+    if not lines or not lines[0]:
+        raise InjectionError(f"journal {path} is empty")
+
+    parsed = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            parsed.append(json.loads(line))
+        except ValueError as exc:
+            raise InjectionError(
+                f"journal {path} line {number} is corrupt: {exc}"
+            ) from None
+
+    head = parsed[0]
+    if head.get("type") != "meta" or head.get("version") != JOURNAL_VERSION:
+        raise InjectionError(
+            f"journal {path} has no valid meta header (found {head.get('type')!r} "
+            f"version {head.get('version')!r}, expected meta v{JOURNAL_VERSION})"
+        )
+    meta = JournalMeta.from_line(head)
+
+    records: list[InjectionRecord] = []
+    quarantines: list[QuarantineRecord] = []
+    for number, payload in enumerate(parsed[1:], start=2):
+        kind = payload.get("type")
+        try:
+            if kind == "injection":
+                records.append(InjectionRecord.from_line(payload))
+            elif kind == "quarantine":
+                quarantines.append(QuarantineRecord.from_line(payload))
+            else:
+                raise KeyError(f"unknown record type {kind!r}")
+        except KeyError as exc:
+            raise InjectionError(
+                f"journal {path} line {number} is malformed: {exc}"
+            ) from None
+    return meta, records, quarantines
+
+
+def _repair_tail(path: Path) -> None:
+    """Normalize a journal's final line before appending resumes.
+
+    A SIGKILL mid-append can leave either a truncated partial record (no
+    longer parseable - dropped) or a complete record missing its newline
+    (kept, newline restored).  Without this, the first post-resume append
+    would concatenate onto the dangling tail and corrupt the line.
+    """
+    raw = path.read_bytes()
+    cut = raw.rfind(b"\n") + 1
+    tail = raw[cut:]
+    if not tail:
+        return
+    try:
+        json.loads(tail)
+    except ValueError:
+        complete = False
+    else:
+        complete = True
+    with open(path, "r+b") as handle:
+        handle.truncate(cut)
+        if complete:
+            handle.seek(0, os.SEEK_END)
+            handle.write(tail + b"\n")
+
+
+class InjectionJournal:
+    """Writer/replayer for one campaign's journal file.
+
+    Use :meth:`create` to start fresh, :meth:`resume` to replay an
+    existing journal (validating its fingerprint), or :meth:`open` for
+    resume-if-present semantics.  Appends are durable: one ``os.write``
+    per record on an ``O_APPEND`` descriptor, followed by ``fsync``.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        meta: JournalMeta,
+        records: list[InjectionRecord] | None = None,
+        quarantines: list[QuarantineRecord] | None = None,
+        _write_meta: bool = True,
+    ):
+        self.path = Path(path)
+        self.meta = meta
+        self.records = list(records or [])
+        self.quarantines = list(quarantines or [])
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        if _write_meta:
+            self._append_line(meta.to_line())
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: Path, meta: JournalMeta) -> "InjectionJournal":
+        """Start a fresh journal, truncating any previous file."""
+        path = Path(path)
+        if path.exists():
+            path.unlink()
+        return cls(path, meta)
+
+    @classmethod
+    def resume(cls, path: Path, meta: JournalMeta) -> "InjectionJournal":
+        """Replay an existing journal; its meta must match ``meta``."""
+        found, records, quarantines = read_journal(path)
+        if found != meta:
+            mismatched = [
+                f"{name}: journal={getattr(found, name)!r} active={getattr(meta, name)!r}"
+                for name in (
+                    "workload", "machine", "faults_per_component",
+                    "seed", "cluster_size", "golden_cycles",
+                )
+                if getattr(found, name) != getattr(meta, name)
+            ]
+            raise InjectionError(
+                f"journal {path} was written by a different campaign "
+                f"({'; '.join(mismatched)}); refusing to resume"
+            )
+        _repair_tail(Path(path))
+        return cls(path, meta, records, quarantines, _write_meta=False)
+
+    @classmethod
+    def open(cls, path: Path, meta: JournalMeta) -> "InjectionJournal":
+        """Resume ``path`` if it exists (and is non-empty), else create it."""
+        path = Path(path)
+        if path.exists() and path.stat().st_size > 0:
+            return cls.resume(path, meta)
+        return cls.create(path, meta)
+
+    # -- appends -------------------------------------------------------------
+
+    def _append_line(self, payload: dict) -> None:
+        line = (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+        os.write(self._fd, line)  # O_APPEND: one atomic append per record
+        os.fsync(self._fd)
+
+    def record(self, record: InjectionRecord) -> None:
+        """Durably append one completed injection."""
+        self._append_line(record.to_line())
+        self.records.append(record)
+
+    def record_quarantine(self, record: QuarantineRecord) -> None:
+        """Durably append one quarantined fault."""
+        self._append_line(record.to_line())
+        self.quarantines.append(record)
+
+    # -- replay helpers ------------------------------------------------------
+
+    def completed(self, component: Component) -> dict[int, InjectionRecord]:
+        """Replayed records of one component, keyed by fault index."""
+        return {
+            record.index: record
+            for record in self.records
+            if record.component is component
+        }
+
+    def quarantined(self, component: Component) -> dict[int, QuarantineRecord]:
+        """Replayed quarantine records of one component, by fault index."""
+        return {
+            record.index: record
+            for record in self.quarantines
+            if record.component is component
+        }
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "InjectionJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,4 +1,4 @@
-"""Parallel, deterministic execution of injection campaigns.
+"""Parallel, resilient, resumable execution of injection campaigns.
 
 The statistical campaigns behind the paper's figures are tens of thousands
 of *independent* full-system simulations (1,000 faults x 6 components x 13
@@ -14,27 +14,52 @@ supplies the farm:
   image; every injection restores either a golden checkpoint or the
   pristine boot snapshot instead of re-assembling the kernel, re-loading
   the program and re-writing the page table;
-- :func:`run_injection_plan`: fans a fault plan out over a
-  ``multiprocessing`` pool.
+- :func:`run_injection_plan`: fans a fault plan out over a supervised
+  worker farm.
+
+The farm treats the harness itself as fault-tolerant (FAIL*/DAVOS style):
+
+- **worker death** (segfault, OOM-kill, ``os._exit``) is detected by the
+  supervisor; the in-flight fault is re-dispatched to a fresh worker
+  instead of hanging the campaign or silently dropping the experiment;
+- **per-injection wall-clock timeouts** kill a stuck worker and retry;
+- faults that *repeatedly* kill or stall workers are **quarantined**:
+  reported to the caller (and the journal), never silently counted;
+- with an :class:`~repro.injection.journal.InjectionJournal`, every
+  completed injection is durably appended, and a killed campaign resumes
+  by replaying the journal and dispatching only the missing fault indices;
+- completed-slot accounting is validated before returning - an unfilled
+  effect slot raises :class:`~repro.errors.InjectionError` instead of
+  leaking ``None`` into the tallies.
 
 Determinism guarantee: the fault lists are generated up front from the
 campaign seed, every injection is a pure function of (image, fault), and
 results are collected into slots indexed by (component, fault index).  The
 returned effects - and therefore the campaign tallies - are identical for
-any worker count and any scheduling order (enforced by the serial/parallel
-equivalence tests).
+any worker count, any scheduling order, and any interrupt/resume split
+(enforced by the equivalence and resilience test suites).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from multiprocessing.connection import wait as _wait_ready
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
+from repro.errors import InjectionError
 from repro.injection.classify import FaultEffect, classify_run
 from repro.injection.components import Component, component_target
 from repro.injection.fault import Fault
+from repro.injection.journal import (
+    InjectionJournal,
+    InjectionRecord,
+    QuarantineRecord,
+)
+from repro.injection.telemetry import CampaignTelemetry
 from repro.isa.assembler import Program
 from repro.microarch.config import MachineConfig
 from repro.microarch.snapshot import SystemSnapshot, best_snapshot
@@ -43,6 +68,12 @@ from repro.microarch.system import RunResult, System
 #: Cycle budget for injected runs, relative to the fault-free duration.
 WATCHDOG_FACTOR = 2.5
 WATCHDOG_SLACK = 50_000
+
+#: Default bound on re-dispatches of a fault whose worker died or stalled.
+DEFAULT_MAX_RETRIES = 2
+
+#: Supervisor poll interval while waiting for results (seconds).
+_POLL_SECONDS = 0.05
 
 
 def watchdog_budget(golden_cycles: int) -> int:
@@ -133,23 +164,17 @@ class ImageInjector:
         return classify_run(result, image.golden_output, system)
 
 
-# -- worker pool ------------------------------------------------------------
+@dataclass(frozen=True)
+class QuarantinedFault:
+    """A fault the farm gave up on, and why (reported, never dropped)."""
 
-# Worker-process state: one ImageInjector per process, built by the pool
-# initializer.  Under fork the image is inherited; under spawn it is
-# pickled once per worker (MachineImage is pickle-friendly by design).
-_WORKER_INJECTOR: ImageInjector | None = None
-
-
-def _init_worker(image: MachineImage) -> None:
-    global _WORKER_INJECTOR
-    _WORKER_INJECTOR = ImageInjector(image)
+    component: Component
+    fault_index: int
+    fault: Fault
+    reason: str
 
 
-def _run_task(task: tuple[int, int, Fault]) -> tuple[int, int, FaultEffect]:
-    component_index, fault_index, fault = task
-    assert _WORKER_INJECTOR is not None, "worker initializer did not run"
-    return component_index, fault_index, _WORKER_INJECTOR.run_fault(fault)
+# -- worker farm ------------------------------------------------------------
 
 
 def _pool_context():
@@ -161,55 +186,605 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _worker_main(image: MachineImage, task_conn, result_conn, worker_id: int):
+    """Worker loop: build one injector, then serve tasks until sentinel.
+
+    Every outcome - including a Python-level exception inside the
+    simulator - is reported back as a message; only an external kill (or
+    a crash of the interpreter itself) leaves the supervisor to infer
+    death from the process state.
+
+    Results travel over a *per-worker* pipe written from this (single)
+    thread with no shared lock.  A shared ``multiprocessing.Queue`` would
+    be poisoned by exactly the failures this farm is built to survive: a
+    worker dying between flushing a result and releasing the queue's
+    write-lock leaves the lock held forever and deadlocks every other
+    worker.  With one pipe per worker, a death can corrupt nothing but
+    its own channel - and results already in the pipe buffer survive it.
+
+    The loop waits on *both* the task pipe and the supervisor's death
+    sentinel: if the campaign process is SIGKILLed, its workers exit
+    instead of blocking forever on the task pipe as orphans (which would
+    also hold the campaign's inherited descriptors - journals, stdout
+    pipes - open indefinitely).
+    """
+    parent = multiprocessing.parent_process()
+    waitables = [task_conn] if parent is None else [task_conn, parent.sentinel]
+    injector = ImageInjector(image)
+    while True:
+        ready = _wait_ready(waitables)
+        if task_conn not in ready:
+            return  # supervisor died without sending a sentinel
+        try:
+            task = task_conn.recv()
+        except EOFError:
+            return  # supervisor closed (or lost) its end of the pipe
+        if task is None:
+            return
+        component_index, fault_index, fault = task
+        start = time.perf_counter()
+        try:
+            effect = injector.run_fault(fault)
+        except Exception as exc:  # noqa: BLE001 - reported, then retried
+            message = (
+                "error", worker_id, component_index, fault_index,
+                f"{type(exc).__name__}: {exc}", time.perf_counter() - start,
+            )
+        else:
+            message = (
+                "ok", worker_id, component_index, fault_index,
+                effect, time.perf_counter() - start,
+            )
+        try:
+            result_conn.send(message)
+        except (BrokenPipeError, OSError):
+            return  # supervisor is gone; nobody is listening
+
+
+@dataclass
+class _Attempt:
+    """One schedulable (component, fault) slot plus its retry history."""
+
+    component_index: int
+    fault_index: int
+    fault: Fault
+    attempts: int = 0
+
+
+class _WorkerHandle:
+    """Supervisor-side view of one worker process."""
+
+    def __init__(self, ctx, image: MachineImage, worker_id: int):
+        self.worker_id = worker_id
+        task_read, self.task_conn = ctx.Pipe(duplex=False)
+        self.result_conn, result_write = ctx.Pipe(duplex=False)
+        self.current: _Attempt | None = None
+        self.started_at = 0.0
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(image, task_read, result_write, worker_id),
+            daemon=True,
+        )
+        self.process.start()
+        # The worker holds the only surviving copies of its pipe ends, so
+        # closing them here gives clean EOF semantics in both directions.
+        task_read.close()
+        result_write.close()
+
+    def dispatch(self, attempt: _Attempt) -> None:
+        self.current = attempt
+        self.started_at = time.monotonic()
+        self.task_conn.send(
+            (attempt.component_index, attempt.fault_index, attempt.fault)
+        )
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=5.0)
+
+    def close(self) -> None:
+        self.task_conn.close()
+        self.result_conn.close()
+
+
+class _FarmSupervisor:
+    """Dispatch attempts over workers; survive death, stalls, and kills.
+
+    One task is dispatched per worker at a time, so the supervisor always
+    knows exactly which fault a dead or stuck worker was holding - the
+    prerequisite for retry and quarantine attribution.  The per-dispatch
+    queue round-trip is microseconds against injections that each run a
+    full-system simulation, so farm throughput is unaffected (guarded by
+    the campaign-throughput benchmark).
+    """
+
+    def __init__(
+        self,
+        image: MachineImage,
+        jobs: int,
+        timeout: float | None,
+        max_retries: int,
+        on_result: Callable[[int, int, FaultEffect, float], None],
+        on_quarantine: Callable[[_Attempt, str], bool],
+        on_retry: Callable[[_Attempt, str], None],
+    ):
+        self.image = image
+        self.jobs = jobs
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.on_result = on_result
+        self.on_quarantine = on_quarantine
+        self.on_retry = on_retry
+        self.ctx = _pool_context()
+        self.workers: dict[int, _WorkerHandle] = {}
+        self.next_worker_id = 0
+        self.pending: deque[_Attempt] = deque()
+        self.outstanding = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self) -> None:
+        handle = _WorkerHandle(self.ctx, self.image, self.next_worker_id)
+        self.workers[self.next_worker_id] = handle
+        self.next_worker_id += 1
+
+    def _shutdown(self) -> None:
+        for handle in self.workers.values():
+            try:
+                handle.task_conn.send(None)
+            except (OSError, ValueError):  # pragma: no cover - closed pipe
+                pass
+        deadline = time.monotonic() + 2.0
+        for handle in self.workers.values():
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.kill()
+            handle.close()
+        self.workers.clear()
+
+    # -- event handling ------------------------------------------------------
+
+    def _handle_message(self, message) -> None:
+        kind, worker_id, component_index, fault_index, payload, wall = message
+        handle = self.workers.get(worker_id)
+        attempt = handle.current if handle is not None else None
+        if handle is not None:
+            handle.current = None
+        if attempt is None or (
+            attempt.component_index != component_index
+            or attempt.fault_index != fault_index
+        ):  # pragma: no cover - supervisor invariant
+            raise InjectionError(
+                f"worker {worker_id} reported a result for a task it was "
+                f"not assigned (component {component_index}, "
+                f"fault {fault_index})"
+            )
+        if kind == "ok":
+            self.outstanding -= 1
+            self.on_result(component_index, fault_index, payload, wall)
+        else:
+            self._retry_or_quarantine(attempt, f"raised {payload}")
+
+    def _retry_or_quarantine(self, attempt: _Attempt, reason: str) -> None:
+        attempt.attempts += 1
+        if attempt.attempts <= self.max_retries:
+            self.on_retry(attempt, reason)
+            self.pending.appendleft(attempt)
+            return
+        self.outstanding -= 1
+        self.on_quarantine(attempt, reason)
+
+    def _reap(self, worker_id: int, reason: str, record_death) -> None:
+        """Remove a dead/stuck worker; retry its fault; refill the farm."""
+        handle = self.workers.pop(worker_id)
+        attempt = handle.current
+        handle.kill()
+        handle.close()
+        if attempt is None:
+            # A worker died with no task in hand: nothing to attribute the
+            # death to, so this is an environment problem, not a fault.
+            raise InjectionError(
+                f"injection worker {worker_id} died while idle "
+                f"({reason}); aborting campaign"
+            )
+        record_death()
+        self._retry_or_quarantine(attempt, reason)
+        if self.outstanding > len(self.workers):
+            self._spawn()
+
+    def _check_workers(self, record_death, record_timeout) -> None:
+        now = time.monotonic()
+        for worker_id, handle in list(self.workers.items()):
+            if not handle.process.is_alive():
+                # The worker may have delivered its result just before
+                # dying; drain first so a completed injection is never
+                # misread as a death.
+                self._drain()
+                if worker_id not in self.workers:
+                    continue  # drained message already reaped/cleared it
+                handle = self.workers[worker_id]
+                if not handle.process.is_alive():
+                    exitcode = handle.process.exitcode
+                    record = record_death if handle.current else (lambda: None)
+                    self._reap(
+                        worker_id,
+                        f"worker died (exit code {exitcode})",
+                        record,
+                    )
+            elif (
+                self.timeout is not None
+                and handle.current is not None
+                and now - handle.started_at > self.timeout
+            ):
+                record_timeout()
+                self._reap(
+                    worker_id,
+                    f"timed out after {self.timeout:.1f}s wall-clock",
+                    lambda: None,
+                )
+
+    def _receive(self, timeout: float) -> bool:
+        """Recv every result ready within ``timeout``; True if any handled.
+
+        A connection that is ready because its worker died (EOF, or a
+        message truncated by a mid-send kill) is skipped here; the
+        liveness check reaps the worker and re-dispatches its fault.
+        """
+        conns = {
+            handle.result_conn: handle for handle in self.workers.values()
+        }
+        if not conns:
+            return False
+        handled = False
+        for conn in _wait_ready(list(conns), timeout):
+            try:
+                message = conn.recv()
+            except (EOFError, OSError, ValueError):
+                continue  # dead worker / truncated message
+            self._handle_message(message)
+            handled = True
+        return handled
+
+    def _drain(self) -> None:
+        """Consume every already-delivered result before inferring deaths.
+
+        Results sitting in a pipe buffer survive their writer's death, so
+        a worker that completed an injection and was then killed still
+        gets its completion counted instead of a spurious retry.
+        """
+        while self._receive(0):
+            pass
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(
+        self,
+        attempts: Sequence[_Attempt],
+        record_death: Callable[[], None],
+        record_timeout: Callable[[], None],
+    ) -> None:
+        self.pending = deque(attempts)
+        self.outstanding = len(self.pending)
+        for _ in range(min(self.jobs, max(1, self.outstanding))):
+            self._spawn()
+        try:
+            while self.outstanding > 0:
+                for handle in self.workers.values():
+                    if handle.current is None and self.pending:
+                        attempt = self.pending.popleft()
+                        try:
+                            handle.dispatch(attempt)
+                        except (BrokenPipeError, OSError):
+                            # The worker died between tasks; ``current``
+                            # is already set, so the liveness check will
+                            # reap it and re-dispatch this attempt.
+                            pass
+                if not self._receive(_POLL_SECONDS):
+                    self._check_workers(record_death, record_timeout)
+        finally:
+            self._shutdown()
+
+
+# -- plan execution ---------------------------------------------------------
+
+
+def _validate_effects(
+    image_name: str,
+    plan: Mapping[Component, Sequence[Fault]],
+    effects: Mapping[Component, Sequence[FaultEffect | None]],
+    quarantined_slots: set[tuple[Component, int]],
+) -> None:
+    """Reject any unfilled effect slot that is not explicitly quarantined.
+
+    This is the backstop that keeps a ``None`` from ever reaching the
+    campaign tallies (where it used to be counted as a phantom effect
+    class and then silently dropped on serialization).
+    """
+    missing = [
+        f"{component.name}[{index}]"
+        for component in plan
+        for index, effect in enumerate(effects[component])
+        if effect is None and (component, index) not in quarantined_slots
+    ]
+    if missing:
+        raise InjectionError(
+            f"{image_name}: injection plan finished with "
+            f"{len(missing)} unfilled effect slot(s): {', '.join(missing)}"
+        )
+
+
+def _replay_journal(
+    journal: InjectionJournal,
+    plan: Mapping[Component, Sequence[Fault]],
+    effects: dict[Component, list],
+    telemetry: CampaignTelemetry | None,
+    quarantined: list[QuarantinedFault] | None,
+    quarantined_slots: set[tuple[Component, int]],
+) -> int:
+    """Prefill effect slots from a journal; returns replayed count.
+
+    Every replayed record is cross-checked against the regenerated fault
+    list (bit and cycle must match) so a journal from a drifted seed or
+    simulator version cannot silently corrupt the tallies.
+    """
+    replayed = 0
+    for component, faults in plan.items():
+        for index, record in journal.completed(component).items():
+            if index >= len(faults):
+                raise InjectionError(
+                    f"journal records fault index {index} for "
+                    f"{component.name}, beyond the plan of {len(faults)}"
+                )
+            fault = faults[index]
+            if record.bit_index != fault.bit_index or record.cycle != fault.cycle:
+                raise InjectionError(
+                    f"journal record for {component.name}[{index}] does not "
+                    f"match the regenerated fault (journal bit "
+                    f"{record.bit_index} cycle {record.cycle}, plan bit "
+                    f"{fault.bit_index} cycle {fault.cycle})"
+                )
+            effects[component][index] = record.effect
+            replayed += 1
+            if telemetry is not None:
+                telemetry.record(
+                    component, record.effect, record.wall_time, replayed=True
+                )
+        for index, record in journal.quarantined(component).items():
+            if index >= len(faults):
+                raise InjectionError(
+                    f"journal quarantines fault index {index} for "
+                    f"{component.name}, beyond the plan of {len(faults)}"
+                )
+            entry = QuarantinedFault(
+                component, index, faults[index], record.reason
+            )
+            if quarantined is None:
+                raise InjectionError(
+                    f"journal contains a quarantined fault "
+                    f"({component.name}[{index}]: {record.reason}) but the "
+                    f"caller provided no quarantine accumulator"
+                )
+            quarantined.append(entry)
+            quarantined_slots.add((component, index))
+            if telemetry is not None:
+                telemetry.record_quarantine(component)
+    return replayed
+
+
 def run_injection_plan(
     image: MachineImage,
     plan: Mapping[Component, Sequence[Fault]],
     jobs: int = 1,
     progress: Callable[[str], None] | None = None,
+    journal: InjectionJournal | None = None,
+    telemetry: CampaignTelemetry | None = None,
+    timeout: float | None = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    quarantined: list[QuarantinedFault] | None = None,
 ) -> dict[Component, list[FaultEffect]]:
     """Execute every fault in ``plan``; returns effects in fault order.
 
     ``plan`` maps each component to its (seed-deterministic) fault list.
     With ``jobs == 1`` everything runs in-process; otherwise injections fan
-    out over a worker pool.  Either way the result is the same: effects
-    keyed by component, listed in fault order, independent of scheduling.
+    out over a supervised worker farm.  Either way the result is the same:
+    effects keyed by component, listed in fault order, independent of
+    scheduling.
+
+    Resilience knobs:
+
+    - ``journal``: completed injections already recorded there are
+      replayed (after validating they match the plan) and only missing
+      fault indices are dispatched; every new completion is durably
+      appended, making the plan resumable after a SIGKILL;
+    - ``timeout``: per-injection wall-clock limit; a worker holding an
+      injection longer is killed and the fault retried (workers only -
+      the in-process path cannot preempt itself);
+    - ``max_retries``: bound on re-dispatches after a worker death,
+      timeout, or in-worker exception;
+    - ``quarantined``: accumulator for faults that exhausted their
+      retries.  Their slots stay unfilled (callers must exclude them from
+      tallies); without an accumulator, exhausting retries raises
+      :class:`InjectionError` instead - a quarantine is never silent.
+
+    Completeness is validated before returning: any effect slot that is
+    neither filled nor quarantined raises :class:`InjectionError`.
     """
     progress = progress or (lambda message: None)
     components = list(plan)
     effects: dict[Component, list] = {
         component: [None] * len(plan[component]) for component in components
     }
+    if telemetry is not None:
+        for component in components:
+            telemetry.register_plan(component, len(plan[component]))
+
+    quarantined_slots: set[tuple[Component, int]] = set()
+    if journal is not None:
+        replayed = _replay_journal(
+            journal, plan, effects, telemetry, quarantined, quarantined_slots
+        )
+        if replayed or quarantined_slots:
+            progress(
+                f"{image.name}: resumed {replayed} injection(s) "
+                f"(+{len(quarantined_slots)} quarantined) from journal"
+            )
+
     tasks = [
         (component_index, fault_index, fault)
         for component_index, component in enumerate(components)
         for fault_index, fault in enumerate(plan[component])
+        if effects[component][fault_index] is None
+        and (component, fault_index) not in quarantined_slots
     ]
-    done = {component: 0 for component in components}
+    done = {
+        component: sum(effect is not None for effect in effects[component])
+        + sum(1 for slot in quarantined_slots if slot[0] is component)
+        for component in components
+    }
     totals = {component: len(plan[component]) for component in components}
 
-    def record(component_index: int, fault_index: int, effect: FaultEffect):
+    def status(component: Component) -> str:
+        line = (
+            f"{image.name}/{component.name}: "
+            f"{done[component]}/{totals[component]}"
+        )
+        if telemetry is not None:
+            line += f" | {telemetry.progress_line()}"
+        return line
+
+    def record(
+        component_index: int,
+        fault_index: int,
+        effect: FaultEffect,
+        wall_time: float = 0.0,
+    ) -> None:
         component = components[component_index]
         effects[component][fault_index] = effect
+        if journal is not None:
+            fault = plan[component][fault_index]
+            journal.record(
+                InjectionRecord(
+                    component=component,
+                    index=fault_index,
+                    bit_index=fault.bit_index,
+                    cycle=fault.cycle,
+                    effect=effect,
+                    wall_time=wall_time,
+                )
+            )
+        if telemetry is not None:
+            telemetry.record(component, effect, wall_time)
         done[component] += 1
         if done[component] % 10 == 0 or done[component] == totals[component]:
-            progress(
-                f"{image.name}/{component.name}: "
-                f"{done[component]}/{totals[component]}"
+            progress(status(component))
+
+    def quarantine(attempt: _Attempt, reason: str) -> None:
+        component = components[attempt.component_index]
+        entry = QuarantinedFault(
+            component, attempt.fault_index, attempt.fault, reason
+        )
+        if quarantined is None:
+            raise InjectionError(
+                f"{image.name}/{component.name}[{attempt.fault_index}] "
+                f"failed after {attempt.attempts} attempt(s): {reason}"
+            )
+        quarantined.append(entry)
+        quarantined_slots.add((component, attempt.fault_index))
+        if journal is not None:
+            journal.record_quarantine(
+                QuarantineRecord(
+                    component=component,
+                    index=attempt.fault_index,
+                    bit_index=attempt.fault.bit_index,
+                    cycle=attempt.fault.cycle,
+                    reason=reason,
+                )
+            )
+        if telemetry is not None:
+            telemetry.record_quarantine(component)
+        done[component] += 1
+        progress(
+            f"{image.name}/{component.name}: quarantined fault "
+            f"{attempt.fault_index} ({reason})"
+        )
+
+    def retry(attempt: _Attempt, reason: str) -> None:
+        component = components[attempt.component_index]
+        if telemetry is not None:
+            telemetry.record_retry()
+        progress(
+            f"{image.name}/{component.name}: retrying fault "
+            f"{attempt.fault_index} (attempt {attempt.attempts + 1}: {reason})"
+        )
+
+    if tasks:
+        jobs = min(resolve_jobs(jobs), max(1, len(tasks)))
+        if jobs == 1:
+            _run_serial(image, tasks, max_retries, record, quarantine, retry)
+        else:
+            supervisor = _FarmSupervisor(
+                image,
+                jobs,
+                timeout,
+                max_retries,
+                on_result=record,
+                on_quarantine=quarantine,
+                on_retry=retry,
+            )
+            supervisor.run(
+                [_Attempt(ci, fi, fault) for ci, fi, fault in tasks],
+                record_death=(
+                    telemetry.record_worker_death
+                    if telemetry is not None
+                    else lambda: None
+                ),
+                record_timeout=(
+                    telemetry.record_timeout
+                    if telemetry is not None
+                    else lambda: None
+                ),
             )
 
-    jobs = min(resolve_jobs(jobs), max(1, len(tasks)))
-    if jobs == 1:
-        injector = ImageInjector(image)
-        for component_index, fault_index, fault in tasks:
-            record(component_index, fault_index, injector.run_fault(fault))
-        return effects
-
-    chunksize = max(1, len(tasks) // (jobs * 4))
-    with _pool_context().Pool(
-        processes=jobs, initializer=_init_worker, initargs=(image,)
-    ) as pool:
-        for component_index, fault_index, effect in pool.imap_unordered(
-            _run_task, tasks, chunksize=chunksize
-        ):
-            record(component_index, fault_index, effect)
+    _validate_effects(image.name, plan, effects, quarantined_slots)
     return effects
+
+
+def _run_serial(
+    image: MachineImage,
+    tasks: Sequence[tuple[int, int, Fault]],
+    max_retries: int,
+    record: Callable[[int, int, FaultEffect, float], None],
+    quarantine: Callable[[_Attempt, str], None],
+    retry: Callable[[_Attempt, str], None],
+) -> None:
+    """In-process execution with the same retry/quarantine semantics.
+
+    A crash here takes the campaign down with it (there is no worker to
+    die in our place), but in-simulator exceptions still get bounded
+    retries on a fresh injector and then quarantine, and the journal sees
+    every completion - so even a serial campaign resumes after SIGKILL.
+    """
+    injector = ImageInjector(image)
+    pending = deque(_Attempt(ci, fi, fault) for ci, fi, fault in tasks)
+    while pending:
+        attempt = pending.popleft()
+        start = time.perf_counter()
+        try:
+            effect = injector.run_fault(attempt.fault)
+        except Exception as exc:  # noqa: BLE001 - bounded retry, then report
+            attempt.attempts += 1
+            injector = ImageInjector(image)  # state may be poisoned
+            reason = f"raised {type(exc).__name__}: {exc}"
+            if attempt.attempts <= max_retries:
+                retry(attempt, reason)
+                pending.appendleft(attempt)
+            else:
+                quarantine(attempt, reason)
+        else:
+            record(
+                attempt.component_index,
+                attempt.fault_index,
+                effect,
+                time.perf_counter() - start,
+            )

@@ -1,0 +1,161 @@
+"""Structured campaign telemetry: running tallies, throughput, ETA.
+
+A long campaign (the paper's scale is ~78,000 injections) needs to be
+*observable* while it runs: how fast injections complete, how far along
+each component is, whether the harness is retrying or quarantining
+faults.  :class:`CampaignTelemetry` is the sink the execution engine
+feeds; the CLI renders its progress line periodically and its summary
+table at the end (via :func:`repro.analysis.report.telemetry_table`).
+
+The sink is deliberately passive - plain counters plus formatting - so it
+can be shared across workloads of a suite run and inspected from tests
+with an injected clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.injection.classify import FaultEffect
+from repro.injection.components import Component
+
+
+def _format_duration(seconds: float) -> str:
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class CampaignTelemetry:
+    """Running counters of one campaign (possibly spanning a suite).
+
+    Distinguishes *live* completions from *replayed* ones (journal
+    resume): throughput and ETA are computed from live completions only,
+    so a resumed campaign does not report a fictitious rate.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self.started = clock()
+        #: Per-component running class tallies (live + replayed).
+        self.class_counts: dict[Component, dict[FaultEffect, int]] = {}
+        #: Planned injections per component (grows as plans register).
+        self.planned: dict[Component, int] = {}
+        self.completed = 0
+        self.replayed = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.worker_deaths = 0
+        self.quarantined = 0
+        #: Sum of per-injection wall-clock seconds (live only).
+        self.injection_seconds = 0.0
+
+    # -- feeding -------------------------------------------------------------
+
+    def register_plan(self, component: Component, count: int) -> None:
+        """Announce that ``count`` injections of ``component`` will run."""
+        self.planned[component] = self.planned.get(component, 0) + count
+        self.class_counts.setdefault(component, {})
+
+    def record(
+        self,
+        component: Component,
+        effect: FaultEffect,
+        wall_time: float = 0.0,
+        replayed: bool = False,
+    ) -> None:
+        """Tally one completed injection."""
+        tally = self.class_counts.setdefault(component, {})
+        tally[effect] = tally.get(effect, 0) + 1
+        self.completed += 1
+        if replayed:
+            self.replayed += 1
+        else:
+            self.injection_seconds += wall_time
+
+    def record_retry(self) -> None:
+        self.retries += 1
+
+    def record_timeout(self) -> None:
+        self.timeouts += 1
+
+    def record_worker_death(self) -> None:
+        self.worker_deaths += 1
+
+    def record_quarantine(self, component: Component) -> None:
+        self.quarantined += 1
+        self.class_counts.setdefault(component, {})
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self.started
+
+    @property
+    def live_completed(self) -> int:
+        return self.completed - self.replayed
+
+    def injections_per_second(self) -> float:
+        """End-to-end throughput of *live* injections."""
+        elapsed = self.elapsed
+        if elapsed <= 0 or not self.live_completed:
+            return 0.0
+        return self.live_completed / elapsed
+
+    def remaining(self) -> int:
+        planned = sum(self.planned.values())
+        return max(0, planned - self.completed - self.quarantined)
+
+    def eta_seconds(self) -> float | None:
+        """Estimated seconds to completion (``None`` before any live run)."""
+        rate = self.injections_per_second()
+        if rate <= 0:
+            return None
+        return self.remaining() / rate
+
+    # -- rendering -----------------------------------------------------------
+
+    def progress_line(self) -> str:
+        """One-line running status, e.g. for periodic stderr updates."""
+        planned = sum(self.planned.values())
+        parts = [f"{self.completed}/{planned} inj"]
+        rate = self.injections_per_second()
+        if rate > 0:
+            parts.append(f"{rate:.1f} inj/s")
+        eta = self.eta_seconds()
+        if eta is not None and self.remaining():
+            parts.append(f"ETA {_format_duration(eta)}")
+        if self.replayed:
+            parts.append(f"{self.replayed} replayed")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        return ", ".join(parts)
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot (render with ``analysis.report.telemetry_table``)."""
+        return {
+            "components": {
+                component.name: {
+                    effect.name: tally.get(effect, 0) for effect in FaultEffect
+                }
+                for component, tally in self.class_counts.items()
+            },
+            "planned": sum(self.planned.values()),
+            "completed": self.completed,
+            "replayed": self.replayed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_deaths": self.worker_deaths,
+            "quarantined": self.quarantined,
+            "elapsed_seconds": self.elapsed,
+            "injections_per_second": self.injections_per_second(),
+        }

@@ -8,7 +8,13 @@ import statistics
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.beam.fit import fit_rate, poisson_interval, sample_poisson
+from repro.beam.fit import (
+    fit_rate,
+    poisson_interval,
+    poisson_interval_normal,
+    sample_poisson,
+)
+from repro.injection.sampling import Z_SCORES
 from repro.errors import ConfigurationError
 
 
@@ -72,3 +78,50 @@ class TestPoissonSampler:
         rng = random.Random(7)
         value = sample_poisson(rng, mean)
         assert isinstance(value, int) and value >= 0
+
+
+class TestPoissonFallback:
+    """The scipy-less normal-approximation path must be correct on its
+    own: right z-score per confidence, exact Garwood bound at zero."""
+
+    def test_zero_count_is_exact_garwood(self):
+        from math import log
+
+        low, high = poisson_interval_normal(0, 0.95)
+        assert low == 0.0
+        assert high == pytest.approx(-log(0.025), rel=1e-9)
+
+    def test_uses_the_right_z_for_090(self):
+        # The old fallback looked up z=2.5758 (the 99% score) for 0.90.
+        low, high = poisson_interval_normal(100, 0.90)
+        assert high == pytest.approx(100 + 1.6449 * 10.0, abs=1e-3)
+        assert low == pytest.approx(100 - 1.6449 * 10.0, abs=1e-3)
+
+    def test_z_table_is_shared_with_sampling(self):
+        for confidence, z in Z_SCORES.items():
+            low, high = poisson_interval_normal(64, confidence)
+            assert high == pytest.approx(64 + z * 8.0, abs=1e-9)
+
+    def test_unknown_confidence_rejected(self):
+        with pytest.raises(ConfigurationError, match="0.9"):
+            poisson_interval_normal(10, 0.42)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            poisson_interval_normal(-1)
+
+    def test_poisson_interval_falls_back_without_scipy(self, monkeypatch):
+        import sys as _sys
+
+        monkeypatch.setitem(_sys.modules, "scipy", None)
+        monkeypatch.setitem(_sys.modules, "scipy.stats", None)
+        assert poisson_interval(9, 0.95) == poisson_interval_normal(9, 0.95)
+        # count=0 stays exact even on the fallback path.
+        assert poisson_interval(0, 0.95) == poisson_interval_normal(0, 0.95)
+
+    def test_fallback_brackets_the_exact_interval_loosely(self):
+        pytest.importorskip("scipy")
+        low_exact, high_exact = poisson_interval(100, 0.95)
+        low_norm, high_norm = poisson_interval_normal(100, 0.95)
+        assert low_norm == pytest.approx(low_exact, rel=0.05)
+        assert high_norm == pytest.approx(high_exact, rel=0.05)

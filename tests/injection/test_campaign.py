@@ -117,3 +117,30 @@ class TestLiveCampaign:
         golden = run_golden(get_workload("Susan E"), SCALED_A9_CONFIG)
         assert golden.exited_cleanly
         assert golden.cycles > 10_000
+
+    def test_confidence_rederived_on_cache_load(self, campaign_result):
+        """The cache key omits confidence (raw counts are independent of
+        it), so a cached result must report the *active* confidence, not
+        whatever level it was first written with."""
+        _campaign, cache_dir, result = campaign_result
+        lax = InjectionCampaign(
+            CampaignConfig(faults_per_component=6, seed=5, confidence=0.9),
+            cache_dir=cache_dir,
+        )
+        loaded = lax.run_workload(get_workload("Susan E"))
+        # Same raw tallies -> this was a cache hit, not a re-run.
+        assert {
+            component: component_result.counts
+            for component, component_result in loaded.components.items()
+        } == {
+            component: component_result.counts
+            for component, component_result in result.components.items()
+        }
+        for component_result in loaded.components.values():
+            assert component_result.confidence == 0.9
+        # Margins derive from the active confidence: 90% < 99%.
+        sample = Component.REGFILE
+        assert (
+            loaded.components[sample].conservative_margin
+            < result.components[sample].conservative_margin
+        )

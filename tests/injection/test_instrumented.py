@@ -107,3 +107,23 @@ class TestClusterSizes:
             workload, fault, SCALED_A9_CONFIG, golden, cluster_size=4
         )
         assert effect in set(FaultEffect)
+
+    def test_instrumented_cluster_matches_plain(self, workload, golden):
+        """run_instrumented_injection honours cluster_size: for every
+        cluster the observed effect equals the plain injector's (the
+        instrumentation changes what is observed, never what is flipped)."""
+        faults = (
+            Fault(Component.L1D, bit_index=8, cycle=golden.cycles // 2),
+            Fault(Component.REGFILE, bit_index=3, cycle=golden.cycles // 3),
+        )
+        for fault in faults:
+            for cluster in (1, 2, 4):
+                plain = run_single_injection(
+                    workload, fault, SCALED_A9_CONFIG, golden,
+                    cluster_size=cluster,
+                )
+                observation = run_instrumented_injection(
+                    workload, fault, SCALED_A9_CONFIG, golden,
+                    cluster_size=cluster,
+                )
+                assert observation.effect is plain, (fault, cluster)

@@ -1,0 +1,175 @@
+"""Injection journal: atomic appends, replay, truncation tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import InjectionError
+from repro.injection.classify import FaultEffect
+from repro.injection.components import Component
+from repro.injection.journal import (
+    InjectionJournal,
+    InjectionRecord,
+    JournalMeta,
+    QuarantineRecord,
+    read_journal,
+)
+
+META = JournalMeta(
+    workload="StringSearch",
+    machine="scaled-a9",
+    faults_per_component=10,
+    seed=5,
+    cluster_size=1,
+    golden_cycles=123_456,
+)
+
+
+def make_record(index=0, component=Component.REGFILE, effect=FaultEffect.MASKED):
+    return InjectionRecord(
+        component=component,
+        index=index,
+        bit_index=17 + index,
+        cycle=1000 + index,
+        effect=effect,
+        wall_time=0.25,
+    )
+
+
+class TestAppendAndReplay:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with InjectionJournal.create(path, META) as journal:
+            journal.record(make_record(0))
+            journal.record(make_record(1, effect=FaultEffect.SDC))
+            journal.record_quarantine(
+                QuarantineRecord(Component.DTLB, 3, 99, 555, "worker died")
+            )
+        meta, records, quarantines = read_journal(path)
+        assert meta == META
+        assert [r.index for r in records] == [0, 1]
+        assert records[1].effect is FaultEffect.SDC
+        assert records[0].bit_index == 17 and records[0].cycle == 1000
+        assert quarantines[0].component is Component.DTLB
+        assert quarantines[0].reason == "worker died"
+
+    def test_every_line_is_one_json_record(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with InjectionJournal.create(path, META) as journal:
+            for index in range(5):
+                journal.record(make_record(index))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 6  # meta + 5 records
+        assert all(json.loads(line) for line in lines)
+        assert json.loads(lines[0])["type"] == "meta"
+
+    def test_completed_is_keyed_by_fault_index(self, tmp_path):
+        journal = InjectionJournal.create(tmp_path / "j.jsonl", META)
+        journal.record(make_record(4))
+        journal.record(make_record(2, component=Component.DTLB))
+        completed = journal.completed(Component.REGFILE)
+        assert set(completed) == {4}
+        assert set(journal.completed(Component.DTLB)) == {2}
+        assert journal.completed(Component.L2) == {}
+        journal.close()
+
+    def test_create_truncates_previous_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with InjectionJournal.create(path, META) as journal:
+            journal.record(make_record(0))
+        with InjectionJournal.create(path, META):
+            pass
+        _meta, records, _q = read_journal(path)
+        assert records == []
+
+
+class TestResume:
+    def test_resume_replays_records(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with InjectionJournal.create(path, META) as journal:
+            journal.record(make_record(0))
+        with InjectionJournal.resume(path, META) as journal:
+            assert [r.index for r in journal.records] == [0]
+            journal.record(make_record(1))
+        _meta, records, _q = read_journal(path)
+        assert [r.index for r in records] == [0, 1]
+
+    def test_resume_rejects_mismatched_meta(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        InjectionJournal.create(path, META).close()
+        drifted = JournalMeta(
+            workload=META.workload,
+            machine=META.machine,
+            faults_per_component=META.faults_per_component,
+            seed=6,  # different seed -> different fault lists
+            cluster_size=META.cluster_size,
+            golden_cycles=META.golden_cycles,
+        )
+        with pytest.raises(InjectionError, match="seed"):
+            InjectionJournal.resume(path, drifted)
+
+    def test_open_creates_then_resumes(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with InjectionJournal.open(path, META) as journal:
+            journal.record(make_record(0))
+        with InjectionJournal.open(path, META) as journal:
+            assert len(journal.records) == 1
+
+
+class TestTruncationTolerance:
+    """A SIGKILL mid-append leaves a partial final line - never worse."""
+
+    def test_partial_trailing_line_is_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with InjectionJournal.create(path, META) as journal:
+            journal.record(make_record(0))
+        with open(path, "ab") as handle:
+            handle.write(b'{"type":"injection","compo')
+        _meta, records, _q = read_journal(path)
+        assert [r.index for r in records] == [0]
+
+    def test_resume_after_truncation_appends_cleanly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with InjectionJournal.create(path, META) as journal:
+            journal.record(make_record(0))
+        with open(path, "ab") as handle:
+            handle.write(b'{"type":"inject')
+        with InjectionJournal.resume(path, META) as journal:
+            journal.record(make_record(1))
+        _meta, records, _q = read_journal(path)
+        assert [r.index for r in records] == [0, 1]
+
+    def test_complete_tail_missing_newline_is_kept(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with InjectionJournal.create(path, META) as journal:
+            journal.record(make_record(0))
+        raw = path.read_bytes()
+        path.write_bytes(raw.rstrip(b"\n"))  # kill after write, before \n
+        with InjectionJournal.resume(path, META) as journal:
+            assert [r.index for r in journal.records] == [0]
+            journal.record(make_record(1))
+        _meta, records, _q = read_journal(path)
+        assert [r.index for r in records] == [0, 1]
+
+    def test_interior_corruption_is_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with InjectionJournal.create(path, META) as journal:
+            journal.record(make_record(0))
+        raw = path.read_bytes().replace(b'"type":"injection"', b'"ty]]]')
+        path.write_bytes(raw)
+        with pytest.raises(InjectionError, match="corrupt|malformed"):
+            read_journal(path)
+
+    def test_empty_file_is_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b"")
+        with pytest.raises(InjectionError, match="empty"):
+            read_journal(path)
+
+    def test_missing_meta_is_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"type":"injection"}\n')
+        with pytest.raises(InjectionError, match="meta"):
+            read_journal(path)

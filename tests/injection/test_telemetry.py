@@ -1,0 +1,126 @@
+"""Campaign telemetry: tallies, throughput, ETA, harness counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import telemetry_table
+from repro.injection.classify import FaultEffect
+from repro.injection.components import Component
+from repro.injection.telemetry import CampaignTelemetry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def telemetry(clock):
+    return CampaignTelemetry(clock=clock)
+
+
+class TestTallies:
+    def test_class_counts_accumulate_per_component(self, telemetry):
+        telemetry.record(Component.L1D, FaultEffect.MASKED)
+        telemetry.record(Component.L1D, FaultEffect.MASKED)
+        telemetry.record(Component.L1D, FaultEffect.SDC)
+        telemetry.record(Component.REGFILE, FaultEffect.SYS_CRASH)
+        assert telemetry.class_counts[Component.L1D][FaultEffect.MASKED] == 2
+        assert telemetry.class_counts[Component.L1D][FaultEffect.SDC] == 1
+        assert telemetry.class_counts[Component.REGFILE][FaultEffect.SYS_CRASH] == 1
+        assert telemetry.completed == 4
+
+    def test_replayed_separated_from_live(self, telemetry):
+        telemetry.record(Component.L1D, FaultEffect.MASKED, replayed=True)
+        telemetry.record(Component.L1D, FaultEffect.MASKED, wall_time=0.5)
+        assert telemetry.completed == 2
+        assert telemetry.replayed == 1
+        assert telemetry.live_completed == 1
+        assert telemetry.injection_seconds == pytest.approx(0.5)
+
+
+class TestThroughputAndEta:
+    def test_rate_counts_only_live_injections(self, telemetry, clock):
+        telemetry.register_plan(Component.L1D, 20)
+        for _ in range(5):
+            telemetry.record(Component.L1D, FaultEffect.MASKED, replayed=True)
+        clock.now += 10.0
+        for _ in range(10):
+            telemetry.record(Component.L1D, FaultEffect.MASKED)
+        assert telemetry.injections_per_second() == pytest.approx(1.0)
+        # 5 remaining at 1 inj/s
+        assert telemetry.remaining() == 5
+        assert telemetry.eta_seconds() == pytest.approx(5.0)
+
+    def test_eta_is_none_before_any_live_completion(self, telemetry):
+        telemetry.register_plan(Component.L1D, 10)
+        assert telemetry.eta_seconds() is None
+
+    def test_quarantined_reduce_remaining(self, telemetry, clock):
+        telemetry.register_plan(Component.L1D, 10)
+        clock.now += 1.0
+        telemetry.record(Component.L1D, FaultEffect.MASKED)
+        telemetry.record_quarantine(Component.L1D)
+        assert telemetry.remaining() == 8
+
+
+class TestHarnessCounters:
+    def test_counters(self, telemetry):
+        telemetry.record_retry()
+        telemetry.record_retry()
+        telemetry.record_timeout()
+        telemetry.record_worker_death()
+        telemetry.record_quarantine(Component.DTLB)
+        assert telemetry.retries == 2
+        assert telemetry.timeouts == 1
+        assert telemetry.worker_deaths == 1
+        assert telemetry.quarantined == 1
+
+    def test_progress_line_mentions_anomalies(self, telemetry, clock):
+        telemetry.register_plan(Component.L1D, 4)
+        clock.now += 2.0
+        telemetry.record(Component.L1D, FaultEffect.MASKED)
+        telemetry.record_retry()
+        telemetry.record_quarantine(Component.L1D)
+        line = telemetry.progress_line()
+        assert "1/4 inj" in line
+        assert "1 retries" in line
+        assert "1 quarantined" in line
+        assert "ETA" in line
+
+
+class TestSummaryRendering:
+    def test_summary_is_plain_data(self, telemetry, clock):
+        telemetry.register_plan(Component.L1D, 2)
+        clock.now += 4.0
+        telemetry.record(Component.L1D, FaultEffect.SDC, wall_time=1.5)
+        telemetry.record(Component.L1D, FaultEffect.MASKED, replayed=True)
+        summary = telemetry.summary()
+        assert summary["components"]["L1D"]["SDC"] == 1
+        assert summary["completed"] == 2
+        assert summary["replayed"] == 1
+        assert summary["elapsed_seconds"] == pytest.approx(4.0)
+        assert summary["injections_per_second"] == pytest.approx(0.25)
+
+    def test_telemetry_table_renders_components_and_health(self, telemetry, clock):
+        telemetry.register_plan(Component.L1D, 3)
+        clock.now += 1.0
+        telemetry.record(Component.L1D, FaultEffect.SDC)
+        telemetry.record(Component.L1D, FaultEffect.MASKED)
+        telemetry.record_retry()
+        telemetry.record_quarantine(Component.L1D)
+        text = telemetry_table(telemetry.summary())
+        assert "Campaign telemetry" in text
+        assert "L1D" in text and "SDC" in text
+        assert "retries 1" in text and "quarantined 1" in text
+        # The object itself is accepted too.
+        assert telemetry_table(telemetry) == text

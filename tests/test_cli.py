@@ -58,3 +58,48 @@ class TestCommands:
         assert main(["report", "fig10"]) == 0
         out = capsys.readouterr().out
         assert "Figure 10" in out
+
+
+class TestInjectResilienceFlags:
+    def test_parser_accepts_journal_flags(self):
+        args = build_parser().parse_args([
+            "inject", "CRC32", "--journal", "j", "--resume",
+            "--timeout", "2.5", "--retries", "1", "-j", "2",
+        ])
+        assert args.journal == "j"
+        assert args.resume is True
+        assert args.timeout == 2.5
+        assert args.retries == 1
+        assert args.jobs == 2
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(["inject", "CRC32", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_journaled_inject_and_forced_resume(self, tmp_path, monkeypatch, capsys):
+        """CI smoke: a tiny journaled campaign, then a forced resume that
+        replays every injection instead of re-simulating."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        journal_dir = tmp_path / "journal"
+        assert main([
+            "inject", "StringSearch", "-n", "2", "--journal", str(journal_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign telemetry" in out
+        journals = list(journal_dir.glob("*.jsonl"))
+        assert len(journals) == 1
+        before = journals[0].read_text()
+        assert before.count('"injection"') == 12  # 2 faults x 6 components
+
+        # Drop the cache so the resume actually exercises the journal.
+        for cached in (tmp_path / "cache").glob("*.json"):
+            cached.unlink()
+        assert main([
+            "inject", "StringSearch", "-n", "2",
+            "--journal", str(journal_dir), "--resume",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign telemetry" in out
+        assert "replayed" in out
+        # Nothing new was simulated: the journal is byte-identical.
+        assert journals[0].read_text() == before
