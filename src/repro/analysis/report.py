@@ -60,6 +60,16 @@ def telemetry_table(summary: Mapping) -> str:
            if summary["replayed"] else ""),
         f"throughput : {rate:.2f} inj/s over {summary['elapsed_seconds']:.1f}s",
     ]
+    ended = summary.get("ended_by") or {}
+    pruned = ended.get("digest", 0) + ended.get("dead-cell", 0)
+    if pruned:
+        footer.append(
+            f"early exit : {pruned}/{summary['completed']} pruned "
+            f"({ended.get('digest', 0)} digest-converged, "
+            f"{ended.get('dead-cell', 0)} dead-cell, "
+            f"{ended.get('full', 0)} full runs, "
+            f"~{summary.get('cycles_saved', 0) / 1e6:.1f}M cycles saved)"
+        )
     health = [
         (key, summary[key])
         for key in ("retries", "timeouts", "worker_deaths", "quarantined")

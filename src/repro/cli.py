@@ -14,7 +14,11 @@ Commands
     results.  ``--journal`` records every completed injection in an
     append-only JSONL journal; ``--resume`` replays it so a killed
     campaign continues where it stopped.  ``--timeout``/``--retries``
-    bound stuck or worker-killing faults.
+    bound stuck or worker-killing faults.  ``--no-early-exit`` disables
+    the provably-sound early Masked terminations (golden-digest
+    convergence and dead-cell short-circuits) - the effects are
+    bit-identical either way, so the flag exists only for benchmarking
+    and auditing.
 ``beam <benchmark> [--hours H]``
     Simulated beam campaign for one benchmark; prints FIT rates with
     confidence intervals.
@@ -82,6 +86,8 @@ def _cmd_inject(args) -> int:
             jobs=args.jobs,
             injection_timeout=args.timeout,
             max_retries=args.retries,
+            early_exit=not args.no_early_exit,
+            digest_probes=args.digest_probes,
         ),
         progress=lambda message: print(f"  .. {message}", file=sys.stderr),
         journal_dir=Path(args.journal) if args.journal else None,
@@ -216,6 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="re-dispatches of a fault whose worker died, "
                         "timed out or raised before it is quarantined "
                         "(default 2)")
+    inject.add_argument("--no-early-exit", action="store_true",
+                        help="disable early Masked termination (digest "
+                        "convergence + dead-cell short-circuit); effects "
+                        "are bit-identical either way")
+    inject.add_argument("--digest-probes", type=int, default=24,
+                        metavar="N",
+                        help="evenly spaced golden-state digest probes "
+                        "used for convergence detection (default 24)")
     inject.set_defaults(func=_cmd_inject)
 
     beam = sub.add_parser("beam", help="simulated beam campaign")

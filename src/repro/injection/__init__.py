@@ -19,8 +19,19 @@ from repro.injection.campaign import (
     InjectionCampaign,
     InjectionObservation,
     WorkloadResult,
+    record_golden_captures,
     run_instrumented_injection,
     run_single_injection,
+)
+from repro.injection.parallel import (
+    ENDED_DEAD_CELL,
+    ENDED_DIGEST,
+    ENDED_FULL,
+    EarlyMasked,
+    ImageInjector,
+    InjectionResult,
+    MachineImage,
+    run_injection_plan,
 )
 
 __all__ = [
@@ -38,6 +49,15 @@ __all__ = [
     "InjectionCampaign",
     "InjectionObservation",
     "WorkloadResult",
+    "record_golden_captures",
     "run_instrumented_injection",
     "run_single_injection",
+    "ENDED_DEAD_CELL",
+    "ENDED_DIGEST",
+    "ENDED_FULL",
+    "EarlyMasked",
+    "ImageInjector",
+    "InjectionResult",
+    "MachineImage",
+    "run_injection_plan",
 ]

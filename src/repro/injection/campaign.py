@@ -52,7 +52,13 @@ from repro.injection.sampling import (
     wilson_interval,
 )
 from repro.microarch.config import MachineConfig, SCALED_A9_CONFIG
-from repro.microarch.snapshot import best_snapshot, record_snapshots
+from repro.microarch.digest import probe_cycles, system_digest
+from repro.microarch.snapshot import (
+    SystemSnapshot,
+    best_snapshot,
+    record_snapshots,
+    run_with_captures,
+)
 from repro.microarch.system import RunResult, System
 from repro.workloads.base import Workload
 
@@ -69,6 +75,7 @@ __all__ = [
     "run_single_injection",
     "run_instrumented_injection",
     "record_golden_snapshots",
+    "record_golden_captures",
 ]
 
 
@@ -106,6 +113,17 @@ class CampaignConfig:
     #: Bound on re-dispatches of a fault whose worker died, timed out, or
     #: raised; past it the fault is quarantined (reported, not tallied).
     max_retries: int = DEFAULT_MAX_RETRIES
+    #: Early Masked termination (golden-state digest convergence + dead-cell
+    #: short-circuit; see :mod:`repro.injection.parallel`).  Deliberately
+    #: *not* part of the cache key: both prunings are provably sound, so
+    #: they cannot change any injection's effect - only how long it takes
+    #: to reach it (enforced by the early-exit equivalence suite).
+    early_exit: bool = True
+    #: Number of evenly spaced golden-state digest probes; more probes
+    #: bound the post-convergence simulation tail more tightly but cost
+    #: one state hash each on runs that never converge.  Also excluded
+    #: from the cache key (same reason as ``early_exit``).
+    digest_probes: int = 24
 
     def cache_key(self, workload_name: str) -> str:
         cluster = f"-c{self.cluster_size}" if self.cluster_size != 1 else ""
@@ -355,6 +373,45 @@ def record_golden_snapshots(
     return record_snapshots(system, cycles)
 
 
+def record_golden_captures(
+    workload: Workload,
+    machine: MachineConfig,
+    golden: RunResult,
+    snapshot_count: int = 8,
+    digest_count: int = 24,
+) -> tuple[list, dict[int, bytes]]:
+    """Capture checkpoints *and* state digests in one golden prefix run.
+
+    Returns ``(snapshots, digests)`` where ``digests`` maps probe cycles
+    to full-machine state digests (:mod:`repro.microarch.digest`).  Both
+    grids are recorded through the same event mechanism the injectors use,
+    in a single run that stops right after the last capture - one golden
+    prefix instead of two.
+    """
+    system = System(workload.program(machine.layout), config=machine)
+    step = max(1, golden.cycles // (snapshot_count + 1))
+    snapshot_cycles = [step * (index + 1) for index in range(snapshot_count)]
+    snapshots: list[SystemSnapshot] = []
+    digests: dict[int, bytes] = {}
+
+    def snap() -> None:
+        snapshots.append(SystemSnapshot(system))
+
+    def make_probe(cycle: int):
+        def capture() -> None:
+            digests[cycle] = system_digest(system)
+
+        return capture
+
+    captures = [(cycle, snap) for cycle in sorted(set(snapshot_cycles))]
+    captures += [
+        (cycle, make_probe(cycle))
+        for cycle in probe_cycles(golden.cycles, digest_count)
+    ]
+    run_with_captures(system, captures)
+    return snapshots, digests
+
+
 class InjectionCampaign:
     """Run (and cache) fault-injection campaigns over the suite.
 
@@ -470,10 +527,19 @@ class InjectionCampaign:
 
         machine = self.config.machine
         golden = run_golden(workload, machine)
-        snapshots = None
-        if self.config.use_checkpoints:
-            snapshots = record_golden_snapshots(
-                workload, machine, golden, count=self.config.checkpoint_count
+        snapshots: list | None = None
+        digests: dict[int, bytes] = {}
+        snapshot_count = (
+            self.config.checkpoint_count if self.config.use_checkpoints else 0
+        )
+        digest_count = self.config.digest_probes if self.config.early_exit else 0
+        if snapshot_count or digest_count:
+            snapshots, digests = record_golden_captures(
+                workload,
+                machine,
+                golden,
+                snapshot_count=snapshot_count,
+                digest_count=digest_count,
             )
         image = MachineImage.capture(
             workload,
@@ -481,6 +547,8 @@ class InjectionCampaign:
             golden,
             snapshots,
             cluster_size=self.config.cluster_size,
+            digests=digests,
+            early_exit=self.config.early_exit,
         )
         plan = {
             component: generate_faults(

@@ -77,7 +77,13 @@ class JournalMeta:
 
 @dataclass(frozen=True)
 class InjectionRecord:
-    """One completed injection experiment."""
+    """One completed injection experiment.
+
+    ``ended_by`` records the termination mechanism ("full", "digest", or
+    "dead-cell"; see :mod:`repro.injection.parallel`).  It is purely
+    observational - the effect is identical either way - so journals
+    written before the field existed replay cleanly as "full".
+    """
 
     component: Component
     index: int
@@ -85,6 +91,7 @@ class InjectionRecord:
     cycle: int
     effect: FaultEffect
     wall_time: float
+    ended_by: str = "full"
 
     def to_line(self) -> dict:
         return {
@@ -95,6 +102,7 @@ class InjectionRecord:
             "cycle": self.cycle,
             "effect": self.effect.name,
             "wall": round(self.wall_time, 6),
+            "ended": self.ended_by,
         }
 
     @classmethod
@@ -106,6 +114,7 @@ class InjectionRecord:
             cycle=payload["cycle"],
             effect=FaultEffect[payload["effect"]],
             wall_time=payload["wall"],
+            ended_by=payload.get("ended", "full"),
         )
 
 

@@ -38,6 +38,22 @@ results are collected into slots indexed by (component, fault index).  The
 returned effects - and therefore the campaign tallies - are identical for
 any worker count, any scheduling order, and any interrupt/resume split
 (enforced by the equivalence and resilience test suites).
+
+Early Masked termination: campaigns on the paper's components are
+dominated by Masked outcomes, so the injector prunes provably-dead runs
+instead of simulating them to program exit - with a machine-checkable
+equivalence guarantee (effects are bit-identical with pruning on or off):
+
+- **dead-cell short-circuit**: a flip landing entirely in *invalid* cache
+  lines can never be observed (the only way back to valid overwrites the
+  whole line), so it is classified Masked at flip time;
+- **golden-state digest convergence**: the image carries blake2b digests
+  of the golden run's complete mutable state at a probe grid of cycles
+  (:mod:`repro.microarch.digest`); an injected run registers probe events
+  after its injection cycle, and the first probe whose digest equals the
+  golden digest proves every future cycle is bit-identical to the golden
+  run - the run terminates immediately (via :class:`EarlyMasked`, caught
+  in :meth:`ImageInjector.run_fault_ex`) and is classified Masked.
 """
 
 from __future__ import annotations
@@ -54,6 +70,8 @@ from repro.errors import InjectionError
 from repro.injection.classify import FaultEffect, classify_run
 from repro.injection.components import Component, component_target
 from repro.injection.fault import Fault
+from repro.microarch.cache import Cache
+from repro.microarch.digest import system_digest
 from repro.injection.journal import (
     InjectionJournal,
     InjectionRecord,
@@ -105,6 +123,10 @@ class MachineImage:
     golden_output: bytes
     snapshots: list[SystemSnapshot] = field(default_factory=list)
     cluster_size: int = 1
+    #: Golden-state digests keyed by cycle (see :mod:`repro.microarch.digest`).
+    digests: dict[int, bytes] = field(default_factory=dict)
+    #: Master switch for the provably-sound early-Masked terminations.
+    early_exit: bool = True
 
     @classmethod
     def capture(
@@ -114,6 +136,8 @@ class MachineImage:
         golden: RunResult,
         snapshots: list[SystemSnapshot] | None = None,
         cluster_size: int = 1,
+        digests: Mapping[int, bytes] | None = None,
+        early_exit: bool = True,
     ) -> "MachineImage":
         """Bundle a workload's golden run into a shippable image."""
         return cls(
@@ -124,7 +148,46 @@ class MachineImage:
             golden_output=golden.output,
             snapshots=list(snapshots or []),
             cluster_size=cluster_size,
+            digests=dict(digests or {}),
+            early_exit=early_exit,
         )
+
+
+#: ``InjectionResult.ended_by`` values: simulated to completion, converged
+#: onto a golden digest, or flipped only unobservable invalid cache lines.
+ENDED_FULL = "full"
+ENDED_DIGEST = "digest"
+ENDED_DEAD_CELL = "dead-cell"
+
+
+class EarlyMasked(Exception):
+    """Control flow: this run is provably Masked; stop simulating it.
+
+    Deliberately a plain :class:`Exception` - not a
+    :class:`~repro.errors.SimulationTermination` (``System.run`` would
+    swallow it as a normal program exit) and not a
+    :class:`~repro.errors.ReproError` (nothing went wrong).
+    """
+
+    def __init__(self, mechanism: str):
+        super().__init__(mechanism)
+        self.mechanism = mechanism
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """One injection's classification plus how the run ended.
+
+    ``ended_by`` is one of :data:`ENDED_FULL`, :data:`ENDED_DIGEST`, or
+    :data:`ENDED_DEAD_CELL`; ``cycles_saved`` counts golden cycles *not*
+    simulated thanks to early termination (0 for full runs).  The effect
+    itself is independent of the termination mechanism - that is the
+    equivalence guarantee the early-exit test suite enforces.
+    """
+
+    effect: FaultEffect
+    ended_by: str = ENDED_FULL
+    cycles_saved: int = 0
 
 
 class ImageInjector:
@@ -143,9 +206,31 @@ class ImageInjector:
         self.system = System(image.program, config=image.machine)
         self.pristine = SystemSnapshot(self.system)
         self.budget = watchdog_budget(image.golden_cycles)
+        self._probe_cycles = sorted(image.digests) if image.early_exit else []
+        #: Termination accounting of the most recent :meth:`run_fault` call.
+        self.last_result: InjectionResult | None = None
 
     def run_fault(self, fault: Fault) -> FaultEffect:
-        """Execute one injection experiment and classify its effect."""
+        """Execute one injection experiment and classify its effect.
+
+        This is the farm's per-injection entry point (and the seam the
+        resilience tests hook); how the run ended is kept in
+        :attr:`last_result` for callers that track termination accounting.
+        """
+        self.last_result = self.run_fault_ex(fault)
+        return self.last_result.effect
+
+    def run_fault_ex(self, fault: Fault) -> InjectionResult:
+        """Like :meth:`run_fault`, but also report *how* the run ended.
+
+        With ``image.early_exit`` set, two sound pruning mechanisms can
+        classify a run Masked without simulating it to completion (see
+        the module docstring); both raise :class:`EarlyMasked`, caught
+        here.  Probe events are registered only for cycles *strictly
+        after* the injection cycle - up to the flip the run is the golden
+        prefix by construction, so an earlier probe would trivially match
+        and terminate the run before the fault even fires.
+        """
         image = self.image
         system = self.system
         snapshot = best_snapshot(image.snapshots, fault.cycle)
@@ -155,13 +240,40 @@ class ImageInjector:
         target = component_target(system, fault.component)
         population = target.data_bits
         cluster = image.cluster_size
+        early = image.early_exit
 
         def flip():
+            if (
+                early
+                and isinstance(target, Cache)
+                and target.cluster_dead(fault.bit_index, cluster)
+            ):
+                raise EarlyMasked(ENDED_DEAD_CELL)
             for offset in range(cluster):
                 target.flip_bit((fault.bit_index + offset) % population)
 
-        result = system.run(max_cycles=self.budget, events=[(fault.cycle, flip)])
-        return classify_run(result, image.golden_output, system)
+        events = [(fault.cycle, flip)]
+        for cycle in self._probe_cycles:
+            if cycle > fault.cycle:
+                events.append((cycle, self._make_probe(cycle)))
+
+        try:
+            result = system.run(max_cycles=self.budget, events=events)
+        except EarlyMasked as masked:
+            saved = max(0, image.golden_cycles - system.core.cycle)
+            return InjectionResult(FaultEffect.MASKED, masked.mechanism, saved)
+        effect = classify_run(result, image.golden_output, system)
+        return InjectionResult(effect, ENDED_FULL, 0)
+
+    def _make_probe(self, cycle: int):
+        golden = self.image.digests[cycle]
+        system = self.system
+
+        def probe():
+            if system_digest(system) == golden:
+                raise EarlyMasked(ENDED_DIGEST)
+
+        return probe
 
 
 @dataclass(frozen=True)
@@ -223,6 +335,7 @@ def _worker_main(image: MachineImage, task_conn, result_conn, worker_id: int):
             return
         component_index, fault_index, fault = task
         start = time.perf_counter()
+        injector.last_result = None
         try:
             effect = injector.run_fault(fault)
         except Exception as exc:  # noqa: BLE001 - reported, then retried
@@ -231,9 +344,12 @@ def _worker_main(image: MachineImage, task_conn, result_conn, worker_id: int):
                 f"{type(exc).__name__}: {exc}", time.perf_counter() - start,
             )
         else:
+            # A hooked/replaced run_fault may not fill last_result; its
+            # bare effect then counts as an ordinary full run.
+            result = injector.last_result or InjectionResult(effect)
             message = (
                 "ok", worker_id, component_index, fault_index,
-                effect, time.perf_counter() - start,
+                result, time.perf_counter() - start,
             )
         try:
             result_conn.send(message)
@@ -305,7 +421,7 @@ class _FarmSupervisor:
         jobs: int,
         timeout: float | None,
         max_retries: int,
-        on_result: Callable[[int, int, FaultEffect, float], None],
+        on_result: Callable[[int, int, InjectionResult, float], None],
         on_quarantine: Callable[[_Attempt, str], bool],
         on_retry: Callable[[_Attempt, str], None],
     ):
@@ -548,7 +664,11 @@ def _replay_journal(
             replayed += 1
             if telemetry is not None:
                 telemetry.record(
-                    component, record.effect, record.wall_time, replayed=True
+                    component,
+                    record.effect,
+                    record.wall_time,
+                    replayed=True,
+                    ended_by=record.ended_by,
                 )
         for index, record in journal.quarantined(component).items():
             if index >= len(faults):
@@ -656,11 +776,11 @@ def run_injection_plan(
     def record(
         component_index: int,
         fault_index: int,
-        effect: FaultEffect,
+        result: InjectionResult,
         wall_time: float = 0.0,
     ) -> None:
         component = components[component_index]
-        effects[component][fault_index] = effect
+        effects[component][fault_index] = result.effect
         if journal is not None:
             fault = plan[component][fault_index]
             journal.record(
@@ -669,12 +789,19 @@ def run_injection_plan(
                     index=fault_index,
                     bit_index=fault.bit_index,
                     cycle=fault.cycle,
-                    effect=effect,
+                    effect=result.effect,
                     wall_time=wall_time,
+                    ended_by=result.ended_by,
                 )
             )
         if telemetry is not None:
-            telemetry.record(component, effect, wall_time)
+            telemetry.record(
+                component,
+                result.effect,
+                wall_time,
+                ended_by=result.ended_by,
+                cycles_saved=result.cycles_saved,
+            )
         done[component] += 1
         if done[component] % 10 == 0 or done[component] == totals[component]:
             progress(status(component))
@@ -754,7 +881,7 @@ def _run_serial(
     image: MachineImage,
     tasks: Sequence[tuple[int, int, Fault]],
     max_retries: int,
-    record: Callable[[int, int, FaultEffect, float], None],
+    record: Callable[[int, int, InjectionResult, float], None],
     quarantine: Callable[[_Attempt, str], None],
     retry: Callable[[_Attempt, str], None],
 ) -> None:
@@ -770,6 +897,7 @@ def _run_serial(
     while pending:
         attempt = pending.popleft()
         start = time.perf_counter()
+        injector.last_result = None
         try:
             effect = injector.run_fault(attempt.fault)
         except Exception as exc:  # noqa: BLE001 - bounded retry, then report
@@ -785,6 +913,6 @@ def _run_serial(
             record(
                 attempt.component_index,
                 attempt.fault_index,
-                effect,
+                injector.last_result or InjectionResult(effect),
                 time.perf_counter() - start,
             )

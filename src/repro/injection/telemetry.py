@@ -55,6 +55,12 @@ class CampaignTelemetry:
         self.quarantined = 0
         #: Sum of per-injection wall-clock seconds (live only).
         self.injection_seconds = 0.0
+        #: Injections by termination mechanism (live + replayed).
+        self.ended_full = 0
+        self.ended_digest = 0
+        self.ended_dead_cell = 0
+        #: Golden cycles *not* simulated thanks to early termination.
+        self.cycles_saved = 0
 
     # -- feeding -------------------------------------------------------------
 
@@ -69,11 +75,20 @@ class CampaignTelemetry:
         effect: FaultEffect,
         wall_time: float = 0.0,
         replayed: bool = False,
+        ended_by: str = "full",
+        cycles_saved: int = 0,
     ) -> None:
         """Tally one completed injection."""
         tally = self.class_counts.setdefault(component, {})
         tally[effect] = tally.get(effect, 0) + 1
         self.completed += 1
+        if ended_by == "digest":
+            self.ended_digest += 1
+        elif ended_by == "dead-cell":
+            self.ended_dead_cell += 1
+        else:
+            self.ended_full += 1
+        self.cycles_saved += cycles_saved
         if replayed:
             self.replayed += 1
         else:
@@ -132,6 +147,13 @@ class CampaignTelemetry:
         eta = self.eta_seconds()
         if eta is not None and self.remaining():
             parts.append(f"ETA {_format_duration(eta)}")
+        pruned = self.ended_digest + self.ended_dead_cell
+        if pruned:
+            parts.append(
+                f"{pruned} early-exit ({self.ended_digest} digest, "
+                f"{self.ended_dead_cell} dead-cell, "
+                f"~{self.cycles_saved / 1e6:.1f}M cycles saved)"
+            )
         if self.replayed:
             parts.append(f"{self.replayed} replayed")
         if self.retries:
@@ -158,4 +180,10 @@ class CampaignTelemetry:
             "quarantined": self.quarantined,
             "elapsed_seconds": self.elapsed,
             "injections_per_second": self.injections_per_second(),
+            "ended_by": {
+                "full": self.ended_full,
+                "digest": self.ended_digest,
+                "dead-cell": self.ended_dead_cell,
+            },
+            "cycles_saved": self.cycles_saved,
         }

@@ -22,7 +22,18 @@ from repro.microarch.tlb import TLB, TLBEntry
 from repro.microarch.regfile import PhysRegFile
 from repro.microarch.statistics import PerfCounters
 from repro.microarch.core import Core, Mode
-from repro.microarch.snapshot import SystemSnapshot, best_snapshot, record_snapshots
+from repro.microarch.snapshot import (
+    SystemSnapshot,
+    best_snapshot,
+    record_snapshots,
+    run_with_captures,
+)
+from repro.microarch.digest import (
+    DIGEST_SIZE,
+    probe_cycles,
+    record_digests,
+    system_digest,
+)
 from repro.microarch.system import System, RunResult
 from repro.microarch.trace import Tracer, TraceRecord
 
@@ -46,6 +57,11 @@ __all__ = [
     "SystemSnapshot",
     "best_snapshot",
     "record_snapshots",
+    "run_with_captures",
+    "DIGEST_SIZE",
+    "probe_cycles",
+    "record_digests",
+    "system_digest",
     "Tracer",
     "TraceRecord",
 ]

@@ -1,0 +1,149 @@
+"""Canonical digests of *all* mutable machine state.
+
+The early-termination layer of the injection engine rests on one fact: the
+simulator is a deterministic function of its mutable state.  If an injected
+run's state is bit-identical to the golden run's state at the same cycle,
+every future cycle is bit-identical too - same terminal outcome, same
+output, same counters - so the run can stop right there and be classified
+Masked without simulating the remaining millions of cycles.  This is the
+first (cheap) level of a two-level classification in the spirit of Hari et
+al.'s SDC-rate estimation: an O(state) digest comparison standing in for an
+O(cycles) simulation.
+
+:func:`system_digest` computes a blake2b digest over every piece of state a
+:class:`~repro.microarch.snapshot.SystemSnapshot` captures - memory, cache
+tags/valid/dirty/LRU/payloads, TLB entries, the physical register file and
+its rename cursors, the core's architectural and bookkeeping state
+(including the cycle counter), CSRs, and the device block.  Two states with
+equal digests therefore continue identically (up to blake2b collisions,
+~2^-128 for the 16-byte digest).
+
+Deliberately *excluded* (with reasons - the soundness tests pin these):
+
+- ``TLB.version``: pure change-notification bookkeeping; snapshot restore
+  bumps it by one on purpose, so including it would make a restored run's
+  digest never match a from-boot golden digest.  No simulator behaviour
+  reads it.
+- ``TLB._map``: derived from the entries - but *not* always rederivable
+  once a tag flip has made two entries collide.  Instead of hashing the
+  dict, each entry contributes a "reachable through the lookup map" bit,
+  which detects exactly the case where hidden map state could steer the
+  future while the entries look golden.
+"""
+
+from __future__ import annotations
+
+import struct
+from hashlib import blake2b
+
+from repro.microarch.snapshot import _CORE_FIELDS, run_with_captures
+
+#: Digest width in bytes.  16 bytes = 128 bits keeps per-probe storage and
+#: comparison cheap while making an accidental collision (a diverged state
+#: classified Masked) cosmically unlikely.
+DIGEST_SIZE = 16
+
+_LINE_META = struct.Struct("<qqB")
+_TLB_ENTRY = struct.Struct("<QQQQB")
+_COUNTER_PAIR = struct.Struct("<qqq")
+
+
+def _hash_cache(h, cache) -> None:
+    meta = []
+    pack = _LINE_META.pack
+    for ways in cache.sets:
+        for line in ways:
+            meta.append(pack(line.tag, line.stamp, line.valid | (line.dirty << 1)))
+            h.update(line.data)
+    h.update(b"".join(meta))
+    h.update(_COUNTER_PAIR.pack(cache._clock, cache.accesses, cache.misses))
+
+
+def _hash_tlb(h, tlb) -> None:
+    meta = []
+    pack = _TLB_ENTRY.pack
+    lookup = tlb._map
+    for entry in tlb.entries:
+        reachable = lookup.get(entry.vpn) is entry
+        meta.append(
+            pack(
+                entry.vpn,
+                entry.ppn,
+                entry.perms,
+                entry.stamp,
+                entry.valid | (reachable << 1),
+            )
+        )
+    h.update(b"".join(meta))
+    h.update(_COUNTER_PAIR.pack(tlb._clock, tlb.accesses, tlb.misses))
+
+
+def system_digest(system) -> bytes:
+    """Digest every mutable bit of ``system``'s state.
+
+    Equal digests => bit-identical continuation.  The digest soundness
+    tests assert sensitivity: any single-bit flip in any modeled component
+    changes the digest, and overwriting the flipped state restores it.
+    """
+    h = blake2b(digest_size=DIGEST_SIZE)
+    h.update(system.memory.data)
+    for name in ("l1i", "l1d", "l2"):
+        _hash_cache(h, getattr(system, name))
+    for name in ("itlb", "dtlb"):
+        _hash_tlb(h, getattr(system, name))
+    rf = system.rf
+    h.update(struct.pack(f"<{rf.n_int}I", *rf.int_regs))
+    h.update(struct.pack(f"<{rf.n_fp}d", *rf.fp_regs))
+    core = system.core
+    h.update(
+        struct.pack(
+            f"<{len(_CORE_FIELDS) + 2}q",
+            rf._int_history,
+            rf._fp_history,
+            *(int(getattr(core, field)) for field in _CORE_FIELDS),
+        )
+    )
+    h.update(struct.pack("<16q", *core.csr))
+    devices = system._devices
+    h.update(devices.output)
+    h.update(
+        struct.pack(
+            "<qB",
+            devices.alive_count,
+            devices.sdc_flag | (devices.check_done << 1),
+        )
+    )
+    return h.digest()
+
+
+def probe_cycles(golden_cycles: int, count: int) -> list[int]:
+    """Evenly spaced digest-probe grid over a golden run's duration.
+
+    Mirrors the checkpoint grid: ``count`` cycles strictly inside
+    ``(0, golden_cycles)`` so every probe is reachable before the golden
+    run's clean exit.
+    """
+    if count <= 0 or golden_cycles <= 0:
+        return []
+    step = max(1, golden_cycles // (count + 1))
+    return sorted({step * (index + 1) for index in range(count)})
+
+
+def record_digests(system, cycles) -> dict[int, bytes]:
+    """Run ``system``, recording its digest at each requested cycle.
+
+    Returns ``{probe_cycle: digest}``.  Like
+    :func:`~repro.microarch.snapshot.record_snapshots`, the run stops as
+    soon as the last requested probe has been captured.  Probe cycles the
+    program never reaches are simply absent from the result.
+    """
+    digests: dict[int, bytes] = {}
+
+    def capture_at(cycle: int):
+        def capture() -> None:
+            digests[cycle] = system_digest(system)
+
+        return capture
+
+    run_with_captures(system, [(cycle, capture_at(cycle)) for cycle in cycles])
+    return digests

@@ -19,8 +19,8 @@ from __future__ import annotations
 import pickle
 
 from dataclasses import dataclass
+from typing import Callable, Iterable
 
-from repro.errors import SimulationTermination
 from repro.microarch.cache import Cache
 from repro.microarch.system import System
 from repro.microarch.tlb import TLB
@@ -173,22 +173,65 @@ class SystemSnapshot:
         devices.check_done = self._check_done
 
 
-def record_snapshots(system: System, cycles: list[int]) -> list[SystemSnapshot]:
-    """Run ``system`` to completion, capturing snapshots at given cycles.
+class _CapturesComplete(Exception):
+    """Control flow: every requested capture callback has fired.
 
-    Returns the snapshots in cycle order.  The system is consumed (runs to
-    its terminal outcome).
+    Deliberately *not* a :class:`~repro.errors.SimulationTermination` (the
+    run did not terminate - we simply stop simulating it) and not a
+    :class:`~repro.errors.ReproError` (nothing went wrong).
+    """
+
+
+def run_with_captures(
+    system: System, captures: Iterable[tuple[int, Callable[[], None]]]
+) -> None:
+    """Run ``system`` exactly far enough to fire every capture callback.
+
+    ``captures`` is a list of ``(cycle, callback)`` pairs; each callback
+    fires between instructions once the cycle counter passes its timestamp
+    (the same event semantics the fault injectors use, so captured state is
+    directly comparable with injected-run probes at the same cycles).  The
+    run stops the moment the last callback has fired - the golden suffix
+    past the final capture point is never simulated.  If the program
+    terminates before some capture cycles are reached, those callbacks
+    simply never fire.
+    """
+    pending = sorted(captures, key=lambda item: item[0])
+    if not pending:
+        return
+    remaining = len(pending)
+
+    def wrap(callback: Callable[[], None]) -> Callable[[], None]:
+        def fire() -> None:
+            nonlocal remaining
+            callback()
+            remaining -= 1
+            if remaining == 0:
+                raise _CapturesComplete
+
+        return fire
+
+    events = [(cycle, wrap(callback)) for cycle, callback in pending]
+    try:
+        system.run(max_cycles=2_000_000_000, events=events)
+    except _CapturesComplete:
+        pass
+
+
+def record_snapshots(system: System, cycles: list[int]) -> list[SystemSnapshot]:
+    """Run ``system``, capturing snapshots at the given cycles.
+
+    Returns the snapshots in cycle order.  The run stops right after the
+    last requested capture (simulating the golden suffix to program exit
+    would add nothing - no snapshot is taken there); cycles the program
+    never reaches produce no snapshot.
     """
     snapshots: list[SystemSnapshot] = []
 
     def capture():
         snapshots.append(SystemSnapshot(system))
 
-    events = [(cycle, capture) for cycle in sorted(cycles)]
-    try:
-        system.run(max_cycles=2_000_000_000, events=events)
-    except SimulationTermination:
-        pass
+    run_with_captures(system, [(cycle, capture) for cycle in sorted(cycles)])
     return snapshots
 
 
@@ -216,9 +259,17 @@ def deserialize_snapshots(blob: bytes) -> list[SystemSnapshot]:
 def best_snapshot(
     snapshots: list[SystemSnapshot], cycle: int
 ) -> SystemSnapshot | None:
-    """Latest snapshot at or before ``cycle`` (None if all are later)."""
-    best = None
-    for snapshot in snapshots:
-        if snapshot.cycle <= cycle and (best is None or snapshot.cycle > best.cycle):
-            best = snapshot
-    return best
+    """Latest snapshot at or before ``cycle`` (None if all are later).
+
+    ``snapshots`` must be in cycle order, as :func:`record_snapshots`
+    returns them.  This runs once per injection on the campaign hot path,
+    so it bisects instead of scanning.
+    """
+    lo, hi = 0, len(snapshots)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if snapshots[mid].cycle <= cycle:
+            lo = mid + 1
+        else:
+            hi = mid
+    return snapshots[lo - 1] if lo else None

@@ -153,6 +153,36 @@ class TestInjection:
         data, _ = cache.read(0, 4)
         assert data == b"\x12\x34\x56\x78"
 
+    def test_cluster_dead_all_invalid(self, cache):
+        """A cold cache is all invalid lines: every cluster is dead."""
+        assert cache.cluster_dead(0, 1)
+        assert cache.cluster_dead(0, 4)
+        assert cache.cluster_dead(cache.data_bits - 1, 2)  # wraps
+
+    def test_cluster_dead_false_on_valid_line(self, cache):
+        cache.read(0x100, 4)
+        bit = next(
+            index for index in range(cache.data_bits)
+            if cache.line_at(index).valid
+        )
+        assert not cache.cluster_dead(bit, 1)
+
+    def test_cluster_straddling_valid_line_is_live(self, cache):
+        """A cluster is dead only if EVERY bit lands in an invalid line.
+
+        Regression for the multi-bit fault model: lines 0 (set 0, way 0)
+        and 1 (set 0, way 1) are adjacent in flat bit order; with line 0
+        invalid and line 1 valid, a cluster starting on line 0's last bit
+        straddles into the valid line and must stay live.
+        """
+        line_bits = GEOMETRY.line_size * 8
+        cache.sets[0][1].valid = True  # line index 1 in flat bit order
+        assert cache.cluster_dead(line_bits - 1, 1)  # alone: dead
+        assert not cache.cluster_dead(line_bits - 1, 2)  # straddles: live
+        assert not cache.cluster_dead(line_bits - 2, 4)
+        cache.sets[0][1].valid = False
+        assert cache.cluster_dead(line_bits - 1, 2)
+
     def test_line_base_paddr(self, cache):
         cache.read(0x740, 4)
         for bit_index in range(cache.data_bits):

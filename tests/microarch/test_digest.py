@@ -1,0 +1,248 @@
+"""Digest soundness: equal digests must mean bit-identical state.
+
+The early-termination layer classifies a run Masked the moment its digest
+matches the golden digest at the same cycle, so the digest must cover
+*every* piece of state that can steer the simulation: a single stale or
+omitted bit would let a diverged run silently count as Masked.  These
+tests pin sensitivity (any single-bit flip in any modeled component
+changes the digest), restoration (overwriting the flipped state restores
+equality), and the two documented exclusions (``TLB.version`` and the
+derived ``TLB._map`` - covered through the per-entry reachability bit).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.injection.campaign import run_golden
+from repro.kernel.layout import DEFAULT_LAYOUT
+from repro.microarch.config import SCALED_A9_CONFIG
+from repro.microarch.digest import probe_cycles, record_digests, system_digest
+from repro.microarch.snapshot import SystemSnapshot, record_snapshots
+from repro.microarch.system import System
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("StringSearch")
+
+
+@pytest.fixture(scope="module")
+def golden(workload):
+    return run_golden(workload, SCALED_A9_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def warm(workload, golden):
+    """A system paused mid-golden-run (caches/TLBs warm), plus its digest."""
+    system = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+    snapshot = record_snapshots(system, [golden.cycles // 2])[0]
+    return system, snapshot
+
+
+@pytest.fixture
+def system(warm):
+    """The warm machine, re-restored to the same state for every test."""
+    machine, snapshot = warm
+    snapshot.restore(machine)
+    return machine
+
+
+class TestDeterminism:
+    def test_digest_is_a_pure_function_of_state(self, system):
+        assert system_digest(system) == system_digest(system)
+
+    def test_identical_machines_share_a_digest(self, workload, warm):
+        _machine, snapshot = warm
+        other = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        snapshot.restore(other)
+        assert system_digest(other) == system_digest(warm[0])
+
+    def test_restored_snapshot_matches_recorded_golden_digest(
+        self, workload, golden
+    ):
+        """The exclusion of ``TLB.version`` is what makes this hold.
+
+        Restore bumps the version on purpose; had the digest included it,
+        a restored machine could never match a from-boot golden digest and
+        every digest probe would be a guaranteed miss.
+        """
+        cycle = probe_cycles(golden.cycles, 4)[1]
+        recorder = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        recorded = record_digests(recorder, [cycle])[cycle]
+        fresh = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        snapshot = record_snapshots(fresh, [cycle])[0]
+        target = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        snapshot.restore(target)
+        assert system_digest(target) == recorded
+
+
+class TestSensitivity:
+    """Any single-bit flip changes the digest; overwriting restores it."""
+
+    def test_cache_payload_bit(self, system):
+        before = system_digest(system)
+        cache = system.l1d
+        bit = next(
+            index
+            for index in range(cache.data_bits)
+            if cache.line_at(index).valid
+        )
+        cache.flip_bit(bit)
+        assert system_digest(system) != before
+        cache.flip_bit(bit)
+        assert system_digest(system) == before
+
+    def test_cache_tag_metadata(self, system):
+        """Valid/dirty/tag changes (the footprint of an eviction) register."""
+        before = system_digest(system)
+        line = next(
+            line
+            for ways in system.l2.sets
+            for line in ways
+            if line.valid
+        )
+        valid, tag = line.valid, line.tag
+        line.valid = False
+        assert system_digest(system) != before
+        line.valid = valid
+        assert system_digest(system) == before
+        line.tag ^= 1
+        assert system_digest(system) != before
+        line.tag = tag
+        assert system_digest(system) == before
+
+    def test_tlb_entry_bit(self, system):
+        # A PPN bit: live, and flip/flip-back is an exact inverse (a VPN
+        # flip also rewires the lookup map, which can clobber a colliding
+        # entry's slot irreversibly - covered by the hidden-map test).
+        before = system_digest(system)
+        tlb = system.dtlb
+        bit = next(
+            index * 128 + 20  # first PPN bit of the entry
+            for index, entry in enumerate(tlb.entries)
+            if entry.valid
+        )
+        tlb.flip_bit(bit)
+        assert system_digest(system) != before
+        tlb.flip_bit(bit)
+        assert system_digest(system) == before
+
+    def test_tlb_vpn_bit(self, system):
+        before = system_digest(system)
+        tlb = system.dtlb
+        entry_index = next(
+            index for index, entry in enumerate(tlb.entries) if entry.valid
+        )
+        tlb.flip_bit(entry_index * 128)  # bit 0: VPN tag
+        assert system_digest(system) != before
+
+    def test_tlb_hidden_map_divergence(self, system):
+        """Entries equal but lookup map diverged => digests must differ.
+
+        ``TLB._map`` is excluded from the digest as derived state, but it
+        is not always rederivable once corrupted entries have collided -
+        the per-entry reachability bit is what keeps the digest honest.
+        """
+        before = system_digest(system)
+        tlb = system.dtlb
+        entry = next(entry for entry in tlb.entries if entry.valid)
+        removed = tlb._map.pop(entry.vpn)
+        assert removed is entry
+        assert system_digest(system) != before
+        tlb._map[entry.vpn] = entry
+        assert system_digest(system) == before
+
+    def test_tlb_version_is_excluded(self, system):
+        before = system_digest(system)
+        system.dtlb.version += 1
+        assert system_digest(system) == before
+
+    def test_register_bit(self, system):
+        before = system_digest(system)
+        system.rf.flip_bit(7)
+        assert system_digest(system) != before
+        system.rf.flip_bit(7)
+        assert system_digest(system) == before
+
+    def test_memory_byte(self, system):
+        before = system_digest(system)
+        system.memory.data[1024] ^= 0x40
+        assert system_digest(system) != before
+        system.memory.data[1024] ^= 0x40
+        assert system_digest(system) == before
+
+    def test_device_output_byte(self, system):
+        before = system_digest(system)
+        devices = system._devices
+        assert devices.output, "warm system should have produced output"
+        devices.output[0] ^= 0x01
+        assert system_digest(system) != before
+        devices.output[0] ^= 0x01
+        assert system_digest(system) == before
+
+    def test_cycle_counter(self, system):
+        """Same state at a *different* cycle must not match."""
+        before = system_digest(system)
+        system.core.cycle += 1
+        assert system_digest(system) != before
+
+
+class TestProbeGrid:
+    def test_probes_fall_strictly_inside_the_run(self):
+        cycles = probe_cycles(100_000, 24)
+        assert cycles == sorted(set(cycles))
+        assert all(0 < cycle < 100_000 for cycle in cycles)
+        assert len(cycles) == 24
+
+    def test_degenerate_grids_are_empty(self):
+        assert probe_cycles(100_000, 0) == []
+        assert probe_cycles(0, 8) == []
+
+    def test_tiny_run_deduplicates(self):
+        cycles = probe_cycles(3, 24)
+        assert cycles == sorted(set(cycles))
+        assert all(0 < cycle for cycle in cycles)
+
+    def test_record_digests_covers_the_grid(self, workload, golden):
+        system = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        cycles = probe_cycles(golden.cycles, 6)
+        digests = record_digests(system, cycles)
+        assert sorted(digests) == cycles
+        assert all(len(digest) == 16 for digest in digests.values())
+        # Different machine states must hash differently.
+        assert len(set(digests.values())) == len(digests)
+
+    def test_record_digests_stops_at_last_probe(self, workload, golden):
+        """The golden suffix past the final probe is never simulated."""
+        system = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        cycles = probe_cycles(golden.cycles, 6)
+        record_digests(system, cycles)
+        assert system.core.cycle < golden.cycles
+
+
+class TestSnapshotEarlyStop:
+    def test_record_snapshots_stops_after_last_checkpoint(
+        self, workload, golden
+    ):
+        system = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        cycle = golden.cycles // 4
+        snapshots = record_snapshots(system, [cycle])
+        assert len(snapshots) == 1
+        assert system.core.cycle < golden.cycles // 2
+
+    def test_unreachable_cycles_produce_no_snapshot(self, workload, golden):
+        system = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        snapshots = record_snapshots(
+            system, [golden.cycles // 4, golden.cycles * 10]
+        )
+        assert len(snapshots) == 1
+
+    def test_snapshot_equivalence_with_digest(self, workload, warm):
+        """Snapshot-of-restored-state and digest agree on fidelity."""
+        machine, snapshot = warm
+        snapshot.restore(machine)
+        digest = system_digest(machine)
+        SystemSnapshot(machine).restore(machine)
+        assert system_digest(machine) == digest
