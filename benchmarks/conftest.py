@@ -17,6 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import get_context
+from repro.observability.metrics import metrics_payload, write_metrics
 
 
 @pytest.fixture(scope="session")
@@ -29,6 +30,42 @@ def results_dir():
     path = Path("results")
     path.mkdir(exist_ok=True)
     return path
+
+
+@pytest.fixture(autouse=True)
+def bench_metrics(request, results_dir):
+    """Write a ``BENCH_<test>.json`` metrics envelope for every bench.
+
+    Uses the shared machine-readable schema
+    (:mod:`repro.observability.metrics`), so campaign ``--metrics``
+    exports and benchmark artifacts are parsed by the same readers.
+    Timing statistics are included when the test used the
+    ``pytest-benchmark`` fixture; render-only benches still get an
+    envelope recording that they ran.
+    """
+    yield
+    name = request.node.name
+    safe = "".join(
+        ch if (ch.isalnum() or ch in "-_") else "_" for ch in name
+    )
+    values: dict = {}
+    bench = getattr(request.node, "funcargs", {}).get("benchmark")
+    stats = getattr(getattr(bench, "stats", None), "stats", None)
+    if stats is not None:
+        for key in ("min", "max", "mean", "stddev", "median", "rounds"):
+            value = getattr(stats, key, None)
+            if value is not None:
+                values[key] = value
+    extra = getattr(bench, "extra_info", None)
+    if extra:
+        values["extra_info"] = dict(extra)
+    payload = metrics_payload(
+        "benchmark",
+        name,
+        values,
+        context={"file": request.node.fspath.basename},
+    )
+    write_metrics(results_dir / f"BENCH_{safe}.json", payload)
 
 
 @pytest.fixture(scope="session")

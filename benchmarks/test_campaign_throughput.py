@@ -13,7 +13,11 @@ from __future__ import annotations
 import os
 import time
 
-from repro.injection.campaign import record_golden_snapshots, run_golden
+from repro.injection.campaign import (
+    record_golden_observables,
+    record_golden_snapshots,
+    run_golden,
+)
 from repro.injection.components import Component, component_bits
 from repro.injection.fault import generate_faults
 from repro.injection.parallel import MachineImage, run_injection_plan
@@ -75,3 +79,74 @@ def test_campaign_throughput_serial_vs_parallel(benchmark):
             f"parallel campaign speedup {speedup:.2f}x below the 1.8x bar "
             f"on a {cores}-core machine"
         )
+
+
+def _min_seconds(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_lifetime_event_overhead(benchmark):
+    """Fault-lifetime event collection must cost < 15% campaign throughput.
+
+    Runs the same mini-campaign with and without
+    ``MachineImage.lifetime`` (everything else identical, early exit on
+    in both) and bounds the slowdown.  Effects must be byte-identical -
+    events are pure observation.
+    """
+    workload = get_workload("StringSearch")
+    golden = run_golden(workload, SCALED_A9_CONFIG)
+    snapshots, digests, arch_digests = record_golden_observables(
+        workload, SCALED_A9_CONFIG, golden
+    )
+    plan = {
+        component: generate_faults(
+            component,
+            component_bits(SCALED_A9_CONFIG, component),
+            golden.cycles,
+            count=FAULTS_PER_COMPONENT,
+            seed=9,
+        )
+        for component in COMPONENTS
+    }
+    image_off = MachineImage.capture(
+        workload, SCALED_A9_CONFIG, golden, snapshots, digests=digests
+    )
+    image_on = MachineImage.capture(
+        workload,
+        SCALED_A9_CONFIG,
+        golden,
+        snapshots,
+        digests=digests,
+        arch_digests=arch_digests,
+        lifetime=True,
+    )
+
+    effects_on = benchmark.pedantic(
+        lambda: run_injection_plan(image_on, plan, jobs=1),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    on_seconds = benchmark.stats.stats.min
+    effects_off = run_injection_plan(image_off, plan, jobs=1)
+    off_seconds = _min_seconds(
+        lambda: run_injection_plan(image_off, plan, jobs=1), rounds=3
+    )
+
+    overhead = on_seconds / off_seconds - 1.0
+    benchmark.extra_info["baseline_seconds"] = round(off_seconds, 4)
+    benchmark.extra_info["with_events_seconds"] = round(on_seconds, 4)
+    benchmark.extra_info["overhead_percent"] = round(overhead * 100, 2)
+
+    assert effects_on == effects_off, (
+        "fault-lifetime events changed an injection classification"
+    )
+    assert overhead < 0.15, (
+        f"fault-lifetime event overhead {overhead * 100:.1f}% exceeds "
+        f"the 15% budget"
+    )

@@ -46,19 +46,38 @@ def telemetry_table(summary: Mapping) -> str:
         for name in tallies:
             if name not in class_names:
                 class_names.append(name)
-    rows = [
-        [component, *(tallies.get(name, 0) for name in class_names)]
-        for component, tallies in summary["components"].items()
-    ]
-    table = format_table(
-        ["Component", *class_names], rows, title="Campaign telemetry"
-    )
+    quarantined_by = summary.get("quarantined_by_component") or {}
+    headers = ["Component", *class_names]
+    if quarantined_by:
+        headers.append("Quarantined")
+    rows = []
+    for component, tallies in summary["components"].items():
+        row = [component, *(tallies.get(name, 0) for name in class_names)]
+        if quarantined_by:
+            row.append(quarantined_by.get(component, 0))
+        rows.append(row)
+    table = format_table(headers, rows, title="Campaign telemetry")
     rate = summary["injections_per_second"]
+    live = summary.get(
+        "live_completed", summary["completed"] - summary["replayed"]
+    )
+    if live or not summary["completed"]:
+        throughput = (
+            f"throughput : {rate:.2f} inj/s "
+            f"over {summary['elapsed_seconds']:.1f}s"
+        )
+    else:
+        # Every completion came from the journal: a rate of 0.00 inj/s
+        # would misread as a stall, so say what actually happened.
+        throughput = (
+            f"throughput : n/a ({summary['completed']} injection(s) "
+            f"replayed from journal, none run live)"
+        )
     footer = [
         f"injections : {summary['completed']}/{summary['planned']}"
         + (f" ({summary['replayed']} replayed from journal)"
            if summary["replayed"] else ""),
-        f"throughput : {rate:.2f} inj/s over {summary['elapsed_seconds']:.1f}s",
+        throughput,
     ]
     ended = summary.get("ended_by") or {}
     pruned = ended.get("digest", 0) + ended.get("dead-cell", 0)
@@ -80,6 +99,71 @@ def telemetry_table(summary: Mapping) -> str:
             "harness    : " + ", ".join(f"{key} {value}" for key, value in health)
         )
     return table + "\n" + "\n".join(footer)
+
+
+def propagation_table(summary: Mapping) -> str:
+    """Render the fault-propagation section of a telemetry summary.
+
+    Per component: how its Masked injections with fault-lifetime events
+    were masked (overwrite-before-read / never-read / read-but-converged;
+    see :mod:`repro.observability.events`), plus median latencies from
+    flip to first read of a tainted cell and from flip to first
+    architectural divergence.  Returns "" when the summary carries no
+    propagation data (events disabled, or a pre-observability journal).
+    """
+    if hasattr(summary, "summary"):
+        summary = summary.summary()
+    propagation = summary.get("propagation") or {}
+    if not propagation:
+        return ""
+
+    from repro.observability.events import (
+        MECH_NEVER_READ,
+        MECH_OVERWRITE,
+        MECH_READ_CONVERGED,
+    )
+
+    def share(mechanisms: Mapping, key: str, total: int) -> str:
+        count = mechanisms.get(key, 0)
+        if not total:
+            return "-"
+        return f"{count} ({100.0 * count / total:.0f}%)"
+
+    def median(stats: Mapping | None) -> str:
+        if not stats:
+            return "-"
+        return str(stats["median"])
+
+    rows = []
+    for component, entry in propagation.items():
+        mechanisms = entry.get("masked_mechanisms") or {}
+        masked = entry.get("masked_with_events", 0)
+        rows.append(
+            [
+                component,
+                masked,
+                share(mechanisms, MECH_OVERWRITE, masked),
+                share(mechanisms, MECH_NEVER_READ, masked),
+                share(mechanisms, MECH_READ_CONVERGED, masked),
+                median(entry.get("first_read_cycles")),
+                median(entry.get("divergence_cycles")),
+            ]
+        )
+    table = format_table(
+        [
+            "Component",
+            "Masked w/events",
+            "overwrite-before-read",
+            "never-read",
+            "read-but-converged",
+            "med 1st-read cyc",
+            "med diverge cyc",
+        ],
+        rows,
+        title="Fault propagation (masking mechanisms)",
+    )
+    observed = summary.get("events_observed", 0)
+    return table + f"\nevents     : {observed} injection(s) carried lifetime events"
 
 
 def bar_chart(

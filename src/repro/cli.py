@@ -3,13 +3,16 @@
 Commands
 --------
 
-``run <benchmark>``
+``run <benchmark> [--trace N]``
     Boot the machine, run one benchmark, print outcome and counters.
+    ``--trace`` keeps a bounded instruction trace and prints the last N
+    instructions after the run.
 ``list``
     List the 13 benchmarks with their inputs and characteristics.
 ``inject <benchmark> [-n FAULTS] [-j JOBS] [--journal DIR] [--resume]``
     Fault-injection campaign for one benchmark; prints the AVF breakdown,
-    FIT prediction, and a telemetry summary.  ``--jobs`` fans injections
+    FIT prediction, a telemetry summary, and (with fault-lifetime events,
+    on by default) a fault-propagation table.  ``--jobs`` fans injections
     out over worker processes (0 = one per core) with bit-identical
     results.  ``--journal`` records every completed injection in an
     append-only JSONL journal; ``--resume`` replays it so a killed
@@ -18,7 +21,15 @@ Commands
     the provably-sound early Masked terminations (golden-digest
     convergence and dead-cell short-circuits) - the effects are
     bit-identical either way, so the flag exists only for benchmarking
-    and auditing.
+    and auditing.  ``--no-events`` disables fault-lifetime event
+    recording; ``--trace-on-crash N`` attaches the last N instructions to
+    Crash-classified journal records; ``--metrics PATH`` exports the
+    telemetry summary as machine-readable JSON
+    (:mod:`repro.observability.metrics` schema).
+``stats <journal-file-or-dir> [--metrics PATH]``
+    Rebuild campaign telemetry from one journal (or every ``*.jsonl``
+    journal under a directory) and print the telemetry and
+    fault-propagation tables - no simulation, pure replay.
 ``beam <benchmark> [--hours H]``
     Simulated beam campaign for one benchmark; prints FIT rates with
     confidence intervals.
@@ -35,7 +46,7 @@ import sys
 
 from repro.analysis.avf import avf_breakdown
 from repro.analysis.fit_model import injection_fit
-from repro.analysis.report import telemetry_table
+from repro.analysis.report import propagation_table, telemetry_table
 from repro.beam.experiment import BeamCampaignConfig, BeamExperiment
 from repro.experiments import get_context
 from repro.injection.campaign import CampaignConfig, InjectionCampaign
@@ -60,7 +71,15 @@ def _cmd_list(_args) -> int:
 def _cmd_run(args) -> int:
     workload = get_workload(args.benchmark)
     system = System(workload.program(DEFAULT_LAYOUT))
-    result = system.run(max_cycles=200_000_000)
+    tracer = None
+    if args.trace:
+        from repro.microarch.trace import Tracer
+
+        tracer = Tracer(args.trace)
+    result = system.run(
+        max_cycles=200_000_000,
+        trace=tracer.hook if tracer is not None else None,
+    )
     matches = result.output == workload.reference_output()
     print(f"outcome : {result.outcome}")
     print(f"output  : {len(result.output)} bytes, "
@@ -69,6 +88,10 @@ def _cmd_run(args) -> int:
           f"instructions: {result.counters.instructions:,}")
     for name, value in result.counters.paper_counters().items():
         print(f"  {name:15s} {value:>12,}")
+    if tracer is not None:
+        print(f"trace   : last {min(args.trace, len(tracer.records))} "
+              f"instruction(s)")
+        print(tracer.format_tail(args.trace))
     return 0 if matches and result.exited_cleanly else 1
 
 
@@ -88,6 +111,8 @@ def _cmd_inject(args) -> int:
             max_retries=args.retries,
             early_exit=not args.no_early_exit,
             digest_probes=args.digest_probes,
+            lifetime_events=not args.no_events,
+            trace_on_crash=args.trace_on_crash,
         ),
         progress=lambda message: print(f"  .. {message}", file=sys.stderr),
         journal_dir=Path(args.journal) if args.journal else None,
@@ -112,7 +137,70 @@ def _cmd_inject(args) -> int:
     print(f"  predicted FIT: SDC {fits.sdc:.2f}  App {fits.app_crash:.2f}  "
           f"Sys {fits.sys_crash:.2f}  total {fits.total:.2f}")
     if telemetry.completed or telemetry.quarantined:
-        print(telemetry_table(telemetry.summary()))
+        summary = telemetry.summary()
+        print(telemetry_table(summary))
+        propagation = propagation_table(summary)
+        if propagation:
+            print(propagation)
+        if args.metrics:
+            _export_metrics(args.metrics, summary, workload.name)
+    return 0
+
+
+def _export_metrics(path: str, summary: dict, name: str) -> None:
+    from repro.observability.metrics import campaign_metrics, write_metrics
+
+    written = write_metrics(path, campaign_metrics(summary, name))
+    print(f"metrics written to {written}", file=sys.stderr)
+
+
+def _cmd_stats(args) -> int:
+    from pathlib import Path
+
+    from repro.injection.journal import read_journal
+
+    root = Path(args.journal)
+    if root.is_dir():
+        paths = sorted(root.glob("*.jsonl"))
+        if not paths:
+            print(f"error: no *.jsonl journals under {root}", file=sys.stderr)
+            return 2
+    elif root.exists():
+        paths = [root]
+    else:
+        print(f"error: {root} does not exist", file=sys.stderr)
+        return 2
+
+    telemetry = CampaignTelemetry()
+    for path in paths:
+        meta, records, quarantines = read_journal(path)
+        print(f"{path.name}: {meta.workload} on {meta.machine}, "
+              f"{len(records)} injection(s), {len(quarantines)} quarantined")
+        seen_components = {record.component for record in records}
+        seen_components |= {record.component for record in quarantines}
+        for component in sorted(seen_components, key=lambda c: c.name):
+            telemetry.register_plan(component, meta.faults_per_component)
+        for record in records:
+            telemetry.record(
+                record.component,
+                record.effect,
+                record.wall_time,
+                replayed=True,
+                ended_by=record.ended_by,
+                events=record.events,
+            )
+        for record in quarantines:
+            telemetry.record_quarantine(record.component)
+    summary = telemetry.summary()
+    print(telemetry_table(summary))
+    propagation = propagation_table(summary)
+    if propagation:
+        print(propagation)
+    else:
+        print("(no fault-lifetime events in the journal - campaign ran "
+              "with events disabled, or predates them)")
+    if args.metrics:
+        _export_metrics(args.metrics, summary, root.stem or root.name)
     return 0
 
 
@@ -200,6 +288,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one benchmark")
     run.add_argument("benchmark")
+    run.add_argument("--trace", type=int, default=0, metavar="N",
+                     help="keep a bounded instruction trace and print the "
+                     "last N instructions after the run (slower: forces "
+                     "the non-optimized interpreter loop)")
     run.set_defaults(func=_cmd_run)
 
     inject = sub.add_parser("inject", help="fault-injection campaign")
@@ -230,7 +322,30 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="evenly spaced golden-state digest probes "
                         "used for convergence detection (default 24)")
+    inject.add_argument("--no-events", action="store_true",
+                        help="disable fault-lifetime event recording "
+                        "(flip -> read/overwrite/evict -> divergence -> "
+                        "outcome); observation-only, effects identical")
+    inject.add_argument("--trace-on-crash", type=int, default=0,
+                        metavar="N",
+                        help="attach the last N executed instructions to "
+                        "Crash-classified journal records (forces the "
+                        "slow interpreter loop; default off)")
+    inject.add_argument("--metrics", metavar="PATH", default=None,
+                        help="export the telemetry summary as "
+                        "machine-readable JSON (repro-metrics schema)")
     inject.set_defaults(func=_cmd_inject)
+
+    stats = sub.add_parser(
+        "stats",
+        help="rebuild campaign telemetry from an injection journal",
+    )
+    stats.add_argument("journal",
+                       help="journal file, or directory of *.jsonl journals")
+    stats.add_argument("--metrics", metavar="PATH", default=None,
+                       help="export the telemetry summary as "
+                       "machine-readable JSON (repro-metrics schema)")
+    stats.set_defaults(func=_cmd_stats)
 
     beam = sub.add_parser("beam", help="simulated beam campaign")
     beam.add_argument("benchmark")

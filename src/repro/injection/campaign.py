@@ -52,7 +52,7 @@ from repro.injection.sampling import (
     wilson_interval,
 )
 from repro.microarch.config import MachineConfig, SCALED_A9_CONFIG
-from repro.microarch.digest import probe_cycles, system_digest
+from repro.microarch.digest import arch_digest, probe_cycles, system_digest
 from repro.microarch.snapshot import (
     SystemSnapshot,
     best_snapshot,
@@ -76,6 +76,7 @@ __all__ = [
     "run_instrumented_injection",
     "record_golden_snapshots",
     "record_golden_captures",
+    "record_golden_observables",
 ]
 
 
@@ -124,6 +125,17 @@ class CampaignConfig:
     #: one state hash each on runs that never converge.  Also excluded
     #: from the cache key (same reason as ``early_exit``).
     digest_probes: int = 24
+    #: Record per-injection fault-lifetime events (flip -> first read /
+    #: overwrite / eviction -> architectural divergence -> outcome; see
+    #: :mod:`repro.observability`).  Pure observation - the equivalence
+    #: suite pins that it changes no classification - so it is excluded
+    #: from the cache key like ``early_exit``.
+    lifetime_events: bool = True
+    #: When > 0, keep a bounded instruction trace during each injection and
+    #: attach the last N entries to Crash-classified journal records.
+    #: Tracing forces the slow interpreter loop; 0 (the default) disables
+    #: it.  Observation-only, hence also excluded from the cache key.
+    trace_on_crash: int = 0
 
     def cache_key(self, workload_name: str) -> str:
         cluster = f"-c{self.cluster_size}" if self.cluster_size != 1 else ""
@@ -388,11 +400,41 @@ def record_golden_captures(
     in a single run that stops right after the last capture - one golden
     prefix instead of two.
     """
+    snapshots, digests, _ = record_golden_observables(
+        workload,
+        machine,
+        golden,
+        snapshot_count=snapshot_count,
+        digest_count=digest_count,
+    )
+    return snapshots, digests
+
+
+def record_golden_observables(
+    workload: Workload,
+    machine: MachineConfig,
+    golden: RunResult,
+    snapshot_count: int = 8,
+    digest_count: int = 24,
+) -> tuple[list, dict[int, bytes], dict[int, bytes]]:
+    """Capture checkpoints plus full *and* architectural digests at once.
+
+    Returns ``(snapshots, digests, arch_digests)``.  ``digests`` maps
+    probe cycles to full-machine state digests (early Masked termination);
+    ``arch_digests`` maps the *same* probe cycles to architectural-state
+    digests (:func:`~repro.microarch.digest.arch_digest`), which the
+    fault-lifetime layer compares against to timestamp the first
+    architectural divergence of an injected run.  All three grids are
+    recorded through the same event mechanism the injectors use, in a
+    single run that stops right after the last capture - one golden
+    prefix instead of three.
+    """
     system = System(workload.program(machine.layout), config=machine)
     step = max(1, golden.cycles // (snapshot_count + 1))
     snapshot_cycles = [step * (index + 1) for index in range(snapshot_count)]
     snapshots: list[SystemSnapshot] = []
     digests: dict[int, bytes] = {}
+    arch_digests: dict[int, bytes] = {}
 
     def snap() -> None:
         snapshots.append(SystemSnapshot(system))
@@ -400,6 +442,7 @@ def record_golden_captures(
     def make_probe(cycle: int):
         def capture() -> None:
             digests[cycle] = system_digest(system)
+            arch_digests[cycle] = arch_digest(system)
 
         return capture
 
@@ -409,7 +452,7 @@ def record_golden_captures(
         for cycle in probe_cycles(golden.cycles, digest_count)
     ]
     run_with_captures(system, captures)
-    return snapshots, digests
+    return snapshots, digests, arch_digests
 
 
 class InjectionCampaign:
@@ -529,12 +572,19 @@ class InjectionCampaign:
         golden = run_golden(workload, machine)
         snapshots: list | None = None
         digests: dict[int, bytes] = {}
+        arch_digests: dict[int, bytes] = {}
         snapshot_count = (
             self.config.checkpoint_count if self.config.use_checkpoints else 0
         )
-        digest_count = self.config.digest_probes if self.config.early_exit else 0
+        # The probe grid serves both early termination and fault-lifetime
+        # divergence stamping, so either feature keeps it alive.
+        digest_count = (
+            self.config.digest_probes
+            if (self.config.early_exit or self.config.lifetime_events)
+            else 0
+        )
         if snapshot_count or digest_count:
-            snapshots, digests = record_golden_captures(
+            snapshots, digests, arch_digests = record_golden_observables(
                 workload,
                 machine,
                 golden,
@@ -549,6 +599,9 @@ class InjectionCampaign:
             cluster_size=self.config.cluster_size,
             digests=digests,
             early_exit=self.config.early_exit,
+            arch_digests=arch_digests,
+            lifetime=self.config.lifetime_events,
+            trace_on_crash=self.config.trace_on_crash,
         )
         plan = {
             component: generate_faults(

@@ -83,6 +83,12 @@ class InjectionRecord:
     "dead-cell"; see :mod:`repro.injection.parallel`).  It is purely
     observational - the effect is identical either way - so journals
     written before the field existed replay cleanly as "full".
+
+    ``events`` (fault-lifetime ``(kind, cycle, detail)`` tuples; see
+    :mod:`repro.observability.events`) and ``trace`` (instruction tail of
+    a Crash-classified run) are likewise observational and optional: they
+    are serialized only when non-empty, and journals written before the
+    fields existed replay cleanly as empty.
     """
 
     component: Component
@@ -92,9 +98,11 @@ class InjectionRecord:
     effect: FaultEffect
     wall_time: float
     ended_by: str = "full"
+    events: tuple = ()
+    trace: tuple = ()
 
     def to_line(self) -> dict:
-        return {
+        line = {
             "type": "injection",
             "component": self.component.name,
             "index": self.index,
@@ -104,6 +112,11 @@ class InjectionRecord:
             "wall": round(self.wall_time, 6),
             "ended": self.ended_by,
         }
+        if self.events:
+            line["events"] = [list(event) for event in self.events]
+        if self.trace:
+            line["trace"] = list(self.trace)
+        return line
 
     @classmethod
     def from_line(cls, payload: dict) -> "InjectionRecord":
@@ -115,6 +128,11 @@ class InjectionRecord:
             effect=FaultEffect[payload["effect"]],
             wall_time=payload["wall"],
             ended_by=payload.get("ended", "full"),
+            events=tuple(
+                (str(kind), int(cycle), str(detail))
+                for kind, cycle, detail in payload.get("events", ())
+            ),
+            trace=tuple(str(entry) for entry in payload.get("trace", ())),
         )
 
 

@@ -71,7 +71,7 @@ from repro.injection.classify import FaultEffect, classify_run
 from repro.injection.components import Component, component_target
 from repro.injection.fault import Fault
 from repro.microarch.cache import Cache
-from repro.microarch.digest import system_digest
+from repro.microarch.digest import arch_digest, system_digest
 from repro.injection.journal import (
     InjectionJournal,
     InjectionRecord,
@@ -82,6 +82,15 @@ from repro.isa.assembler import Program
 from repro.microarch.config import MachineConfig
 from repro.microarch.snapshot import SystemSnapshot, best_snapshot
 from repro.microarch.system import RunResult, System
+from repro.microarch.trace import Tracer
+from repro.observability.events import (
+    EV_CONVERGE,
+    EV_DIVERGE,
+    EV_FLIP,
+    EV_OUTCOME,
+    FaultLifetime,
+)
+from repro.observability.taint import install_taint
 
 #: Cycle budget for injected runs, relative to the fault-free duration.
 WATCHDOG_FACTOR = 2.5
@@ -127,6 +136,14 @@ class MachineImage:
     digests: dict[int, bytes] = field(default_factory=dict)
     #: Master switch for the provably-sound early-Masked terminations.
     early_exit: bool = True
+    #: Golden *architectural* digests on the same probe grid, used by the
+    #: fault-lifetime layer to stamp the first architectural divergence.
+    arch_digests: dict[int, bytes] = field(default_factory=dict)
+    #: Record per-injection fault-lifetime events (:mod:`repro.observability`).
+    lifetime: bool = False
+    #: When > 0, trace every injected run and attach the last N instructions
+    #: to Crash-classified results.  Forces the slow interpreter loop.
+    trace_on_crash: int = 0
 
     @classmethod
     def capture(
@@ -138,6 +155,9 @@ class MachineImage:
         cluster_size: int = 1,
         digests: Mapping[int, bytes] | None = None,
         early_exit: bool = True,
+        arch_digests: Mapping[int, bytes] | None = None,
+        lifetime: bool = False,
+        trace_on_crash: int = 0,
     ) -> "MachineImage":
         """Bundle a workload's golden run into a shippable image."""
         return cls(
@@ -150,6 +170,9 @@ class MachineImage:
             cluster_size=cluster_size,
             digests=dict(digests or {}),
             early_exit=early_exit,
+            arch_digests=dict(arch_digests or {}),
+            lifetime=lifetime,
+            trace_on_crash=trace_on_crash,
         )
 
 
@@ -183,11 +206,27 @@ class InjectionResult:
     simulated thanks to early termination (0 for full runs).  The effect
     itself is independent of the termination mechanism - that is the
     equivalence guarantee the early-exit test suite enforces.
+
+    With ``image.lifetime``, ``events`` carries the fault-lifetime event
+    payload (``(kind, cycle, detail)`` tuples; see
+    :mod:`repro.observability.events`); with ``image.trace_on_crash``,
+    ``trace`` carries the last instructions of a Crash-classified run.
+    Both default empty, so pickles and journals stay compact.
     """
 
     effect: FaultEffect
     ended_by: str = ENDED_FULL
     cycles_saved: int = 0
+    events: tuple = ()
+    trace: tuple = ()
+
+
+def _finish_lifetime(lifetime: FaultLifetime | None, effect: FaultEffect) -> tuple:
+    """Stamp the terminal outcome and return the event payload."""
+    if lifetime is None:
+        return ()
+    lifetime.event(EV_OUTCOME, effect.name)
+    return lifetime.to_payload()
 
 
 class ImageInjector:
@@ -206,7 +245,13 @@ class ImageInjector:
         self.system = System(image.program, config=image.machine)
         self.pristine = SystemSnapshot(self.system)
         self.budget = watchdog_budget(image.golden_cycles)
-        self._probe_cycles = sorted(image.digests) if image.early_exit else []
+        # The probe grid serves early termination *and* (observation-only)
+        # convergence/divergence stamping for fault-lifetime events.
+        self._probe_cycles = (
+            sorted(image.digests)
+            if (image.early_exit or image.lifetime)
+            else []
+        )
         #: Termination accounting of the most recent :meth:`run_fault` call.
         self.last_result: InjectionResult | None = None
 
@@ -241,6 +286,9 @@ class ImageInjector:
         population = target.data_bits
         cluster = image.cluster_size
         early = image.early_exit
+        lifetime = FaultLifetime(system.core) if image.lifetime else None
+        tracer = Tracer(image.trace_on_crash) if image.trace_on_crash else None
+        uninstall: list = []
 
         def flip():
             if (
@@ -248,30 +296,82 @@ class ImageInjector:
                 and isinstance(target, Cache)
                 and target.cluster_dead(fault.bit_index, cluster)
             ):
+                if lifetime is not None:
+                    lifetime.event(EV_FLIP, fault.component.name)
                 raise EarlyMasked(ENDED_DEAD_CELL)
-            for offset in range(cluster):
-                target.flip_bit((fault.bit_index + offset) % population)
+            bits = [
+                (fault.bit_index + offset) % population
+                for offset in range(cluster)
+            ]
+            for bit in bits:
+                target.flip_bit(bit)
+            if lifetime is not None:
+                lifetime.event(EV_FLIP, fault.component.name)
+                uninstall.append(
+                    install_taint(system, fault.component, bits, lifetime)
+                )
 
         events = [(fault.cycle, flip)]
         for cycle in self._probe_cycles:
             if cycle > fault.cycle:
-                events.append((cycle, self._make_probe(cycle)))
+                events.append((cycle, self._make_probe(cycle, lifetime)))
 
         try:
-            result = system.run(max_cycles=self.budget, events=events)
+            result = system.run(
+                max_cycles=self.budget,
+                events=events,
+                trace=tracer.hook if tracer is not None else None,
+            )
         except EarlyMasked as masked:
             saved = max(0, image.golden_cycles - system.core.cycle)
-            return InjectionResult(FaultEffect.MASKED, masked.mechanism, saved)
+            return InjectionResult(
+                FaultEffect.MASKED,
+                masked.mechanism,
+                saved,
+                events=_finish_lifetime(lifetime, FaultEffect.MASKED),
+            )
+        finally:
+            # Taint probes must not outlive the injection: the next run on
+            # this reused system would otherwise keep emitting events.
+            for detach in uninstall:
+                detach()
         effect = classify_run(result, image.golden_output, system)
-        return InjectionResult(effect, ENDED_FULL, 0)
+        trace_tail: tuple = ()
+        if tracer is not None and effect in (
+            FaultEffect.APP_CRASH,
+            FaultEffect.SYS_CRASH,
+        ):
+            trace_tail = tuple(
+                str(record) for record in tracer.tail(image.trace_on_crash)
+            )
+        return InjectionResult(
+            effect,
+            ENDED_FULL,
+            0,
+            events=_finish_lifetime(lifetime, effect),
+            trace=trace_tail,
+        )
 
-    def _make_probe(self, cycle: int):
-        golden = self.image.digests[cycle]
+    def _make_probe(self, cycle: int, lifetime: FaultLifetime | None = None):
+        image = self.image
+        golden = image.digests[cycle]
+        golden_arch = image.arch_digests.get(cycle)
+        early = image.early_exit
         system = self.system
 
         def probe():
             if system_digest(system) == golden:
-                raise EarlyMasked(ENDED_DIGEST)
+                if lifetime is not None:
+                    lifetime.event(EV_CONVERGE)
+                if early:
+                    raise EarlyMasked(ENDED_DIGEST)
+            elif (
+                lifetime is not None
+                and golden_arch is not None
+                and not lifetime.seen(EV_DIVERGE)
+                and arch_digest(system) != golden_arch
+            ):
+                lifetime.event(EV_DIVERGE)
 
         return probe
 
@@ -669,6 +769,7 @@ def _replay_journal(
                     record.wall_time,
                     replayed=True,
                     ended_by=record.ended_by,
+                    events=record.events,
                 )
         for index, record in journal.quarantined(component).items():
             if index >= len(faults):
@@ -792,6 +893,8 @@ def run_injection_plan(
                     effect=result.effect,
                     wall_time=wall_time,
                     ended_by=result.ended_by,
+                    events=result.events,
+                    trace=result.trace,
                 )
             )
         if telemetry is not None:
@@ -801,6 +904,7 @@ def run_injection_plan(
                 wall_time,
                 ended_by=result.ended_by,
                 cycles_saved=result.cycles_saved,
+                events=result.events,
             )
         done[component] += 1
         if done[component] % 10 == 0 or done[component] == totals[component]:

@@ -19,6 +19,13 @@ from typing import Callable
 
 from repro.injection.classify import FaultEffect
 from repro.injection.components import Component
+from repro.observability.events import (
+    EV_DIVERGE,
+    EV_FLIP,
+    EV_READ,
+    first_event,
+    masking_mechanism,
+)
 
 
 def _format_duration(seconds: float) -> str:
@@ -53,6 +60,20 @@ class CampaignTelemetry:
         self.timeouts = 0
         self.worker_deaths = 0
         self.quarantined = 0
+        #: Per-component quarantine counts (sums to ``quarantined``).
+        self.quarantined_by: dict[Component, int] = {}
+        #: Injections that carried a fault-lifetime event payload.
+        self.events_observed = 0
+        #: Per-component masking-mechanism tallies of Masked injections
+        #: with events (overwrite-before-read / never-read / read-but-
+        #: converged; see :mod:`repro.observability.events`).
+        self.masked_mechanisms: dict[Component, dict[str, int]] = {}
+        #: Per-component cycles from flip to the first read of a tainted
+        #: cell (only injections whose taint was ever read).
+        self.first_read_cycles: dict[Component, list[int]] = {}
+        #: Per-component cycles from flip to the first architectural
+        #: divergence probe (only injections that diverged).
+        self.divergence_cycles: dict[Component, list[int]] = {}
         #: Sum of per-injection wall-clock seconds (live only).
         self.injection_seconds = 0.0
         #: Injections by termination mechanism (live + replayed).
@@ -77,11 +98,19 @@ class CampaignTelemetry:
         replayed: bool = False,
         ended_by: str = "full",
         cycles_saved: int = 0,
+        events=None,
     ) -> None:
-        """Tally one completed injection."""
+        """Tally one completed injection.
+
+        ``events`` is an optional fault-lifetime payload (live results or
+        replayed journal records); it feeds the propagation aggregates.
+        """
         tally = self.class_counts.setdefault(component, {})
         tally[effect] = tally.get(effect, 0) + 1
         self.completed += 1
+        if events:
+            self.events_observed += 1
+            self._aggregate_events(component, effect, events)
         if ended_by == "digest":
             self.ended_digest += 1
         elif ended_by == "dead-cell":
@@ -105,7 +134,27 @@ class CampaignTelemetry:
 
     def record_quarantine(self, component: Component) -> None:
         self.quarantined += 1
+        self.quarantined_by[component] = self.quarantined_by.get(component, 0) + 1
         self.class_counts.setdefault(component, {})
+
+    def _aggregate_events(self, component: Component, effect, events) -> None:
+        flip = first_event(events, EV_FLIP)
+        if flip is None:
+            return
+        if effect is FaultEffect.MASKED:
+            mechanism = masking_mechanism(events)
+            tally = self.masked_mechanisms.setdefault(component, {})
+            tally[mechanism] = tally.get(mechanism, 0) + 1
+        read = first_event(events, EV_READ)
+        if read is not None:
+            self.first_read_cycles.setdefault(component, []).append(
+                read.cycle - flip.cycle
+            )
+        diverge = first_event(events, EV_DIVERGE)
+        if diverge is not None:
+            self.divergence_cycles.setdefault(component, []).append(
+                diverge.cycle - flip.cycle
+            )
 
     # -- derived -------------------------------------------------------------
 
@@ -129,7 +178,14 @@ class CampaignTelemetry:
         return max(0, planned - self.completed - self.quarantined)
 
     def eta_seconds(self) -> float | None:
-        """Estimated seconds to completion (``None`` before any live run)."""
+        """Estimated seconds to completion.
+
+        ``None`` before any live run *while work remains*; a campaign with
+        nothing left (for example fully replayed from a journal) is done,
+        so its ETA is 0 rather than unknown.
+        """
+        if not self.remaining():
+            return 0.0
         rate = self.injections_per_second()
         if rate <= 0:
             return None
@@ -173,11 +229,16 @@ class CampaignTelemetry:
             },
             "planned": sum(self.planned.values()),
             "completed": self.completed,
+            "live_completed": self.live_completed,
             "replayed": self.replayed,
             "retries": self.retries,
             "timeouts": self.timeouts,
             "worker_deaths": self.worker_deaths,
             "quarantined": self.quarantined,
+            "quarantined_by_component": {
+                component.name: count
+                for component, count in self.quarantined_by.items()
+            },
             "elapsed_seconds": self.elapsed,
             "injections_per_second": self.injections_per_second(),
             "ended_by": {
@@ -186,4 +247,36 @@ class CampaignTelemetry:
                 "dead-cell": self.ended_dead_cell,
             },
             "cycles_saved": self.cycles_saved,
+            "events_observed": self.events_observed,
+            "propagation": self._propagation_summary(),
         }
+
+    def _propagation_summary(self) -> dict:
+        """Per-component masking-mechanism and latency aggregates."""
+
+        def stats(values: list[int] | None) -> dict | None:
+            if not values:
+                return None
+            ordered = sorted(values)
+            return {
+                "count": len(ordered),
+                "mean": sum(ordered) / len(ordered),
+                "median": ordered[len(ordered) // 2],
+                "max": ordered[-1],
+            }
+
+        components = (
+            set(self.masked_mechanisms)
+            | set(self.first_read_cycles)
+            | set(self.divergence_cycles)
+        )
+        out = {}
+        for component in sorted(components, key=lambda item: item.name):
+            mechanisms = self.masked_mechanisms.get(component, {})
+            out[component.name] = {
+                "masked_with_events": sum(mechanisms.values()),
+                "masked_mechanisms": dict(mechanisms),
+                "first_read_cycles": stats(self.first_read_cycles.get(component)),
+                "divergence_cycles": stats(self.divergence_cycles.get(component)),
+            }
+        return out

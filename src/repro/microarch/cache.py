@@ -76,6 +76,10 @@ class Cache:
         self._clock = 0
         self.accesses = 0
         self.misses = 0
+        #: Optional taint probe (:mod:`repro.observability.taint`).  Every
+        #: hook site is a single ``is not None`` check, so an unprobed
+        #: cache pays one attribute load per access.
+        self.probe = None
 
     # -- core lookup ---------------------------------------------------------
 
@@ -107,6 +111,9 @@ class Cache:
             if line.stamp < victim.stamp:
                 victim = line
 
+        if self.probe is not None:
+            # Before the victim's payload is written back / replaced.
+            self.probe.on_fill(self, victim, paddr)
         latency = self.hit_latency
         if victim.valid and victim.dirty:
             victim_addr = victim.tag << self._offset_bits
@@ -128,6 +135,8 @@ class Cache:
     def read(self, paddr: int, size: int) -> tuple[bytes, int]:
         """Read ``size`` bytes (must not cross a line boundary)."""
         line, latency = self._access(paddr, for_write=False)
+        if self.probe is not None:
+            self.probe.on_read(self, line, paddr, size)
         offset = paddr & self._offset_mask
         return bytes(line.data[offset : offset + size]), latency
 
@@ -138,6 +147,8 @@ class Cache:
         immediately and the line stays clean.
         """
         line, latency = self._access(paddr, for_write=True)
+        if self.probe is not None:
+            self.probe.on_write(self, line, paddr, len(data))
         offset = paddr & self._offset_mask
         line.data[offset : offset + len(data)] = data
         if self._write_through:
@@ -165,6 +176,8 @@ class Cache:
 
     def flush(self) -> None:
         """Write back every dirty line and invalidate."""
+        if self.probe is not None:
+            self.probe.on_flush(self)
         for ways in self.sets:
             for line in ways:
                 if line.valid and line.dirty:

@@ -709,6 +709,8 @@ class Core:
                 l1d._clock += 1
                 l1d.accesses += 1
                 line.stamp = l1d._clock
+                if l1d.probe is not None:
+                    l1d.probe.on_read(l1d, line, paddr, size)
                 offset = paddr & l1d._offset_mask
                 return (
                     int.from_bytes(line.data[offset : offset + size], "little"),
@@ -741,6 +743,8 @@ class Core:
         dtlb.accesses += 1
         dtlb._clock += 1
         entry.stamp = dtlb._clock
+        if dtlb.probe is not None:
+            dtlb.probe.on_lookup(dtlb, entry)
         return paddr
 
     def store_int(self, vaddr: int, value: int, size: int) -> int:
@@ -778,6 +782,8 @@ class Core:
                 l1d.accesses += 1
                 line.stamp = l1d._clock
                 line.dirty = True
+                if l1d.probe is not None:
+                    l1d.probe.on_write(l1d, line, paddr, size)
                 offset = paddr & l1d._offset_mask
                 line.data[offset : offset + size] = data
                 return l1d.hit_latency
@@ -939,7 +945,12 @@ class Core:
         translate = self._translate
         itlb = self.itlb
         itlb_map = itlb._map
+        # Taint probes are installed by the flip event, which fires in the
+        # slow loop of run(); this loop is (re-)entered afterwards, so
+        # binding the probes to locals here always sees the current ones.
+        itlb_probe = itlb.probe
         l1i = self.l1i
+        l1i_probe = l1i.probe
         l1i_read = l1i.read
         l1i_sets = l1i.sets
         offset_bits = l1i._offset_bits
@@ -1008,6 +1019,8 @@ class Core:
                                 itlb.accesses += 1
                                 itlb._clock += 1
                                 tlb_entry.stamp = itlb._clock
+                                if itlb_probe is not None:
+                                    itlb_probe.on_lookup(itlb, tlb_entry)
                                 paddr = candidate
                                 tlb_latency = 0
                     if paddr < 0:
@@ -1020,6 +1033,8 @@ class Core:
                             l1i._clock += 1
                             l1i.accesses += 1
                             line.stamp = l1i._clock
+                            if l1i_probe is not None:
+                                l1i_probe.on_read(l1i, line, paddr, 4)
                             offset = paddr & offset_mask
                             word = int_from_bytes(
                                 line.data[offset : offset + 4], "little"

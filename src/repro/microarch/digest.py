@@ -36,6 +36,7 @@ from __future__ import annotations
 import struct
 from hashlib import blake2b
 
+from repro.microarch.regfile import ARCH_REGS
 from repro.microarch.snapshot import _CORE_FIELDS, run_with_captures
 
 #: Digest width in bytes.  16 bytes = 128 bits keeps per-probe storage and
@@ -100,6 +101,46 @@ def system_digest(system) -> bytes:
             f"<{len(_CORE_FIELDS) + 2}q",
             rf._int_history,
             rf._fp_history,
+            *(int(getattr(core, field)) for field in _CORE_FIELDS),
+        )
+    )
+    h.update(struct.pack("<16q", *core.csr))
+    devices = system._devices
+    h.update(devices.output)
+    h.update(
+        struct.pack(
+            "<qB",
+            devices.alive_count,
+            devices.sdc_flag | (devices.check_done << 1),
+        )
+    )
+    return h.digest()
+
+
+def arch_digest(system) -> bytes:
+    """Digest only the *architecturally visible* state of ``system``.
+
+    Covers the 16 architectural integer and floating-point registers, the
+    core's program counter and counters, CSRs, and the device block - but
+    none of the microarchitectural state (caches, TLBs, rename slots).  The
+    observability layer compares this against the golden run's value on the
+    same probe grid to timestamp the first *architectural divergence* of an
+    injected run: the first probe where the fault has escaped the
+    microarchitecture and perturbed the architectural trajectory.
+
+    The trajectory deliberately includes timing (``cycle`` is one of the
+    core fields): a fault that changes instruction latencies without
+    corrupting a register still diverges the machine's observable history,
+    and the convergence machinery treats it the same way.
+    """
+    h = blake2b(digest_size=DIGEST_SIZE)
+    rf = system.rf
+    h.update(struct.pack(f"<{ARCH_REGS}I", *rf.int_regs[:ARCH_REGS]))
+    h.update(struct.pack(f"<{ARCH_REGS}d", *rf.fp_regs[:ARCH_REGS]))
+    core = system.core
+    h.update(
+        struct.pack(
+            f"<{len(_CORE_FIELDS)}q",
             *(int(getattr(core, field)) for field in _CORE_FIELDS),
         )
     )

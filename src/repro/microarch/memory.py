@@ -18,6 +18,8 @@ class MainMemory:
         self.size = size
         self.latency = latency
         self.data = bytearray(size)
+        #: Optional taint probe (:mod:`repro.observability.taint`).
+        self.probe = None
 
     # -- hierarchy interface (line granularity, used by caches) -------------
 
@@ -26,6 +28,8 @@ class MainMemory:
             raise SegmentationFault(
                 f"physical read outside memory: {paddr:#010x}", pc=0
             )
+        if self.probe is not None:
+            self.probe.on_read_block(self, paddr, size)
         return bytes(self.data[paddr : paddr + size]), self.latency
 
     def write_block(self, paddr: int, data: bytes) -> int:
@@ -33,6 +37,8 @@ class MainMemory:
             raise SegmentationFault(
                 f"physical write outside memory: {paddr:#010x}", pc=0
             )
+        if self.probe is not None:
+            self.probe.on_write_block(self, paddr, len(data))
         self.data[paddr : paddr + len(data)] = data
         return self.latency
 

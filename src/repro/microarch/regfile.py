@@ -70,6 +70,24 @@ class PhysRegFile:
             if self._fp_history >= self.n_fp:
                 self._fp_history = ARCH_REGS
 
+    # -- observability seam ---------------------------------------------------
+
+    def wrap_regs(self, wrap) -> None:
+        """Replace the register lists with (probing) list subclasses.
+
+        ``wrap(kind, values)`` is called with ``("int", int_regs)`` and
+        ``("fp", fp_regs)`` and must return list-compatible replacements.
+        Values are preserved; only the container type changes, so digests,
+        snapshots, and handlers are unaffected.
+        """
+        self.int_regs = wrap("int", self.int_regs)
+        self.fp_regs = wrap("fp", self.fp_regs)
+
+    def unwrap_regs(self) -> None:
+        """Restore plain lists (drops any wrapper installed above)."""
+        self.int_regs = list(self.int_regs)
+        self.fp_regs = list(self.fp_regs)
+
     # -- fault injection interface -------------------------------------------
 
     @property

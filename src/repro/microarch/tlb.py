@@ -71,6 +71,8 @@ class TLB:
         self.version = 0
         self.accesses = 0
         self.misses = 0
+        #: Optional taint probe (:mod:`repro.observability.taint`).
+        self.probe = None
 
     def lookup(self, vpn: int) -> TLBEntry | None:
         """Return the valid entry for ``vpn``, or None on a miss."""
@@ -81,6 +83,8 @@ class TLB:
             return None
         self._clock += 1
         entry.stamp = self._clock
+        if self.probe is not None:
+            self.probe.on_lookup(self, entry)
         return entry
 
     def fill(self, vpn: int, ppn: int, perms: int) -> TLBEntry:
@@ -100,6 +104,9 @@ class TLB:
                     victim = entry
         if victim.valid:
             self._map.pop(victim.vpn, None)
+        if self.probe is not None:
+            # Before the victim's fields are overwritten by the new entry.
+            self.probe.on_fill(self, victim)
         self._clock += 1
         victim.vpn = vpn
         victim.ppn = ppn
@@ -111,6 +118,8 @@ class TLB:
         return victim
 
     def flush(self) -> None:
+        if self.probe is not None:
+            self.probe.on_flush(self)
         for entry in self.entries:
             entry.valid = False
         self._map.clear()

@@ -1,0 +1,75 @@
+"""Machine-readable metrics artifacts shared by campaigns and benchmarks.
+
+One tiny JSON envelope (``repro-metrics/1``) wraps every metrics artifact
+this repo emits - ``metrics.json`` from an injection campaign, the
+``BENCH_<name>.json`` files the benchmark suite drops in ``results/`` -
+so runs become diffable, greppable artifacts with a uniform shape:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-metrics/1",
+      "kind": "campaign",
+      "name": "StringSearch",
+      "values": { ... },
+      "context": { ... }
+    }
+
+``values`` carries the numbers (for a campaign: the full telemetry
+summary, including the per-component masking-mechanism propagation
+stats); ``context`` carries identifying metadata (machine, seed, ...).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+METRICS_SCHEMA = "repro-metrics/1"
+
+
+def metrics_payload(
+    kind: str,
+    name: str,
+    values: dict,
+    context: dict | None = None,
+) -> dict:
+    """Build one schema-stamped metrics envelope."""
+    return {
+        "schema": METRICS_SCHEMA,
+        "kind": kind,
+        "name": name,
+        "values": values,
+        "context": dict(context or {}),
+    }
+
+
+def write_metrics(path, payload: dict) -> Path:
+    """Write a metrics envelope to ``path`` (pretty, trailing newline)."""
+    if payload.get("schema") != METRICS_SCHEMA:
+        raise ValueError(
+            f"refusing to write metrics without schema {METRICS_SCHEMA!r} "
+            f"(got {payload.get('schema')!r})"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_metrics(path) -> dict:
+    """Read and validate a metrics envelope."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != METRICS_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {METRICS_SCHEMA} artifact "
+            f"(schema {payload.get('schema')!r})"
+        )
+    return payload
+
+
+def campaign_metrics(
+    summary: dict, name: str, context: dict | None = None
+) -> dict:
+    """Wrap a :meth:`CampaignTelemetry.summary` dict as a metrics envelope."""
+    return metrics_payload("campaign", name, dict(summary), context)

@@ -85,6 +85,66 @@ class TestAppendAndReplay:
         assert records == []
 
 
+class TestLifetimeEvents:
+    EVENTS = (
+        ("flip", 1000, "L1D"),
+        ("write-over", 1400, "l1d"),
+        ("outcome", 5000, "MASKED"),
+    )
+    TRACE = ("1234: 0x00010000 add r1, r2, r3", "1235: 0x00010004 syscall")
+
+    def test_record_round_trips_events_and_trace(self):
+        record = InjectionRecord(
+            component=Component.L1D,
+            index=2,
+            bit_index=40,
+            cycle=1000,
+            effect=FaultEffect.MASKED,
+            wall_time=0.25,
+            events=self.EVENTS,
+            trace=self.TRACE,
+        )
+        clone = InjectionRecord.from_line(record.to_line())
+        assert clone == record
+        assert clone.events == self.EVENTS
+        assert clone.trace == self.TRACE
+
+    def test_eventless_record_emits_no_extra_keys(self):
+        """Campaigns with events off write the same lines as before."""
+        line = make_record(0).to_line()
+        assert "events" not in line
+        assert "trace" not in line
+
+    def test_legacy_lines_default_to_empty(self):
+        """Journals written before the observability layer replay cleanly."""
+        record = make_record(3)
+        line = record.to_line()
+        line.pop("events", None)
+        line.pop("trace", None)
+        replayed = InjectionRecord.from_line(line)
+        assert replayed.events == ()
+        assert replayed.trace == ()
+        assert replayed == record
+
+    def test_events_survive_the_file_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        record = InjectionRecord(
+            component=Component.REGFILE,
+            index=0,
+            bit_index=17,
+            cycle=1000,
+            effect=FaultEffect.MASKED,
+            wall_time=0.25,
+            events=self.EVENTS,
+        )
+        with InjectionJournal.create(path, META) as journal:
+            journal.record(record)
+            journal.record(make_record(1))  # eventless in the same file
+        _meta, records, _q = read_journal(path)
+        assert records[0].events == self.EVENTS
+        assert records[1].events == ()
+
+
 class TestResume:
     def test_resume_replays_records(self, tmp_path):
         path = tmp_path / "j.jsonl"

@@ -4,10 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.report import telemetry_table
+from repro.analysis.report import propagation_table, telemetry_table
 from repro.injection.classify import FaultEffect
 from repro.injection.components import Component
 from repro.injection.telemetry import CampaignTelemetry
+from repro.observability.events import (
+    MECH_OVERWRITE,
+    MECH_READ_CONVERGED,
+)
 
 
 class FakeClock:
@@ -64,6 +68,14 @@ class TestThroughputAndEta:
     def test_eta_is_none_before_any_live_completion(self, telemetry):
         telemetry.register_plan(Component.L1D, 10)
         assert telemetry.eta_seconds() is None
+
+    def test_eta_is_zero_when_fully_replayed(self, telemetry):
+        """A journal-only resume has nothing left: ETA 0, not unknown."""
+        telemetry.register_plan(Component.L1D, 2)
+        telemetry.record(Component.L1D, FaultEffect.MASKED, replayed=True)
+        telemetry.record(Component.L1D, FaultEffect.SDC, replayed=True)
+        assert telemetry.remaining() == 0
+        assert telemetry.eta_seconds() == 0.0
 
     def test_quarantined_reduce_remaining(self, telemetry, clock):
         telemetry.register_plan(Component.L1D, 10)
@@ -124,3 +136,101 @@ class TestSummaryRendering:
         assert "retries 1" in text and "quarantined 1" in text
         # The object itself is accepted too.
         assert telemetry_table(telemetry) == text
+
+    def test_replay_only_throughput_is_explained_not_zero(self, telemetry, clock):
+        """All completions from the journal: 0.00 inj/s would misread as a
+        stall, so the table says what happened instead."""
+        telemetry.register_plan(Component.L1D, 2)
+        clock.now += 3.0
+        telemetry.record(Component.L1D, FaultEffect.MASKED, replayed=True)
+        telemetry.record(Component.L1D, FaultEffect.SDC, replayed=True)
+        text = telemetry_table(telemetry.summary())
+        assert "n/a" in text
+        assert "replayed from journal, none run live" in text
+        assert "0.00 inj/s" not in text
+
+    def test_quarantines_break_down_per_component(self, telemetry):
+        telemetry.register_plan(Component.L1D, 4)
+        telemetry.register_plan(Component.DTLB, 4)
+        telemetry.record_quarantine(Component.L1D)
+        telemetry.record_quarantine(Component.L1D)
+        telemetry.record_quarantine(Component.DTLB)
+        summary = telemetry.summary()
+        assert summary["quarantined"] == 3
+        assert summary["quarantined_by_component"] == {"L1D": 2, "DTLB": 1}
+        text = telemetry_table(summary)
+        assert "Quarantined" in text
+
+
+class TestEventAggregation:
+    def test_masked_mechanisms_and_latencies(self, telemetry):
+        telemetry.register_plan(Component.L1D, 3)
+        telemetry.record(
+            Component.L1D,
+            FaultEffect.MASKED,
+            events=[
+                ("flip", 100, "L1D"),
+                ("write-over", 150, "l1d"),
+                ("outcome", 5000, "MASKED"),
+            ],
+        )
+        telemetry.record(
+            Component.L1D,
+            FaultEffect.MASKED,
+            events=[
+                ("flip", 200, "L1D"),
+                ("read", 230, "l1d"),
+                ("converge", 900, ""),
+                ("outcome", 5000, "MASKED"),
+            ],
+        )
+        telemetry.record(
+            Component.L1D,
+            FaultEffect.SDC,
+            events=[
+                ("flip", 300, "L1D"),
+                ("read", 340, "l1d"),
+                ("diverge", 700, ""),
+                ("outcome", 6000, "SDC"),
+            ],
+        )
+        assert telemetry.events_observed == 3
+        assert telemetry.masked_mechanisms[Component.L1D] == {
+            MECH_OVERWRITE: 1,
+            MECH_READ_CONVERGED: 1,
+        }
+        assert telemetry.first_read_cycles[Component.L1D] == [30, 40]
+        assert telemetry.divergence_cycles[Component.L1D] == [400]
+        entry = telemetry.summary()["propagation"]["L1D"]
+        assert entry["masked_with_events"] == 2
+        assert entry["masked_mechanisms"] == {
+            MECH_OVERWRITE: 1,
+            MECH_READ_CONVERGED: 1,
+        }
+        assert entry["first_read_cycles"]["median"] == 40
+        assert entry["first_read_cycles"]["count"] == 2
+        assert entry["divergence_cycles"]["max"] == 400
+
+    def test_propagation_table_renders_shares_and_medians(self, telemetry):
+        telemetry.record(
+            Component.REGFILE,
+            FaultEffect.MASKED,
+            events=[
+                ("flip", 10, "REGFILE"),
+                ("write-over", 25, "regfile"),
+                ("outcome", 90, "MASKED"),
+            ],
+        )
+        text = propagation_table(telemetry.summary())
+        assert "Fault propagation" in text
+        assert "REGFILE" in text
+        assert "1 (100%)" in text  # overwrite-before-read share
+        assert "1 injection(s) carried lifetime events" in text
+
+    def test_no_events_means_no_propagation_section(self, telemetry):
+        telemetry.register_plan(Component.L1D, 1)
+        telemetry.record(Component.L1D, FaultEffect.MASKED)
+        summary = telemetry.summary()
+        assert summary["events_observed"] == 0
+        assert summary["propagation"] == {}
+        assert propagation_table(summary) == ""

@@ -1,0 +1,66 @@
+"""Metrics envelopes: schema stamping, round-trips, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability.metrics import (
+    METRICS_SCHEMA,
+    campaign_metrics,
+    metrics_payload,
+    read_metrics,
+    write_metrics,
+)
+
+
+class TestEnvelope:
+    def test_payload_shape(self):
+        payload = metrics_payload(
+            "benchmark", "test_x", {"min": 0.5}, context={"file": "t.py"}
+        )
+        assert payload == {
+            "schema": METRICS_SCHEMA,
+            "kind": "benchmark",
+            "name": "test_x",
+            "values": {"min": 0.5},
+            "context": {"file": "t.py"},
+        }
+
+    def test_context_defaults_to_empty_dict(self):
+        assert metrics_payload("campaign", "X", {})["context"] == {}
+
+    def test_campaign_metrics_wraps_summary(self):
+        summary = {"completed": 12, "propagation": {}}
+        payload = campaign_metrics(summary, "StringSearch", {"seed": 7})
+        assert payload["kind"] == "campaign"
+        assert payload["name"] == "StringSearch"
+        assert payload["values"] == summary
+        assert payload["context"] == {"seed": 7}
+
+
+class TestReadWrite:
+    def test_round_trip(self, tmp_path):
+        payload = metrics_payload("campaign", "Qsort", {"completed": 3})
+        path = write_metrics(tmp_path / "out" / "metrics.json", payload)
+        assert path.exists()  # parent directories are created
+        assert read_metrics(path) == payload
+
+    def test_written_file_is_pretty_json(self, tmp_path):
+        path = write_metrics(
+            tmp_path / "m.json", metrics_payload("benchmark", "b", {})
+        )
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)["schema"] == METRICS_SCHEMA
+
+    def test_write_rejects_unstamped_payload(self, tmp_path):
+        with pytest.raises(ValueError, match="schema"):
+            write_metrics(tmp_path / "m.json", {"kind": "campaign"})
+
+    def test_read_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"schema": "other/9", "values": {}}\n')
+        with pytest.raises(ValueError, match="repro-metrics"):
+            read_metrics(path)

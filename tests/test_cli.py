@@ -60,6 +60,95 @@ class TestCommands:
         assert "Figure 10" in out
 
 
+class TestObservabilityFlags:
+    def test_parser_accepts_observability_flags(self):
+        args = build_parser().parse_args([
+            "inject", "CRC32", "--no-events", "--trace-on-crash", "5",
+            "--metrics", "m.json",
+        ])
+        assert args.no_events is True
+        assert args.trace_on_crash == 5
+        assert args.metrics == "m.json"
+
+    def test_parser_accepts_run_trace_and_stats(self):
+        args = build_parser().parse_args(["run", "CRC32", "--trace", "8"])
+        assert args.trace == 8
+        args = build_parser().parse_args(
+            ["stats", "runs", "--metrics", "s.json"]
+        )
+        assert args.journal == "runs"
+        assert args.metrics == "s.json"
+
+    def test_run_with_trace_prints_instruction_tail(self, capsys):
+        assert main(["run", "StringSearch", "--trace", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "trace   : last 3 instruction(s)" in out
+
+    def test_stats_rejects_missing_or_empty_journal(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert main(["stats", str(tmp_path)]) == 2
+        assert "no *.jsonl" in capsys.readouterr().err
+
+    def test_stats_rebuilds_propagation_from_journal(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Acceptance flow: journaled campaign -> `stats` replays it and
+        the propagation table matches the journal's raw events."""
+        from repro.injection.classify import FaultEffect
+        from repro.injection.journal import read_journal
+        from repro.observability.events import masking_mechanism
+        from repro.observability.metrics import read_metrics
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        journal_dir = tmp_path / "journal"
+        assert main([
+            "inject", "StringSearch", "-n", "2", "--journal", str(journal_dir),
+        ]) == 0
+        capsys.readouterr()
+
+        metrics_path = tmp_path / "stats.json"
+        assert main([
+            "stats", str(journal_dir), "--metrics", str(metrics_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign telemetry" in out
+        assert "replayed from journal" in out
+
+        summary = read_metrics(metrics_path)["values"]
+        assert summary["completed"] == 12  # 2 faults x 6 components
+        assert summary["live_completed"] == 0
+        assert summary["events_observed"] == 12
+
+        # The propagation aggregates must equal a recomputation from the
+        # journal's raw per-injection events.
+        _meta, records, _q = read_journal(next(journal_dir.glob("*.jsonl")))
+        expected: dict = {}
+        for record in records:
+            assert record.events, "lifetime events are on by default"
+            if record.effect is FaultEffect.MASKED:
+                tally = expected.setdefault(record.component.name, {})
+                mechanism = masking_mechanism(record.events)
+                tally[mechanism] = tally.get(mechanism, 0) + 1
+        got = {
+            name: entry["masked_mechanisms"]
+            for name, entry in summary["propagation"].items()
+            if entry["masked_mechanisms"]
+        }
+        assert got == expected
+        if expected:
+            assert "Fault propagation" in out
+
+    def test_inject_without_events_prints_no_propagation(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["inject", "StringSearch", "-n", "1", "--no-events"]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign telemetry" in out
+        assert "Fault propagation" not in out
+
+
 class TestInjectResilienceFlags:
     def test_parser_accepts_journal_flags(self):
         args = build_parser().parse_args([
