@@ -1,0 +1,172 @@
+"""Adaptive-sampling benchmark: same precision, fewer injections.
+
+The fixed campaign buys one precision level with one sample size for
+every component; the adaptive engine (:mod:`repro.injection.adaptive`)
+buys the *same* precision per component with the smallest sample the
+stopping rule can certify.  This bench runs both on the same seed:
+
+1. a fixed campaign (``FAULTS_PER_COMPONENT`` faults each);
+2. an adaptive campaign whose target margin is the *worst* precision the
+   fixed campaign achieved across all components and criteria - i.e. the
+   guarantee the fixed campaign actually delivers;
+
+and requires every adaptive stratum to converge (no caps) while spending
+at least 25% fewer injections than the fixed sample on two or more
+components.  A second test pins the determinism contract at benchmark
+scale: identical reported results across jobs in {1, 4} and two batch
+sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.injection.adaptive import AdaptiveCampaign, stratum_widths
+from repro.injection.campaign import CampaignConfig, InjectionCampaign
+from repro.injection.components import Component
+from repro.workloads import get_workload
+
+WORKLOAD = "CRC32"
+COMPONENTS = (Component.L1D, Component.L2, Component.REGFILE, Component.ITLB)
+FAULTS_PER_COMPONENT = 100
+SEED = 9
+JOBS = 4
+SAVINGS_BAR = 0.25
+MIN_SAVING_COMPONENTS = 2
+
+
+def _fixed_worst_width(result, confidence: float) -> float:
+    """The precision the fixed campaign actually guarantees: its widest
+    tracked rate across every component and criterion."""
+    worst = 0.0
+    for tally in result.components.values():
+        widths = stratum_widths(
+            tally.population_bits, tally.counts, tally.injections, confidence
+        )
+        worst = max(worst, max(widths.values()))
+    return worst
+
+
+def _tallies(result) -> dict:
+    return {
+        component.name: (
+            tally.injections,
+            {
+                effect.name: count
+                for effect, count in sorted(
+                    tally.counts.items(), key=lambda item: item[0].name
+                )
+            },
+        )
+        for component, tally in result.components.items()
+    }
+
+
+@pytest.mark.slow
+def test_adaptive_savings(tmp_path, benchmark):
+    """Adaptive reaches the fixed campaign's margins with >= 25% fewer
+    injections on >= 2 components."""
+    workload = get_workload(WORKLOAD)
+    fixed = InjectionCampaign(
+        CampaignConfig(
+            faults_per_component=FAULTS_PER_COMPONENT, seed=SEED, jobs=JOBS
+        ),
+        cache_dir=tmp_path / "fixed",
+    )
+    fixed_result = fixed.run_workload(workload, components=COMPONENTS)
+    target = _fixed_worst_width(fixed_result, fixed.config.confidence)
+
+    adaptive = AdaptiveCampaign(
+        CampaignConfig(
+            target_margin=target,
+            seed=SEED,
+            jobs=JOBS,
+            batch_size=10,
+            min_faults=10,
+            max_faults=FAULTS_PER_COMPONENT,
+        ),
+        cache_dir=tmp_path / "adaptive",
+    )
+    adaptive_result = benchmark.pedantic(
+        lambda: adaptive.run_workload(
+            workload, components=COMPONENTS, use_cache=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    diagnostics = adaptive.diagnostics[WORKLOAD]
+
+    fixed_total = FAULTS_PER_COMPONENT * len(COMPONENTS)
+    executed_total = diagnostics.total_executed
+    savings = {
+        component: 1.0
+        - diagnostics.strata[component].executed / FAULTS_PER_COMPONENT
+        for component in COMPONENTS
+    }
+    benchmark.extra_info["target_margin"] = round(target, 4)
+    benchmark.extra_info["fixed_injections"] = fixed_total
+    benchmark.extra_info["adaptive_injections"] = executed_total
+    benchmark.extra_info["savings_by_component"] = {
+        component.name: round(saving, 3)
+        for component, saving in savings.items()
+    }
+
+    # Every stratum must genuinely reach the fixed campaign's precision -
+    # the cap equals the fixed sample size, so convergence is achievable
+    # by construction, and a capped stratum would mean the engine failed.
+    for component in COMPONENTS:
+        status = diagnostics.strata[component]
+        assert status.satisfied, (
+            f"{component.name} did not converge to +/-{target:.4f} "
+            f"within the fixed sample size"
+        )
+        assert max(status.widths.values()) <= target
+        # The adaptive tallies are a prefix of the fixed campaign's: same
+        # seed, same stream, just cut earlier.
+        adaptive_n = adaptive_result.components[component].injections
+        assert adaptive_n <= fixed_result.components[component].injections
+
+    saved_enough = [
+        component
+        for component, saving in savings.items()
+        if saving >= SAVINGS_BAR
+    ]
+    assert len(saved_enough) >= MIN_SAVING_COMPONENTS, (
+        f"adaptive saved >= {SAVINGS_BAR:.0%} on only "
+        f"{len(saved_enough)} component(s): "
+        + ", ".join(
+            f"{component.name}={saving:.0%}"
+            for component, saving in savings.items()
+        )
+    )
+    assert executed_total < fixed_total
+
+
+@pytest.mark.slow
+def test_adaptive_equivalence_across_jobs_and_batches(tmp_path):
+    """Reported adaptive results are bit-identical for jobs in {1, 4} and
+    two batch sizes (the determinism contract at benchmark scale)."""
+    workload = get_workload(WORKLOAD)
+    components = (Component.L1D, Component.L2)
+    reference = None
+    for jobs, batch in ((1, 20), (4, 20), (1, 13), (4, 27)):
+        campaign = AdaptiveCampaign(
+            CampaignConfig(
+                target_margin=0.12,
+                seed=SEED,
+                jobs=jobs,
+                batch_size=batch,
+                min_faults=10,
+                max_faults=40,
+            ),
+            cache_dir=tmp_path / f"cache-{jobs}-{batch}",
+        )
+        result = campaign.run_workload(workload, components=components)
+        tallies = _tallies(result)
+        if reference is None:
+            reference = tallies
+        else:
+            assert tallies == reference, (
+                f"adaptive result changed under jobs={jobs} "
+                f"batch_size={batch}"
+            )

@@ -50,12 +50,14 @@ class ComparisonRow:
 
     @property
     def ratio(self) -> float:
+        """Signed beam/injection FIT ratio (positive = beam higher)."""
         return signed_ratio(
             self.beam_fit, self.injection_fit, self.beam_floor, self.injection_floor
         )
 
     @property
     def beam_higher(self) -> bool:
+        """True when the beam measured a higher rate than injection."""
         return self.ratio >= 0
 
     @property
@@ -116,6 +118,7 @@ class OverviewBar:
 
     @property
     def ratio(self) -> float:
+        """Signed ratio of the mean FIT rates behind this bar."""
         return signed_ratio(self.beam_mean_fit, self.injection_mean_fit)
 
 

@@ -36,6 +36,7 @@ class InjectionFIT:
     detection_limit: float = 0.0
 
     def fit(self, effect: FaultEffect) -> float:
+        """Predicted FIT rate for one error class."""
         return {
             FaultEffect.SDC: self.sdc,
             FaultEffect.APP_CRASH: self.app_crash,
@@ -44,6 +45,7 @@ class InjectionFIT:
 
     @property
     def total(self) -> float:
+        """Sum of the three error-class FIT rates."""
         return self.sdc + self.app_crash + self.sys_crash
 
 

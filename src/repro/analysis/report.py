@@ -166,6 +166,67 @@ def propagation_table(summary: Mapping) -> str:
     return table + f"\nevents     : {observed} injection(s) carried lifetime events"
 
 
+def adaptive_margins_table(diagnostics: Mapping) -> str:
+    """Render an adaptive campaign's achieved margins, Table-IV style.
+
+    ``diagnostics`` is the plain dict produced by
+    :meth:`repro.injection.adaptive.AdaptiveDiagnostics.to_dict` (or an
+    object exposing ``to_dict()``): per stratum, the AVF with its
+    re-adjusted margin - the same "AVF% +/- margin" presentation the
+    paper's Table IV uses - plus the Wilson half-widths of the SDC,
+    AppCrash and SysCrash rates, the executed/reported injection counts,
+    and whether the stratum converged or hit the ``max_faults`` cap.
+    """
+    if hasattr(diagnostics, "to_dict"):
+        diagnostics = diagnostics.to_dict()
+    target = diagnostics["target_margin"]
+    rows = []
+    for name, status in diagnostics["strata"].items():
+        widths = status["widths"]
+
+        def pct(value: float) -> str:
+            return "inf" if math.isinf(value) else f"{100.0 * value:.2f}"
+
+        state = "ok" if status["satisfied"] else (
+            "capped" if status["capped"] else "running"
+        )
+        rows.append(
+            [
+                name,
+                status["reported"],
+                status["executed"],
+                f"{100.0 * status['avf']:.2f} +/-{pct(widths['AVF'])}",
+                f"+/-{pct(widths['SDC'])}",
+                f"+/-{pct(widths['APP_CRASH'])}",
+                f"+/-{pct(widths['SYS_CRASH'])}",
+                state,
+            ]
+        )
+    table = format_table(
+        [
+            "Component",
+            "Reported",
+            "Executed",
+            "AVF% (Table IV)",
+            "SDC%",
+            "AppCrash%",
+            "SysCrash%",
+            "Status",
+        ],
+        rows,
+        title=(
+            f"Adaptive campaign: achieved margins "
+            f"(target +/-{100.0 * target:.2f}% at "
+            f"{100.0 * diagnostics['confidence']:.0f}% confidence, "
+            f"{diagnostics['rounds']} round(s))"
+        ),
+    )
+    return table + (
+        f"\ninjections : {diagnostics['total_executed']} executed across "
+        f"{len(diagnostics['strata'])} strata"
+    )
+
+
 def bar_chart(
     items: Iterable[tuple[str, float]],
     width: int = 50,

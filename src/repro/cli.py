@@ -25,7 +25,14 @@ Commands
     recording; ``--trace-on-crash N`` attaches the last N instructions to
     Crash-classified journal records; ``--metrics PATH`` exports the
     telemetry summary as machine-readable JSON
-    (:mod:`repro.observability.metrics` schema).
+    (:mod:`repro.observability.metrics` schema).  ``--target-margin M``
+    switches to the adaptive campaign
+    (:mod:`repro.injection.adaptive`): ``-n`` is ignored and injections
+    run batch by batch (``--batch-size``, between ``--min-faults`` and
+    ``--max-faults`` per stratum, at ``--confidence``) until every
+    component's AVF margin and class-rate Wilson half-widths are within
+    M; an achieved-margins table and the savings against a fixed plan
+    are printed after the breakdown.  Full reference: ``docs/CLI.md``.
 ``stats <journal-file-or-dir> [--metrics PATH]``
     Rebuild campaign telemetry from one journal (or every ``*.jsonl``
     journal under a directory) and print the telemetry and
@@ -46,11 +53,17 @@ import sys
 
 from repro.analysis.avf import avf_breakdown
 from repro.analysis.fit_model import injection_fit
-from repro.analysis.report import propagation_table, telemetry_table
+from repro.analysis.report import (
+    adaptive_margins_table,
+    propagation_table,
+    telemetry_table,
+)
 from repro.beam.experiment import BeamCampaignConfig, BeamExperiment
 from repro.experiments import get_context
+from repro.injection.adaptive import AdaptiveCampaign, fixed_equivalent_faults
 from repro.injection.campaign import CampaignConfig, InjectionCampaign
 from repro.injection.classify import FaultEffect
+from repro.injection.sampling import Z_SCORES
 from repro.injection.telemetry import CampaignTelemetry
 from repro.isa.disassembler import disassemble
 from repro.kernel.layout import DEFAULT_LAYOUT
@@ -103,25 +116,39 @@ def _cmd_inject(args) -> int:
         return 2
     workload = get_workload(args.benchmark)
     telemetry = CampaignTelemetry()
-    campaign = InjectionCampaign(
-        CampaignConfig(
-            faults_per_component=args.faults,
-            jobs=args.jobs,
-            injection_timeout=args.timeout,
-            max_retries=args.retries,
-            early_exit=not args.no_early_exit,
-            digest_probes=args.digest_probes,
-            lifetime_events=not args.no_events,
-            trace_on_crash=args.trace_on_crash,
-        ),
+    config = CampaignConfig(
+        faults_per_component=args.faults,
+        confidence=args.confidence,
+        jobs=args.jobs,
+        injection_timeout=args.timeout,
+        max_retries=args.retries,
+        early_exit=not args.no_early_exit,
+        digest_probes=args.digest_probes,
+        lifetime_events=not args.no_events,
+        trace_on_crash=args.trace_on_crash,
+        target_margin=args.target_margin,
+        batch_size=args.batch_size,
+        min_faults=args.min_faults,
+        max_faults=args.max_faults,
+    )
+    campaign_cls = (
+        AdaptiveCampaign if args.target_margin is not None else InjectionCampaign
+    )
+    campaign = campaign_cls(
+        config,
         progress=lambda message: print(f"  .. {message}", file=sys.stderr),
         journal_dir=Path(args.journal) if args.journal else None,
         resume=args.resume,
         telemetry=telemetry,
     )
     result = campaign.run_workload(workload)
-    print(f"{workload.name}: {args.faults} faults/component "
-          f"({result.golden_cycles:,} golden cycles)")
+    if args.target_margin is not None:
+        print(f"{workload.name}: adaptive to +/-{args.target_margin * 100:g}% "
+              f"at {args.confidence * 100:g}% confidence "
+              f"({result.golden_cycles:,} golden cycles)")
+    else:
+        print(f"{workload.name}: {args.faults} faults/component "
+              f"({result.golden_cycles:,} golden cycles)")
     for cell in avf_breakdown(result):
         margin = result.components[cell.component].margin
         print(
@@ -133,6 +160,21 @@ def _cmd_inject(args) -> int:
     if quarantined:
         print(f"  WARNING: {quarantined} fault(s) quarantined and excluded "
               f"from the tallies (see journal/progress log)")
+    if args.target_margin is not None:
+        diagnostics = campaign.diagnostics.get(workload.name)
+        if diagnostics is not None:
+            print(adaptive_margins_table(diagnostics))
+            fixed = sum(
+                fixed_equivalent_faults(
+                    tally.population_bits, args.target_margin, args.confidence
+                )
+                for tally in result.components.values()
+            )
+            executed = diagnostics.total_executed
+            if fixed and executed < fixed:
+                print(f"  adaptive ran {executed} injections vs {fixed} for "
+                      f"a fixed plan at the same target "
+                      f"({100.0 * (1 - executed / fixed):.0f}% saved)")
     fits = injection_fit(result)
     print(f"  predicted FIT: SDC {fits.sdc:.2f}  App {fits.app_crash:.2f}  "
           f"Sys {fits.sys_crash:.2f}  total {fits.total:.2f}")
@@ -334,6 +376,32 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--metrics", metavar="PATH", default=None,
                         help="export the telemetry summary as "
                         "machine-readable JSON (repro-metrics schema)")
+    inject.add_argument("--target-margin", type=float, default=None,
+                        metavar="M",
+                        help="adaptive mode: ignore -n and inject batch by "
+                        "batch until the AVF margin and every class rate's "
+                        "Wilson half-width are within M (e.g. 0.02) at the "
+                        "configured confidence; results are bit-identical "
+                        "for any --jobs/--batch-size")
+    inject.add_argument("--confidence", type=float, default=0.99,
+                        choices=sorted(Z_SCORES),
+                        help="confidence level for margins and intervals "
+                        "(default 0.99)")
+    inject.add_argument("--batch-size", type=int, default=50,
+                        metavar="N",
+                        help="adaptive mode: injections dispatched per "
+                        "round, split across the strata still needing "
+                        "precision (default 50; execution granularity "
+                        "only, results identical)")
+    inject.add_argument("--min-faults", type=int, default=20,
+                        metavar="N",
+                        help="adaptive mode: floor below which no stratum "
+                        "is reported (default 20)")
+    inject.add_argument("--max-faults", type=int, default=1000,
+                        metavar="N",
+                        help="adaptive mode: safety cap per stratum; a "
+                        "stratum that cannot reach the target stops there "
+                        "and is flagged (default 1000)")
     inject.set_defaults(func=_cmd_inject)
 
     stats = sub.add_parser(

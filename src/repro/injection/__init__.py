@@ -10,9 +10,20 @@ sampling formulation, and every result carries its error margin.
 """
 
 from repro.injection.components import Component, component_bits, component_target
-from repro.injection.fault import Fault, generate_faults
-from repro.injection.sampling import error_margin, sample_size
+from repro.injection.fault import Fault, FaultStream, generate_faults
+from repro.injection.sampling import (
+    error_margin,
+    readjusted_margin,
+    sample_size,
+    wilson_half_width,
+    wilson_interval,
+)
 from repro.injection.classify import FaultEffect, classify_run
+from repro.injection.adaptive import (
+    AdaptiveCampaign,
+    AdaptiveDiagnostics,
+    StratumProgress,
+)
 from repro.injection.campaign import (
     CampaignConfig,
     ComponentResult,
@@ -39,11 +50,18 @@ __all__ = [
     "component_bits",
     "component_target",
     "Fault",
+    "FaultStream",
     "generate_faults",
     "error_margin",
+    "readjusted_margin",
     "sample_size",
+    "wilson_half_width",
+    "wilson_interval",
     "FaultEffect",
     "classify_run",
+    "AdaptiveCampaign",
+    "AdaptiveDiagnostics",
+    "StratumProgress",
     "CampaignConfig",
     "ComponentResult",
     "InjectionCampaign",

@@ -1,0 +1,682 @@
+"""Adaptive precision-targeted campaigns: inject until the margins are met.
+
+The paper sizes every campaign statically - 1,000 faults per component per
+benchmark - and then *reports* the error margins that sample happened to
+achieve (Table IV).  This module inverts that: you state the precision you
+want, and the engine runs injections in batches until every tracked rate
+of every component is known to that precision, then stops.  Highly masked
+components (an L2 whose AVF is a few percent) satisfy a Table-IV-grade
+margin after a fraction of the fixed sample, which is where the savings
+come from; components near AVF 50% keep injecting up to the safety cap.
+
+Stopping rule (per stratum, i.e. per (workload, component)):
+
+- the AVF's re-adjusted Leveugle margin
+  (:func:`~repro.injection.sampling.readjusted_margin`, exactly the
+  Table IV procedure) must be <= ``target_margin``, and
+- the Wilson half-width
+  (:func:`~repro.injection.sampling.wilson_half_width`) of each error
+  class's rate - SDC, AppCrash, SysCrash - must be <= ``target_margin``,
+
+all at ``CampaignConfig.confidence``, with at least
+``CampaignConfig.min_faults`` injections, giving up (flagged, not looped
+forever) at ``CampaignConfig.max_faults``.
+
+Determinism guarantee: the reported result is a pure function of the
+campaign seed and the stopping-rule knobs - independent of ``jobs``,
+``batch_size``, and any interrupt/resume split.  Three mechanisms combine
+to make that true:
+
+1. every stratum draws its faults from the same per-stratum PRNG stream
+   the fixed planner uses (:class:`~repro.injection.fault.FaultStream`;
+   batch *k* is a window of that stream, not a fresh sample);
+2. every injection's effect is a pure function of (image, fault), as in
+   the fixed campaign;
+3. the reported tally of a stratum is the *shortest prefix* of its effect
+   stream that satisfies the stopping rule.  Batches only decide how much
+   of the stream gets executed; because satisfaction is re-checked
+   injection by injection as results arrive (in fault order), the prefix
+   cut is the same wherever the batch boundaries fall.  Overshoot
+   injections - executed because a batch ran past the cut - stay in the
+   journal but are excluded from the tallies.
+
+Batches are streamed through
+:func:`~repro.injection.parallel.run_injection_plan` with windowed index
+bases, so the worker farm, early Masked termination, fault-lifetime
+events, and crash-safe journaling all compose unchanged.  With
+``resume=True`` the already-journaled prefix is replayed (and any holes a
+mid-batch kill left are filled) before new batches are scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.injection.campaign import (
+    CampaignConfig,
+    ComponentResult,
+    InjectionCampaign,
+    WorkloadResult,
+)
+from repro.injection.classify import ERROR_CLASSES, FaultEffect
+from repro.injection.components import Component, component_bits
+from repro.injection.fault import FaultStream
+from repro.injection.parallel import QuarantinedFault, run_injection_plan
+from repro.injection.sampling import (
+    error_margin,
+    projected_trials_wilson,
+    readjusted_margin,
+    sample_size,
+    wilson_half_width,
+)
+from repro.injection.telemetry import CampaignTelemetry
+from repro.workloads.base import Workload
+
+__all__ = [
+    "AdaptiveCampaign",
+    "AdaptiveDiagnostics",
+    "StratumProgress",
+    "stratum_widths",
+    "widths_satisfied",
+    "projected_remaining",
+    "fixed_equivalent_faults",
+]
+
+
+def stratum_widths(
+    population: int,
+    counts: Mapping[FaultEffect, int],
+    injections: int,
+    confidence: float = 0.99,
+) -> dict[str, float]:
+    """Current precision of every tracked rate of one stratum.
+
+    Returns ``{"AVF": readjusted Leveugle margin, "SDC": Wilson
+    half-width, "APP_CRASH": ..., "SYS_CRASH": ...}``; every entry is
+    ``inf`` when nothing has been injected yet.
+    """
+    if injections <= 0:
+        return {"AVF": float("inf")} | {
+            effect.name: float("inf") for effect in ERROR_CLASSES
+        }
+    masked = counts.get(FaultEffect.MASKED, 0)
+    avf = 1.0 - masked / injections
+    widths = {
+        "AVF": readjusted_margin(population, injections, avf, confidence)
+    }
+    for effect in ERROR_CLASSES:
+        widths[effect.name] = wilson_half_width(
+            counts.get(effect, 0), injections, confidence
+        )
+    return widths
+
+
+def widths_satisfied(widths: Mapping[str, float], target_margin: float) -> bool:
+    """The stopping predicate: every tracked width within the target."""
+    return all(width <= target_margin for width in widths.values())
+
+
+def projected_remaining(
+    population: int,
+    counts: Mapping[FaultEffect, int],
+    injections: int,
+    target_margin: float,
+    confidence: float = 0.99,
+) -> int:
+    """Estimated additional injections before the stratum satisfies.
+
+    Telemetry only - a planning estimate from the current rate point
+    estimates, not a promise.  The binding criterion is whichever tracked
+    rate needs the most trials.
+    """
+    if injections <= 0:
+        return sample_size(population, target_margin, confidence)
+    masked = counts.get(FaultEffect.MASKED, 0)
+    avf = 1.0 - masked / injections
+    conservative = error_margin(population, injections, confidence)
+    if avf <= 0.5:
+        p = min(0.5, avf + conservative)
+    else:
+        p = max(0.5, avf - conservative)
+    p = min(max(p, 1e-6), 1 - 1e-6)
+    needed = sample_size(population, target_margin, confidence, p=p)
+    for effect in ERROR_CLASSES:
+        rate = counts.get(effect, 0) / injections
+        needed = max(
+            needed, projected_trials_wilson(rate, target_margin, confidence)
+        )
+    return max(0, needed - injections)
+
+
+def fixed_equivalent_faults(
+    population: int, target_margin: float, confidence: float = 0.99
+) -> int:
+    """Faults a fixed (non-adaptive) plan would budget for the same target.
+
+    The pre-campaign Leveugle size at the conservative p = 0.5 - what you
+    would have to ask ``faults_per_component`` for without sequential
+    stopping.  The adaptive headline ("same margins, N% fewer
+    injections") is measured against this.
+    """
+    return sample_size(population, target_margin, confidence)
+
+
+@dataclass(frozen=True)
+class StratumProgress:
+    """Snapshot of one stratum's precision, taken after each round."""
+
+    component: Component
+    #: Injections actually executed (includes overshoot past the cut).
+    executed: int
+    #: Length of the reported prefix (the tallies the result will use).
+    reported: int
+    #: AVF estimate over the reported prefix.
+    avf: float
+    #: Current widths of every tracked rate (see :func:`stratum_widths`).
+    widths: dict[str, float]
+    satisfied: bool
+    #: True when the stratum hit ``max_faults`` without satisfying.
+    capped: bool
+    #: Estimated injections still needed (0 once satisfied or capped).
+    projected: int
+
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot (for telemetry and metrics export)."""
+        return {
+            "component": self.component.name,
+            "executed": self.executed,
+            "reported": self.reported,
+            "avf": self.avf,
+            "widths": dict(self.widths),
+            "satisfied": self.satisfied,
+            "capped": self.capped,
+            "projected": self.projected,
+        }
+
+
+@dataclass
+class AdaptiveDiagnostics:
+    """How an adaptive campaign converged (per workload)."""
+
+    workload_name: str
+    target_margin: float
+    confidence: float
+    rounds: int
+    strata: dict[Component, StratumProgress] = field(default_factory=dict)
+
+    @property
+    def total_executed(self) -> int:
+        """Injections actually run across all strata (the cost measure)."""
+        return sum(status.executed for status in self.strata.values())
+
+    @property
+    def total_reported(self) -> int:
+        """Injections inside the reported (minimal satisfying) prefixes."""
+        return sum(status.reported for status in self.strata.values())
+
+    @property
+    def all_satisfied(self) -> bool:
+        """True when every stratum met the stopping rule (none capped)."""
+        return all(status.satisfied for status in self.strata.values())
+
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot of the whole campaign's convergence."""
+        return {
+            "workload": self.workload_name,
+            "target_margin": self.target_margin,
+            "confidence": self.confidence,
+            "rounds": self.rounds,
+            "total_executed": self.total_executed,
+            "strata": {
+                component.name: status.to_dict()
+                for component, status in self.strata.items()
+            },
+        }
+
+
+class _StratumState:
+    """One stratum's fault stream, effect prefix, and stopping scan."""
+
+    def __init__(
+        self,
+        component: Component,
+        population: int,
+        stream: FaultStream,
+        target_margin: float,
+        confidence: float,
+        min_faults: int,
+        max_faults: int,
+    ):
+        self.component = component
+        self.population = population
+        self.stream = stream
+        self.target = target_margin
+        self.confidence = confidence
+        self.min_faults = min_faults
+        self.max_faults = max_faults
+        #: Effects by global fault index (None = quarantined slot).
+        self.effects: dict[int, FaultEffect | None] = {}
+        #: End of the scheduled/executed window so far.
+        self.executed_until = 0
+        #: Next global index the prefix scan will consume.
+        self._scan_index = 0
+        #: Tallies of the scanned prefix (only real effects, not holes).
+        self.prefix_counts: dict[FaultEffect, int] = {}
+        self.prefix_n = 0
+        self.quarantined_in_prefix = 0
+        #: Prefix length at which the stopping rule first held, if ever.
+        self.satisfied_at: int | None = None
+
+    # -- feeding ---------------------------------------------------------------
+
+    def absorb(self, base: int, effects: list[FaultEffect | None]) -> None:
+        """Record one executed window ``[base, base + len(effects))``."""
+        for offset, effect in enumerate(effects):
+            self.effects[base + offset] = effect
+        self.executed_until = max(self.executed_until, base + len(effects))
+        self._advance_scan()
+
+    def _advance_scan(self) -> None:
+        """Consume newly contiguous effects; cut at first satisfaction.
+
+        The scan walks the effect stream in fault order, re-evaluating the
+        stopping rule after every injection.  It freezes at the first
+        prefix that satisfies - later effects (batch overshoot) are never
+        tallied, which is what makes the reported result independent of
+        batch boundaries.
+        """
+        while self.satisfied_at is None and self._scan_index in self.effects:
+            effect = self.effects[self._scan_index]
+            self._scan_index += 1
+            if effect is None:
+                self.quarantined_in_prefix += 1
+                continue
+            self.prefix_counts[effect] = self.prefix_counts.get(effect, 0) + 1
+            self.prefix_n += 1
+            if self.prefix_n >= self.min_faults and widths_satisfied(
+                self.widths(), self.target
+            ):
+                self.satisfied_at = self.prefix_n
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def satisfied(self) -> bool:
+        return self.satisfied_at is not None
+
+    @property
+    def capped(self) -> bool:
+        return not self.satisfied and self.executed_until >= self.max_faults
+
+    @property
+    def executed(self) -> int:
+        """Injections executed so far (quarantined slots included)."""
+        return len(self.effects)
+
+    def widths(self) -> dict[str, float]:
+        return stratum_widths(
+            self.population, self.prefix_counts, self.prefix_n, self.confidence
+        )
+
+    def projected(self) -> int:
+        if self.satisfied or self.capped:
+            return 0
+        return projected_remaining(
+            self.population,
+            self.prefix_counts,
+            self.prefix_n,
+            self.target,
+            self.confidence,
+        )
+
+    def width_score(self) -> float:
+        """Allocation weight: how far the widest tracked rate overshoots."""
+        widths = self.widths()
+        worst = max(widths.values())
+        if worst == float("inf"):
+            return float("inf")
+        return max(1e-9, worst / self.target)
+
+    def progress(self) -> StratumProgress:
+        masked = self.prefix_counts.get(FaultEffect.MASKED, 0)
+        avf = 1.0 - masked / self.prefix_n if self.prefix_n else 0.0
+        return StratumProgress(
+            component=self.component,
+            executed=self.executed,
+            reported=self.prefix_n,
+            avf=avf,
+            widths=self.widths(),
+            satisfied=self.satisfied,
+            capped=self.capped,
+            projected=self.projected(),
+        )
+
+    def result(self, confidence: float) -> ComponentResult:
+        """The stratum's final tally: the shortest satisfying prefix."""
+        return ComponentResult(
+            component=self.component,
+            injections=self.prefix_n,
+            population_bits=self.population,
+            counts=dict(self.prefix_counts),
+            confidence=confidence,
+            quarantined=self.quarantined_in_prefix,
+        )
+
+
+def _allocate(budget: int, demands: dict[Component, tuple[float, int]]) -> dict[Component, int]:
+    """Split ``budget`` injections across strata by width score.
+
+    ``demands`` maps each hungry stratum to ``(score, capacity)``; wider
+    intervals get proportionally more of the batch (largest-remainder
+    rounding, deterministic in stratum order), every hungry stratum gets
+    at least one injection while budget lasts, and nobody exceeds its
+    remaining capacity to ``max_faults``.
+    """
+    if not demands:
+        return {}
+    infinite = [c for c, (score, _cap) in demands.items() if score == float("inf")]
+    total_score = sum(
+        score for score, _cap in demands.values() if score != float("inf")
+    )
+    allocation: dict[Component, int] = {}
+    if infinite:
+        # Strata with no data yet split the budget evenly among themselves.
+        share, remainder = divmod(budget, len(infinite))
+        for position, component in enumerate(infinite):
+            want = share + (1 if position < remainder else 0)
+            allocation[component] = min(want, demands[component][1])
+        return {c: n for c, n in allocation.items() if n > 0}
+    fractions = []
+    for component, (score, capacity) in demands.items():
+        ideal = budget * score / total_score if total_score else 0.0
+        base = min(int(ideal), capacity)
+        allocation[component] = base
+        fractions.append((ideal - base, component))
+    leftover = budget - sum(allocation.values())
+    # Largest fractional remainders first; stratum order breaks ties.
+    fractions.sort(key=lambda item: -item[0])
+    while leftover > 0:
+        progressed = False
+        for _fraction, component in fractions:
+            if leftover <= 0:
+                break
+            if allocation[component] < demands[component][1]:
+                allocation[component] += 1
+                leftover -= 1
+                progressed = True
+        if not progressed:
+            break  # every stratum is at capacity
+    # Budget permitting, nobody hungry is left at zero.
+    for component, (_score, capacity) in demands.items():
+        if allocation[component] == 0 and capacity > 0:
+            allocation[component] = 1
+    return {c: n for c, n in allocation.items() if n > 0}
+
+
+class AdaptiveCampaign(InjectionCampaign):
+    """Sequential-stopping injection campaign (see the module docstring).
+
+    A drop-in :class:`~repro.injection.campaign.InjectionCampaign` whose
+    config must set ``target_margin``; ``run_workload``/``run_suite``
+    return the same :class:`WorkloadResult` shape (so AVF breakdowns, FIT
+    models and the report drivers compose unchanged), with per-component
+    sample sizes chosen by the stopping rule instead of
+    ``faults_per_component``.  Convergence details of the last live run
+    are kept in :attr:`diagnostics` (by workload name).
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        cache_dir: Path | None = None,
+        progress: Callable[[str], None] | None = None,
+        journal_dir: Path | None = None,
+        resume: bool = False,
+        telemetry: CampaignTelemetry | None = None,
+    ):
+        if config.target_margin is None:
+            raise ConfigurationError(
+                "AdaptiveCampaign requires CampaignConfig.target_margin"
+            )
+        if not 0 < config.target_margin < 1:
+            raise ConfigurationError("target_margin must be in (0, 1)")
+        if config.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if not 0 < config.min_faults <= config.max_faults:
+            raise ConfigurationError(
+                "need 0 < min_faults <= max_faults "
+                f"(got {config.min_faults}/{config.max_faults})"
+            )
+        super().__init__(
+            config,
+            cache_dir=cache_dir,
+            progress=progress,
+            journal_dir=journal_dir,
+            resume=resume,
+            telemetry=telemetry,
+        )
+        #: Convergence diagnostics by workload name (live runs only;
+        #: cache hits get a recomputed entry with ``rounds == 0``).
+        self.diagnostics: dict[str, AdaptiveDiagnostics] = {}
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def _diagnostics_from_result(self, result: WorkloadResult) -> AdaptiveDiagnostics:
+        """Rebuild the achieved-precision view from a (cached) result."""
+        config = self.config
+        diagnostics = AdaptiveDiagnostics(
+            workload_name=result.workload_name,
+            target_margin=config.target_margin,
+            confidence=config.confidence,
+            rounds=0,
+        )
+        for component, tally in result.components.items():
+            widths = stratum_widths(
+                tally.population_bits,
+                tally.counts,
+                tally.injections,
+                config.confidence,
+            )
+            satisfied = widths_satisfied(widths, config.target_margin)
+            diagnostics.strata[component] = StratumProgress(
+                component=component,
+                executed=tally.injections,
+                reported=tally.injections,
+                avf=tally.avf,
+                widths=widths,
+                satisfied=satisfied,
+                capped=not satisfied,
+                projected=0,
+            )
+        return diagnostics
+
+    # -- execution -------------------------------------------------------------
+
+    def run_workload(
+        self,
+        workload: Workload,
+        components: Iterable[Component] = tuple(Component),
+        use_cache: bool = True,
+    ) -> WorkloadResult:
+        """Adaptive campaign for one workload (cached like the fixed one)."""
+        components = tuple(components)
+        cached = self._load_cached(workload.name) if use_cache else None
+        missing = [
+            component
+            for component in components
+            if cached is None or component not in cached.components
+        ]
+        if cached is not None and not missing:
+            self.diagnostics[workload.name] = self._diagnostics_from_result(cached)
+            return cached
+        if cached is not None:
+            self._progress(
+                f"{workload.name}: cache missing "
+                + ",".join(component.name for component in missing)
+            )
+
+        config = self.config
+        golden, image = self._prepare_image(workload)
+        machine = config.machine
+        states = {
+            component: _StratumState(
+                component=component,
+                population=component_bits(machine, component),
+                stream=FaultStream(
+                    component,
+                    component_bits(machine, component),
+                    golden.cycles,
+                    seed=config.seed,
+                ),
+                target_margin=config.target_margin,
+                confidence=config.confidence,
+                min_faults=config.min_faults,
+                max_faults=config.max_faults,
+            )
+            for component in missing
+        }
+        journal = self._open_journal(workload.name, golden.cycles)
+        quarantined: list[QuarantinedFault] = []
+        rounds = 0
+        try:
+            while True:
+                windows = self._next_windows(states, journal, first=rounds == 0)
+                if not windows:
+                    break
+                rounds += 1
+                plan = {
+                    component: states[component].stream.window(start, stop)
+                    for component, (start, stop) in windows.items()
+                }
+                bases = {
+                    component: start
+                    for component, (start, _stop) in windows.items()
+                }
+                effects = run_injection_plan(
+                    image,
+                    plan,
+                    jobs=config.jobs,
+                    progress=self._progress,
+                    journal=journal,
+                    telemetry=self.telemetry,
+                    timeout=config.injection_timeout,
+                    max_retries=config.max_retries,
+                    quarantined=quarantined,
+                    index_base=bases,
+                )
+                for component, (start, _stop) in windows.items():
+                    states[component].absorb(start, effects[component])
+                self._report_round(workload.name, rounds, states)
+        finally:
+            if journal is not None:
+                journal.close()
+
+        result = cached if cached is not None else WorkloadResult(
+            workload_name=workload.name, golden_cycles=golden.cycles
+        )
+        for component, state in states.items():
+            if state.capped:
+                self._progress(
+                    f"{workload.name}/{component.name}: target margin "
+                    f"{config.target_margin:.3f} not reached at the "
+                    f"max_faults cap ({config.max_faults}); reporting "
+                    f"{state.prefix_n} injections"
+                )
+            result.components[component] = state.result(config.confidence)
+        if use_cache:
+            self._store(result)
+        diagnostics = AdaptiveDiagnostics(
+            workload_name=workload.name,
+            target_margin=config.target_margin,
+            confidence=config.confidence,
+            rounds=rounds,
+        )
+        for component, state in states.items():
+            diagnostics.strata[component] = state.progress()
+        self.diagnostics[workload.name] = diagnostics
+        return result
+
+    def _next_windows(
+        self,
+        states: dict[Component, _StratumState],
+        journal,
+        first: bool,
+    ) -> dict[Component, tuple[int, int]]:
+        """Choose each hungry stratum's next window of the fault stream.
+
+        Round 1 is special twice over: on a resumed campaign it covers the
+        whole journaled span (replaying completed indices and re-running
+        only the holes a mid-batch kill left); on a fresh one it seeds
+        every stratum with its ``min_faults`` floor, below which the
+        stopping rule cannot hold anyway.  Later rounds split
+        ``batch_size`` across the still-unsatisfied strata by current
+        interval width.
+        """
+        config = self.config
+        if first and journal is not None and (journal.records or journal.quarantines):
+            windows = {}
+            for component, state in states.items():
+                journaled = set(journal.completed(component))
+                journaled |= set(journal.quarantined(component))
+                span = max(journaled) + 1 if journaled else 0
+                stop = min(max(span, config.min_faults), config.max_faults)
+                if stop > 0:
+                    windows[component] = (0, stop)
+            return windows
+        if first:
+            return {
+                component: (0, min(config.min_faults, config.max_faults))
+                for component in states
+            }
+        demands = {}
+        for component, state in states.items():
+            if state.satisfied or state.capped:
+                continue
+            capacity = config.max_faults - state.executed_until
+            if capacity <= 0:
+                continue
+            demands[component] = (state.width_score(), capacity)
+        allocation = _allocate(config.batch_size, demands)
+        return {
+            component: (
+                states[component].executed_until,
+                states[component].executed_until + count,
+            )
+            for component, count in allocation.items()
+        }
+
+    def _report_round(
+        self,
+        workload_name: str,
+        round_index: int,
+        states: dict[Component, _StratumState],
+    ) -> None:
+        """Feed per-stratum interval-width progress to telemetry + log."""
+        statuses = [state.progress() for state in states.values()]
+        if self.telemetry is not None:
+            self.telemetry.record_adaptive_round(
+                round_index, [status.to_dict() for status in statuses]
+            )
+        pending = [status for status in statuses if not status.satisfied]
+        widest = sorted(
+            pending, key=lambda status: -max(status.widths.values())
+        )[:3]
+        if not pending:
+            self._progress(
+                f"{workload_name}: adaptive round {round_index} - all "
+                f"strata within ±{self.config.target_margin:.3f}"
+            )
+            return
+        detail = ", ".join(
+            f"{status.component.name} ±{max(status.widths.values()):.3f}"
+            f" (~{status.projected} to go)"
+            for status in widest
+        )
+        self._progress(
+            f"{workload_name}: adaptive round {round_index} - "
+            f"{len(pending)} stratum/strata above ±"
+            f"{self.config.target_margin:.3f}: {detail}"
+        )

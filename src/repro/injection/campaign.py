@@ -81,6 +81,7 @@ __all__ = [
 
 
 def default_cache_dir() -> Path:
+    """Campaign-result cache location (``REPRO_CACHE_DIR`` overrides)."""
     return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
 
 
@@ -136,11 +137,51 @@ class CampaignConfig:
     #: Tracing forces the slow interpreter loop; 0 (the default) disables
     #: it.  Observation-only, hence also excluded from the cache key.
     trace_on_crash: int = 0
+    #: Adaptive (sequential) stopping: when set, the campaign ignores
+    #: ``faults_per_component`` and instead injects batch after batch until
+    #: every tracked rate of every component - the AVF's re-adjusted
+    #: Leveugle margin plus the Wilson half-widths of the SDC, AppCrash and
+    #: SysCrash rates - is within this margin at ``confidence`` (see
+    #: :mod:`repro.injection.adaptive`).
+    target_margin: float | None = None
+    #: Injections dispatched per adaptive round, split across the strata
+    #: that still need precision.  Execution granularity only: the reported
+    #: result is bit-identical for any batch size (like ``jobs``, it is
+    #: deliberately *not* part of the cache key).
+    batch_size: int = 50
+    #: Adaptive safety rails: no stratum is reported from fewer than
+    #: ``min_faults`` injections (degenerate intervals at tiny samples) or
+    #: grows beyond ``max_faults`` (a stratum whose target is unreachable
+    #: stops there and is flagged, not looped forever).  Both change the
+    #: reported result, so both are part of the adaptive cache key.
+    min_faults: int = 20
+    max_faults: int = 1000
+
+    @property
+    def planned_faults(self) -> int:
+        """Per-component plan bound: the sample size in fixed mode, the
+        ``max_faults`` safety cap in adaptive mode (also the journal
+        fingerprint's ``faults_per_component``)."""
+        if self.target_margin is not None:
+            return self.max_faults
+        return self.faults_per_component
 
     def cache_key(self, workload_name: str) -> str:
+        """Filename stem identifying this exact campaign configuration."""
         cluster = f"-c{self.cluster_size}" if self.cluster_size != 1 else ""
+        workload = workload_name.replace(" ", "_")
+        if self.target_margin is not None:
+            # Everything that determines an adaptive result's raw counts:
+            # target, confidence, floor/cap and seed - but *not* batch_size
+            # or jobs, which are execution granularity with bit-identical
+            # results (enforced by the adaptive equivalence suite).
+            return (
+                f"fi-{self.machine.name}-{workload}"
+                f"-adapt-t{self.target_margin:g}-cf{self.confidence:g}"
+                f"-f{self.min_faults}-F{self.max_faults}-s{self.seed}{cluster}"
+            )
         return (
-            f"fi-{self.machine.name}-{workload_name.replace(' ', '_')}"
+            f"fi-{self.machine.name}-{workload}"
             f"-n{self.faults_per_component}-s{self.seed}{cluster}"
         )
 
@@ -160,6 +201,7 @@ class ComponentResult:
     quarantined: int = 0
 
     def rate(self, effect: FaultEffect) -> float:
+        """Observed fraction of injections classified as ``effect``."""
         if not self.injections:
             return 0.0
         return self.counts.get(effect, 0) / self.injections
@@ -171,12 +213,28 @@ class ComponentResult:
 
     @property
     def conservative_margin(self) -> float:
-        """Error margin at p = 0.5 (pre-campaign, Leveugle)."""
+        """Error margin at p = 0.5 (pre-campaign, Leveugle).
+
+        This is the *planning* margin - the worst case over every possible
+        outcome rate, known before a single fault is injected.  It is NOT
+        what Table IV reports; see :attr:`margin`.
+        """
         return error_margin(self.population_bits, self.injections, self.confidence)
 
     @property
     def margin(self) -> float:
-        """Margin re-adjusted with the measured AVF (Table IV)."""
+        """Margin re-adjusted with the measured AVF - **the Table IV margin**.
+
+        The paper's Table IV reports the post-campaign margin: p = 0.5 is
+        replaced by the measured AVF shifted toward 0.5 by
+        :attr:`conservative_margin` (Section IV-C), which is why highly
+        masked components report margins well below the 4% planning value.
+        Everything downstream (``experiments/table4.py``, the CLI's AVF
+        breakdown, the adaptive stopping rule's AVF criterion) uses this
+        property, never :attr:`conservative_margin` - pinned by the
+        margin-choice regression test.  Worked examples:
+        ``docs/STATISTICS.md``.
+        """
         return readjusted_margin(
             self.population_bits, self.injections, self.avf, self.confidence
         )
@@ -188,6 +246,7 @@ class ComponentResult:
         )
 
     def to_dict(self) -> dict:
+        """JSON-friendly form (campaign cache serialization)."""
         return {
             "component": self.component.name,
             "injections": self.injections,
@@ -199,6 +258,7 @@ class ComponentResult:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ComponentResult":
+        """Rebuild a tally from :meth:`to_dict`, validating the counts."""
         counts = {
             FaultEffect[name]: count
             for name, count in payload["counts"].items()
@@ -229,9 +289,11 @@ class WorkloadResult:
     components: dict[Component, ComponentResult] = field(default_factory=dict)
 
     def avf(self, component: Component) -> float:
+        """Shortcut: one component's AVF."""
         return self.components[component].avf
 
     def to_dict(self) -> dict:
+        """JSON-friendly form (campaign cache serialization)."""
         return {
             "workload": self.workload_name,
             "golden_cycles": self.golden_cycles,
@@ -243,6 +305,7 @@ class WorkloadResult:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "WorkloadResult":
+        """Rebuild a workload result from :meth:`to_dict`."""
         return cls(
             workload_name=payload["workload"],
             golden_cycles=payload["golden_cycles"],
@@ -529,7 +592,7 @@ class InjectionCampaign:
         meta = JournalMeta(
             workload=workload_name,
             machine=self.config.machine.name,
-            faults_per_component=self.config.faults_per_component,
+            faults_per_component=self.config.planned_faults,
             seed=self.config.seed,
             cluster_size=self.config.cluster_size,
             golden_cycles=golden_cycles,
@@ -541,33 +604,13 @@ class InjectionCampaign:
 
     # -- execution -------------------------------------------------------------
 
-    def run_workload(
-        self,
-        workload: Workload,
-        components: Iterable[Component] = tuple(Component),
-        use_cache: bool = True,
-    ) -> WorkloadResult:
-        """Campaign for one workload across the requested components.
+    def _prepare_image(self, workload: Workload) -> tuple[RunResult, MachineImage]:
+        """Golden run plus the shippable machine image the farm injects into.
 
-        A cached result that covers only *some* of the requested components
-        is extended in place: only the missing components are campaigned,
-        and the merged result is stored back.
+        One golden prefix run captures checkpoints, full-state digests and
+        architectural digests together (whichever of them the active config
+        needs); the image bundles them for the workers.
         """
-        components = tuple(components)
-        cached = self._load_cached(workload.name) if use_cache else None
-        missing = [
-            component
-            for component in components
-            if cached is None or component not in cached.components
-        ]
-        if cached is not None and not missing:
-            return cached
-        if cached is not None:
-            self._progress(
-                f"{workload.name}: cache missing "
-                + ",".join(component.name for component in missing)
-            )
-
         machine = self.config.machine
         golden = run_golden(workload, machine)
         snapshots: list | None = None
@@ -603,6 +646,37 @@ class InjectionCampaign:
             lifetime=self.config.lifetime_events,
             trace_on_crash=self.config.trace_on_crash,
         )
+        return golden, image
+
+    def run_workload(
+        self,
+        workload: Workload,
+        components: Iterable[Component] = tuple(Component),
+        use_cache: bool = True,
+    ) -> WorkloadResult:
+        """Campaign for one workload across the requested components.
+
+        A cached result that covers only *some* of the requested components
+        is extended in place: only the missing components are campaigned,
+        and the merged result is stored back.
+        """
+        components = tuple(components)
+        cached = self._load_cached(workload.name) if use_cache else None
+        missing = [
+            component
+            for component in components
+            if cached is None or component not in cached.components
+        ]
+        if cached is not None and not missing:
+            return cached
+        if cached is not None:
+            self._progress(
+                f"{workload.name}: cache missing "
+                + ",".join(component.name for component in missing)
+            )
+
+        golden, image = self._prepare_image(workload)
+        machine = self.config.machine
         plan = {
             component: generate_faults(
                 component,

@@ -24,6 +24,7 @@ class FaultEffect(enum.Enum):
 
     @property
     def label(self) -> str:
+        """Human-readable class name (the paper's terminology)."""
         return self.value
 
 

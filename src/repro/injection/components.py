@@ -20,6 +20,7 @@ class Component(enum.Enum):
 
     @property
     def label(self) -> str:
+        """Human-readable component name (the paper's terminology)."""
         return self.value
 
 

@@ -25,6 +25,13 @@ class Fault:
             raise InjectionError(f"negative injection cycle {self.cycle}")
 
 
+def _stream_rng(component: Component, component_bits: int, seed: int) -> random.Random:
+    """Per-stratum PRNG shared by the fixed and adaptive planners."""
+    # Stable across processes (unlike hash() of a str under PYTHONHASHSEED).
+    derived = binascii.crc32(f"{seed}:{component.name}:{component_bits}".encode())
+    return random.Random(derived)
+
+
 def generate_faults(
     component: Component,
     component_bits: int,
@@ -38,16 +45,50 @@ def generate_faults(
     transient model: every memory cell is equally likely to be struck, at
     any point of the program's execution.
     """
-    if component_bits <= 0 or duration_cycles <= 0:
-        raise InjectionError("component bits and duration must be positive")
-    # Stable across processes (unlike hash() of a str under PYTHONHASHSEED).
-    derived = binascii.crc32(f"{seed}:{component.name}:{component_bits}".encode())
-    rng = random.Random(derived)
-    return [
-        Fault(
-            component=component,
-            bit_index=rng.randrange(component_bits),
-            cycle=rng.randrange(duration_cycles),
-        )
-        for _ in range(count)
-    ]
+    return FaultStream(component, component_bits, duration_cycles, seed).take(count)
+
+
+class FaultStream:
+    """Incrementally extendable per-stratum fault list.
+
+    Draws from the same PRNG stream as :func:`generate_faults`, so for any
+    ``n`` the first ``n`` faults of a stream equal ``generate_faults(...,
+    count=n)`` exactly (pinned by the prefix-property test).  This is what
+    lets the adaptive campaign grow a stratum's sample batch by batch while
+    remaining bit-identical to a fixed campaign that asked for the final
+    count up front.
+    """
+
+    def __init__(
+        self,
+        component: Component,
+        component_bits: int,
+        duration_cycles: int,
+        seed: int = 0,
+    ):
+        if component_bits <= 0 or duration_cycles <= 0:
+            raise InjectionError("component bits and duration must be positive")
+        self.component = component
+        self.component_bits = component_bits
+        self.duration_cycles = duration_cycles
+        self._rng = _stream_rng(component, component_bits, seed)
+        self._faults: list[Fault] = []
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def take(self, count: int) -> list[Fault]:
+        """The first ``count`` faults of the stream (drawing as needed)."""
+        while len(self._faults) < count:
+            self._faults.append(
+                Fault(
+                    component=self.component,
+                    bit_index=self._rng.randrange(self.component_bits),
+                    cycle=self._rng.randrange(self.duration_cycles),
+                )
+            )
+        return self._faults[:count]
+
+    def window(self, start: int, stop: int) -> list[Fault]:
+        """Faults ``[start, stop)`` of the stream (one adaptive batch)."""
+        return self.take(stop)[start:stop]

@@ -58,12 +58,14 @@ class JournalMeta:
     version: int = JOURNAL_VERSION
 
     def to_line(self) -> dict:
+        """JSONL payload for the journal's header line."""
         payload = asdict(self)
         payload["type"] = "meta"
         return payload
 
     @classmethod
     def from_line(cls, payload: dict) -> "JournalMeta":
+        """Parse the journal's header line."""
         return cls(
             workload=payload["workload"],
             machine=payload["machine"],
@@ -102,6 +104,7 @@ class InjectionRecord:
     trace: tuple = ()
 
     def to_line(self) -> dict:
+        """JSONL payload for one completed injection."""
         line = {
             "type": "injection",
             "component": self.component.name,
@@ -120,6 +123,7 @@ class InjectionRecord:
 
     @classmethod
     def from_line(cls, payload: dict) -> "InjectionRecord":
+        """Parse one journaled injection line."""
         return cls(
             component=Component[payload["component"]],
             index=payload["index"],
@@ -147,6 +151,7 @@ class QuarantineRecord:
     reason: str
 
     def to_line(self) -> dict:
+        """JSONL payload for one quarantined fault."""
         return {
             "type": "quarantine",
             "component": self.component.name,
@@ -158,6 +163,7 @@ class QuarantineRecord:
 
     @classmethod
     def from_line(cls, payload: dict) -> "QuarantineRecord":
+        """Parse one journaled quarantine line."""
         return cls(
             component=Component[payload["component"]],
             index=payload["index"],
@@ -357,6 +363,7 @@ class InjectionJournal:
         }
 
     def close(self) -> None:
+        """Release the journal's file descriptor (idempotent)."""
         if self._fd is not None:
             os.close(self._fd)
             self._fd = None

@@ -737,22 +737,30 @@ def _replay_journal(
     telemetry: CampaignTelemetry | None,
     quarantined: list[QuarantinedFault] | None,
     quarantined_slots: set[tuple[Component, int]],
+    bases: Mapping[Component, int] | None = None,
 ) -> int:
     """Prefill effect slots from a journal; returns replayed count.
 
     Every replayed record is cross-checked against the regenerated fault
     list (bit and cycle must match) so a journal from a drifted seed or
     simulator version cannot silently corrupt the tallies.
+
+    With ``bases`` (a windowed plan; see :func:`run_injection_plan`), a
+    journal index outside ``[base, base + len(faults))`` belongs to another
+    batch of the same campaign and is skipped rather than rejected.
     """
     replayed = 0
     for component, faults in plan.items():
+        base = (bases or {}).get(component, 0)
         for index, record in journal.completed(component).items():
-            if index >= len(faults):
+            if index < base or (bases is not None and index >= base + len(faults)):
+                continue  # another batch's record (windowed plans only)
+            if index - base >= len(faults):
                 raise InjectionError(
                     f"journal records fault index {index} for "
                     f"{component.name}, beyond the plan of {len(faults)}"
                 )
-            fault = faults[index]
+            fault = faults[index - base]
             if record.bit_index != fault.bit_index or record.cycle != fault.cycle:
                 raise InjectionError(
                     f"journal record for {component.name}[{index}] does not "
@@ -760,7 +768,7 @@ def _replay_journal(
                     f"{record.bit_index} cycle {record.cycle}, plan bit "
                     f"{fault.bit_index} cycle {fault.cycle})"
                 )
-            effects[component][index] = record.effect
+            effects[component][index - base] = record.effect
             replayed += 1
             if telemetry is not None:
                 telemetry.record(
@@ -772,13 +780,15 @@ def _replay_journal(
                     events=record.events,
                 )
         for index, record in journal.quarantined(component).items():
-            if index >= len(faults):
+            if index < base or (bases is not None and index >= base + len(faults)):
+                continue  # another batch's record (windowed plans only)
+            if index - base >= len(faults):
                 raise InjectionError(
                     f"journal quarantines fault index {index} for "
                     f"{component.name}, beyond the plan of {len(faults)}"
                 )
             entry = QuarantinedFault(
-                component, index, faults[index], record.reason
+                component, index, faults[index - base], record.reason
             )
             if quarantined is None:
                 raise InjectionError(
@@ -787,7 +797,7 @@ def _replay_journal(
                     f"caller provided no quarantine accumulator"
                 )
             quarantined.append(entry)
-            quarantined_slots.add((component, index))
+            quarantined_slots.add((component, index - base))
             if telemetry is not None:
                 telemetry.record_quarantine(component)
     return replayed
@@ -803,6 +813,7 @@ def run_injection_plan(
     timeout: float | None = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
     quarantined: list[QuarantinedFault] | None = None,
+    index_base: Mapping[Component, int] | None = None,
 ) -> dict[Component, list[FaultEffect]]:
     """Execute every fault in ``plan``; returns effects in fault order.
 
@@ -811,6 +822,13 @@ def run_injection_plan(
     out over a supervised worker farm.  Either way the result is the same:
     effects keyed by component, listed in fault order, independent of
     scheduling.
+
+    ``index_base`` declares the plan to be a *window* of a larger fault
+    stream: ``plan[c][i]`` is fault ``index_base[c] + i`` of component
+    ``c``.  Journal records are written with (and replayed against) those
+    global indices, which is how the adaptive campaign streams batch after
+    batch into one shared journal - a record outside the window is simply
+    another batch's work, not corruption.
 
     Resilience knobs:
 
@@ -840,10 +858,17 @@ def run_injection_plan(
         for component in components:
             telemetry.register_plan(component, len(plan[component]))
 
+    bases = dict(index_base or {})
     quarantined_slots: set[tuple[Component, int]] = set()
     if journal is not None:
         replayed = _replay_journal(
-            journal, plan, effects, telemetry, quarantined, quarantined_slots
+            journal,
+            plan,
+            effects,
+            telemetry,
+            quarantined,
+            quarantined_slots,
+            bases=index_base,
         )
         if replayed or quarantined_slots:
             progress(
@@ -887,7 +912,7 @@ def run_injection_plan(
             journal.record(
                 InjectionRecord(
                     component=component,
-                    index=fault_index,
+                    index=bases.get(component, 0) + fault_index,
                     bit_index=fault.bit_index,
                     cycle=fault.cycle,
                     effect=result.effect,
@@ -913,7 +938,10 @@ def run_injection_plan(
     def quarantine(attempt: _Attempt, reason: str) -> None:
         component = components[attempt.component_index]
         entry = QuarantinedFault(
-            component, attempt.fault_index, attempt.fault, reason
+            component,
+            bases.get(component, 0) + attempt.fault_index,
+            attempt.fault,
+            reason,
         )
         if quarantined is None:
             raise InjectionError(
@@ -926,7 +954,7 @@ def run_injection_plan(
             journal.record_quarantine(
                 QuarantineRecord(
                     component=component,
-                    index=attempt.fault_index,
+                    index=bases.get(component, 0) + attempt.fault_index,
                     bit_index=attempt.fault.bit_index,
                     cycle=attempt.fault.cycle,
                     reason=reason,

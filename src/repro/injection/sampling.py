@@ -92,6 +92,58 @@ def wilson_interval(
     return low, high
 
 
+def wilson_half_width(
+    successes: int, trials: int, confidence: float = 0.99
+) -> float:
+    """Half the width of the Wilson interval for one class's rate.
+
+    This is the per-class precision measure the adaptive stopping rule
+    compares against its target margin: a half-width of 0.02 means the
+    class rate is known to roughly +/- 2 points at the given confidence.
+    """
+    low, high = wilson_interval(successes, trials, confidence)
+    return (high - low) / 2.0
+
+
+def _wilson_width_continuous(p: float, trials: float, z: float) -> float:
+    """Wilson half-width as a continuous function of (p, n) - projection only."""
+    denominator = 1 + z * z / trials
+    return (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+
+
+def projected_trials_wilson(
+    rate: float, margin: float, confidence: float = 0.99
+) -> int:
+    """Estimated trials for a Wilson half-width of ``margin`` at ``rate``.
+
+    A planning estimate for the adaptive engine's progress telemetry (how
+    many more injections a stratum probably needs), not part of the
+    stopping rule itself - the rule always re-evaluates the exact interval
+    on the real tallies.
+    """
+    if not 0 < margin < 1:
+        raise ConfigurationError("margin must be in (0, 1)")
+    z = _z(confidence)
+    rate = min(max(rate, 0.0), 1.0)
+    trials = 1
+    while _wilson_width_continuous(rate, trials, z) > margin:
+        trials *= 2
+        if trials > 1 << 40:  # pragma: no cover - absurd margins only
+            return trials
+    low, high = max(1, trials // 2), trials
+    while low < high:
+        mid = (low + high) // 2
+        if _wilson_width_continuous(rate, mid, z) > margin:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
 def readjusted_margin(
     population: int,
     sample: int,

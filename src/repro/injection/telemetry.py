@@ -82,6 +82,13 @@ class CampaignTelemetry:
         self.ended_dead_cell = 0
         #: Golden cycles *not* simulated thanks to early termination.
         self.cycles_saved = 0
+        #: Adaptive campaigns only: rounds completed so far and the latest
+        #: per-stratum convergence snapshot (plain dicts from
+        #: :meth:`repro.injection.adaptive.StratumProgress.to_dict`, keyed
+        #: by component name; a suite run keeps the most recent workload's
+        #: snapshot - this is a live progress view, not an archive).
+        self.adaptive_rounds = 0
+        self.adaptive_strata: dict[str, dict] = {}
 
     # -- feeding -------------------------------------------------------------
 
@@ -124,18 +131,33 @@ class CampaignTelemetry:
             self.injection_seconds += wall_time
 
     def record_retry(self) -> None:
+        """Count one re-dispatch of a failed injection."""
         self.retries += 1
 
     def record_timeout(self) -> None:
+        """Count one per-injection wall-clock limit expiry."""
         self.timeouts += 1
 
     def record_worker_death(self) -> None:
+        """Count one worker process dying mid-injection."""
         self.worker_deaths += 1
 
     def record_quarantine(self, component: Component) -> None:
+        """Count one fault retired after exhausting its retries."""
         self.quarantined += 1
         self.quarantined_by[component] = self.quarantined_by.get(component, 0) + 1
         self.class_counts.setdefault(component, {})
+
+    def record_adaptive_round(self, round_index: int, strata: list[dict]) -> None:
+        """Record one adaptive round's per-stratum interval-width progress.
+
+        ``strata`` is a list of
+        :meth:`repro.injection.adaptive.StratumProgress.to_dict` payloads
+        (current widths, satisfaction, projected remaining injections).
+        """
+        self.adaptive_rounds = max(self.adaptive_rounds, round_index)
+        for status in strata:
+            self.adaptive_strata[status["component"]] = status
 
     def _aggregate_events(self, component: Component, effect, events) -> None:
         flip = first_event(events, EV_FLIP)
@@ -160,10 +182,12 @@ class CampaignTelemetry:
 
     @property
     def elapsed(self) -> float:
+        """Wall-clock seconds since the campaign started."""
         return self._clock() - self.started
 
     @property
     def live_completed(self) -> int:
+        """Injections actually simulated (excluding journal replays)."""
         return self.completed - self.replayed
 
     def injections_per_second(self) -> float:
@@ -174,6 +198,7 @@ class CampaignTelemetry:
         return self.live_completed / elapsed
 
     def remaining(self) -> int:
+        """Planned injections not yet completed or quarantined."""
         planned = sum(self.planned.values())
         return max(0, planned - self.completed - self.quarantined)
 
@@ -216,6 +241,18 @@ class CampaignTelemetry:
             parts.append(f"{self.retries} retries")
         if self.quarantined:
             parts.append(f"{self.quarantined} quarantined")
+        if self.adaptive_strata:
+            pending = [
+                status
+                for status in self.adaptive_strata.values()
+                if not status.get("satisfied")
+            ]
+            projected = sum(status.get("projected", 0) for status in pending)
+            parts.append(
+                f"adaptive r{self.adaptive_rounds}: "
+                f"{len(pending)}/{len(self.adaptive_strata)} strata converging"
+                + (f", ~{projected} inj to go" if projected else "")
+            )
         return ", ".join(parts)
 
     def summary(self) -> dict:
@@ -249,6 +286,14 @@ class CampaignTelemetry:
             "cycles_saved": self.cycles_saved,
             "events_observed": self.events_observed,
             "propagation": self._propagation_summary(),
+            "adaptive": (
+                {
+                    "rounds": self.adaptive_rounds,
+                    "strata": dict(self.adaptive_strata),
+                }
+                if self.adaptive_strata
+                else None
+            ),
         }
 
     def _propagation_summary(self) -> dict:

@@ -1,0 +1,96 @@
+"""Table IV must report the re-adjusted margin, not the planning margin.
+
+The paper's Table IV margins are the Section IV-C *re-adjusted* margins
+(``ComponentResult.margin``): p = 0.5 replaced by the measured AVF
+shifted toward 0.5 by the conservative margin.  The conservative
+planning margin (``ComponentResult.conservative_margin``) is
+AVF-independent - if table4 ever regressed to it, every workload would
+report the same margin per component and the table's min/max spread
+would collapse.  These tests pin the choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table4
+from repro.injection.campaign import ComponentResult, WorkloadResult
+from repro.injection.classify import FaultEffect
+from repro.injection.components import Component
+from repro.injection.sampling import error_margin, readjusted_margin
+
+_POPULATIONS = {
+    Component.REGFILE: 2_816,
+    Component.L1I: 32_768,
+    Component.L1D: 32_768,
+    Component.L2: 131_072,
+    Component.DTLB: 4_096,
+    Component.ITLB: 4_096,
+}
+
+
+def _result(name: str, masked: int, injections: int = 100) -> WorkloadResult:
+    components = {}
+    for component, population in _POPULATIONS.items():
+        components[component] = ComponentResult(
+            component=component,
+            injections=injections,
+            population_bits=population,
+            counts={
+                FaultEffect.MASKED: masked,
+                FaultEffect.SDC: injections - masked,
+            },
+        )
+    return WorkloadResult(
+        workload_name=name, golden_cycles=1, components=components
+    )
+
+
+class _FakeContext:
+    faults_per_component = 100
+
+    def __init__(self, results):
+        self._results = results
+
+    def injection_results(self):
+        return self._results
+
+
+class TestTable4MarginChoice:
+    def test_margins_are_the_readjusted_margins(self):
+        """Each reported margin equals readjusted_margin(N, n, avf) -
+        and differs from the AVF-independent conservative margin."""
+        context = _FakeContext({"WL": _result("WL", masked=95)})
+        for row in table4.data(context):
+            population = _POPULATIONS[row.component]
+            expected = readjusted_margin(population, 100, 0.05)
+            conservative = error_margin(population, 100)
+            assert row.avg_margin == row.min_margin == row.max_margin
+            assert row.avg_margin == pytest.approx(expected, rel=1e-9)
+            assert row.avg_margin < conservative
+
+    def test_avf_spread_produces_margin_spread(self):
+        """Two workloads with different AVFs must yield min < max; the
+        conservative margin would flatten them to a single value."""
+        context = _FakeContext({
+            "Masked-heavy": _result("Masked-heavy", masked=98),
+            "Vulnerable": _result("Vulnerable", masked=55),
+        })
+        for row in table4.data(context):
+            assert row.min_margin < row.max_margin
+            population = _POPULATIONS[row.component]
+            assert row.min_margin == pytest.approx(
+                readjusted_margin(population, 100, 0.02), rel=1e-9
+            )
+            assert row.max_margin == pytest.approx(
+                readjusted_margin(population, 100, 0.45), rel=1e-9
+            )
+
+    def test_render_reports_the_tighter_margins(self):
+        """The rendered table carries the re-adjusted (tighter) numbers."""
+        context = _FakeContext({"WL": _result("WL", masked=98)})
+        rendered = table4.render(context)
+        adjusted = readjusted_margin(_POPULATIONS[Component.L2], 100, 0.02)
+        conservative = error_margin(_POPULATIONS[Component.L2], 100)
+        assert f"{adjusted * 100:.1f} %" in rendered
+        assert f"{conservative * 100:.1f} %" != f"{adjusted * 100:.1f} %"

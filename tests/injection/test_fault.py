@@ -7,7 +7,7 @@ from hypothesis import given, strategies as st
 
 from repro.errors import InjectionError
 from repro.injection.components import Component
-from repro.injection.fault import Fault, generate_faults
+from repro.injection.fault import Fault, FaultStream, generate_faults
 
 
 class TestFault:
@@ -61,3 +61,47 @@ class TestGeneration:
         faults = generate_faults(Component.L2, 1_000, 1_000, count=count, seed=seed)
         assert len(faults) == count
         assert len({(f.bit_index, f.cycle) for f in faults}) >= count // 2
+
+
+class TestFaultStream:
+    """The prefix property underpinning adaptive/fixed equivalence."""
+
+    @given(
+        seed=st.integers(0, 2**31),
+        small=st.integers(1, 40),
+        large=st.integers(41, 120),
+    )
+    def test_prefix_property(self, seed, small, large):
+        """The first n faults of a stream equal generate_faults(count=n),
+        for every n - growing a sample never re-draws its prefix."""
+        stream = FaultStream(Component.L1D, 4096, 10_000, seed=seed)
+        assert stream.take(large) == generate_faults(
+            Component.L1D, 4096, 10_000, count=large, seed=seed
+        )
+        # Taking less after taking more still returns the same prefix.
+        assert stream.take(small) == generate_faults(
+            Component.L1D, 4096, 10_000, count=small, seed=seed
+        )
+
+    def test_window_is_a_slice_of_the_stream(self):
+        stream = FaultStream(Component.L2, 10_000, 1_000, seed=7)
+        full = stream.take(50)
+        assert stream.window(10, 30) == full[10:30]
+        assert stream.window(0, 50) == full
+        # Windows can extend the stream on demand.
+        fresh = FaultStream(Component.L2, 10_000, 1_000, seed=7)
+        assert fresh.window(20, 40) == full[20:40]
+
+    def test_len_tracks_draws(self):
+        stream = FaultStream(Component.ITLB, 4096, 1_000, seed=1)
+        assert len(stream) == 0
+        stream.take(7)
+        assert len(stream) == 7
+        stream.window(3, 5)
+        assert len(stream) == 7
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InjectionError):
+            FaultStream(Component.L2, 0, 1_000)
+        with pytest.raises(InjectionError):
+            FaultStream(Component.L2, 100, 0)

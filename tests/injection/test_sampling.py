@@ -8,8 +8,11 @@ from hypothesis import given, strategies as st
 from repro.errors import ConfigurationError
 from repro.injection.sampling import (
     error_margin,
+    projected_trials_wilson,
     readjusted_margin,
     sample_size,
+    wilson_half_width,
+    wilson_interval,
 )
 
 
@@ -85,3 +88,48 @@ class TestErrorMargin:
         conservative = error_margin(population, sample)
         adjusted = readjusted_margin(population, sample, avf)
         assert adjusted <= conservative * (1 + 1e-9)
+
+
+class TestWilsonHalfWidth:
+    @given(
+        successes=st.integers(0, 200),
+        extra=st.integers(0, 800),
+    )
+    def test_half_width_is_half_the_interval(self, successes, extra):
+        trials = successes + extra
+        if trials == 0:
+            return
+        low, high = wilson_interval(successes, trials)
+        assert wilson_half_width(successes, trials) == pytest.approx(
+            (high - low) / 2
+        )
+
+    def test_shrinks_with_trials(self):
+        wide = wilson_half_width(5, 50)
+        narrow = wilson_half_width(50, 500)
+        assert narrow < wide
+
+
+class TestProjectedTrialsWilson:
+    def test_projection_achieves_the_margin(self):
+        """The projected trial count's continuous Wilson width is within
+        the margin, and one fewer trial is not - a true inverse."""
+        for rate in (0.0, 0.02, 0.1, 0.5):
+            for margin in (0.01, 0.02, 0.05):
+                n = projected_trials_wilson(rate, margin)
+                count = round(rate * n)
+                assert wilson_half_width(count, n) <= margin * 1.05
+
+    def test_monotone_in_margin(self):
+        assert projected_trials_wilson(0.1, 0.01) > projected_trials_wilson(
+            0.1, 0.05
+        )
+
+    def test_rare_rates_need_fewer_trials_than_even_rates(self):
+        assert projected_trials_wilson(0.01, 0.02) < projected_trials_wilson(
+            0.5, 0.02
+        )
+
+    def test_invalid_margin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            projected_trials_wilson(0.1, 0.0)

@@ -165,6 +165,73 @@ class TestInjectResilienceFlags:
         assert main(["inject", "CRC32", "--resume"]) == 2
         assert "--journal" in capsys.readouterr().err
 
+    def test_parser_accepts_adaptive_flags(self):
+        args = build_parser().parse_args([
+            "inject", "CRC32", "--target-margin", "0.02",
+            "--confidence", "0.95", "--batch-size", "25",
+            "--min-faults", "10", "--max-faults", "500",
+        ])
+        assert args.target_margin == 0.02
+        assert args.confidence == 0.95
+        assert args.batch_size == 25
+        assert args.min_faults == 10
+        assert args.max_faults == 500
+
+    def test_adaptive_defaults(self):
+        args = build_parser().parse_args(["inject", "CRC32"])
+        assert args.target_margin is None
+        assert args.confidence == 0.99
+        assert args.batch_size == 50
+        assert args.min_faults == 20
+        assert args.max_faults == 1000
+
+    def test_confidence_must_be_a_supported_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["inject", "CRC32", "--confidence", "0.42"]
+            )
+
+    def test_adaptive_inject_prints_achieved_margins(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main([
+            "inject", "StringSearch", "--target-margin", "0.4",
+            "--min-faults", "4", "--max-faults", "8", "--batch-size", "12",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive to +/-40%" in out
+        assert "Adaptive campaign: achieved margins" in out
+        assert "Campaign telemetry" in out
+
+    def test_adaptive_journaled_inject_and_forced_resume(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Acceptance flow: `inject --target-margin ... --resume` replays
+        a journaled adaptive campaign and continues without re-running the
+        journaled injections (here: nothing is left, so the journal stays
+        byte-identical)."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        journal_dir = tmp_path / "journal"
+        flags = [
+            "inject", "StringSearch", "--target-margin", "0.4",
+            "--min-faults", "4", "--max-faults", "8",
+            "--journal", str(journal_dir),
+        ]
+        assert main(flags) == 0
+        capsys.readouterr()
+        journals = list(journal_dir.glob("*.jsonl"))
+        assert len(journals) == 1
+        assert "adapt" in journals[0].name  # adaptive cache key, not fixed
+        before = journals[0].read_text()
+
+        for cached in (tmp_path / "cache").glob("*.json"):
+            cached.unlink()
+        assert main(flags + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "Adaptive campaign: achieved margins" in out
+        assert journals[0].read_text() == before
+
     def test_journaled_inject_and_forced_resume(self, tmp_path, monkeypatch, capsys):
         """CI smoke: a tiny journaled campaign, then a forced resume that
         replays every injection instead of re-simulating."""

@@ -1,0 +1,135 @@
+"""Documentation honesty checks.
+
+Three gates keep the prose from drifting away from the code:
+
+1. ``docs/CLI.md`` is diffed against the real argparse parser in both
+   directions - every subcommand and every long flag must be documented,
+   and nothing documented may be missing from the parser.
+2. Every relative markdown link in README.md, EXPERIMENTS.md, DESIGN.md
+   and docs/*.md must resolve to an existing file.
+3. Every script in examples/ must byte-compile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import py_compile
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parent.parent
+CLI_DOC = REPO / "docs" / "CLI.md"
+
+LINKED_DOCS = sorted(
+    [
+        REPO / "README.md",
+        REPO / "EXPERIMENTS.md",
+        REPO / "DESIGN.md",
+        *(REPO / "docs").glob("*.md"),
+    ],
+    key=lambda path: path.name,
+)
+
+FLAG_PATTERN = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^## repro (\S+)\s*$", re.MULTILINE)
+
+
+def _subparsers() -> dict[str, argparse.ArgumentParser]:
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    raise AssertionError("parser has no subcommands")
+
+
+def _long_flags(parser: argparse.ArgumentParser) -> set[str]:
+    flags = set()
+    for action in parser._actions:
+        if isinstance(action, argparse._HelpAction):
+            continue
+        flags.update(s for s in action.option_strings if s.startswith("--"))
+    return flags
+
+
+def _doc_sections() -> dict[str, str]:
+    """Map each ``## repro <command>`` heading to its section body."""
+    text = CLI_DOC.read_text()
+    sections: dict[str, str] = {}
+    for match in HEADING_PATTERN.finditer(text):
+        start = match.end()
+        next_heading = text.find("\n## ", start)
+        end = len(text) if next_heading == -1 else next_heading
+        sections[match.group(1)] = text[start:end]
+    return sections
+
+
+class TestCliReference:
+    def test_every_subcommand_has_a_section_and_vice_versa(self):
+        assert set(_doc_sections()) == set(_subparsers())
+
+    @pytest.mark.parametrize("command", sorted(_subparsers()))
+    def test_documented_flags_match_the_parser(self, command):
+        """Both directions: an undocumented flag fails, and so does a
+        documented flag the parser no longer accepts."""
+        section = _doc_sections()[command]
+        documented = set(FLAG_PATTERN.findall(section))
+        actual = _long_flags(_subparsers()[command])
+        missing = actual - documented
+        stale = documented - actual
+        assert not missing, (
+            f"docs/CLI.md section 'repro {command}' does not document: "
+            f"{sorted(missing)}"
+        )
+        assert not stale, (
+            f"docs/CLI.md section 'repro {command}' documents flags the "
+            f"parser does not accept: {sorted(stale)}"
+        )
+
+    def test_report_choices_are_documented(self):
+        """The report command's positional choices appear in its section."""
+        section = _doc_sections()["report"]
+        report = _subparsers()["report"]
+        (what,) = [
+            action for action in report._actions if action.dest == "what"
+        ]
+        for choice in what.choices:
+            assert f"`{choice}`" in section, (
+                f"report choice {choice!r} missing from docs/CLI.md"
+            )
+
+
+class TestMarkdownLinks:
+    @pytest.mark.parametrize(
+        "path", LINKED_DOCS, ids=lambda p: str(p.relative_to(REPO))
+    )
+    def test_relative_links_resolve(self, path):
+        broken = []
+        for target in LINK_PATTERN.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, f"{path.name} has broken links: {broken}"
+
+    def test_the_docs_are_linked_from_the_readme(self):
+        """The architecture and CLI pages must be reachable from README."""
+        readme = (REPO / "README.md").read_text()
+        assert "docs/ARCHITECTURE.md" in readme
+        assert "docs/CLI.md" in readme
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script",
+        sorted((REPO / "examples").glob("*.py")),
+        ids=lambda p: p.name,
+    )
+    def test_examples_compile(self, script, tmp_path):
+        py_compile.compile(
+            str(script), cfile=str(tmp_path / "out.pyc"), doraise=True
+        )
