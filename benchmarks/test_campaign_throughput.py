@@ -64,6 +64,8 @@ def test_campaign_throughput_serial_vs_parallel(benchmark):
 
     speedup = serial_seconds / parallel_seconds
     benchmark.extra_info["injections"] = total
+    benchmark.extra_info["translate"] = image.translate
+    benchmark.extra_info["cow_images"] = image.cow
     benchmark.extra_info["serial_inj_per_sec"] = round(total / serial_seconds, 2)
     benchmark.extra_info["parallel_jobs"] = cores
     benchmark.extra_info["parallel_inj_per_sec"] = round(
@@ -97,6 +99,13 @@ def test_lifetime_event_overhead(benchmark):
     ``MachineImage.lifetime`` (everything else identical, early exit on
     in both) and bounds the slowdown.  Effects must be byte-identical -
     events are pure observation.
+
+    Both images disable the basic-block translator: an armed taint probe
+    makes translated blocks refuse to run (their event semantics are
+    per-instruction), so on the default engine a lifetime campaign also
+    pays the loss of translation.  That engine-level gap is measured by
+    ``test_translation_speedup.py``; this budget isolates the cost of
+    the event collection itself, interpreter vs interpreter.
     """
     workload = get_workload("StringSearch")
     golden = run_golden(workload, SCALED_A9_CONFIG)
@@ -114,7 +123,8 @@ def test_lifetime_event_overhead(benchmark):
         for component in COMPONENTS
     }
     image_off = MachineImage.capture(
-        workload, SCALED_A9_CONFIG, golden, snapshots, digests=digests
+        workload, SCALED_A9_CONFIG, golden, snapshots, digests=digests,
+        translate=False,
     )
     image_on = MachineImage.capture(
         workload,
@@ -124,6 +134,7 @@ def test_lifetime_event_overhead(benchmark):
         digests=digests,
         arch_digests=arch_digests,
         lifetime=True,
+        translate=False,
     )
 
     effects_on = benchmark.pedantic(

@@ -14,7 +14,16 @@ from repro.injection.fault import generate_faults
 from repro.microarch.config import SCALED_A9_CONFIG
 from repro.microarch import core as core_module
 from repro.microarch.system import System
+from repro.microarch.translate import attach_translator
 from repro.workloads import get_workload
+
+
+def _record_rate(benchmark, result) -> None:
+    """Record instructions/sec in the BENCH json metrics envelope."""
+    benchmark.extra_info["instructions"] = result.counters.instructions
+    benchmark.extra_info["instructions_per_sec"] = round(
+        result.counters.instructions / benchmark.stats.stats.mean
+    )
 
 
 def test_detailed_mode_throughput(benchmark):
@@ -27,7 +36,27 @@ def test_detailed_mode_throughput(benchmark):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.exited_cleanly
-    benchmark.extra_info["instructions"] = result.counters.instructions
+    _record_rate(benchmark, result)
+
+
+def test_translated_mode_throughput(benchmark):
+    """Detailed mode with the basic-block trace translator attached.
+
+    Same machine and workload as :func:`test_detailed_mode_throughput`;
+    the two BENCH envelopes together record the translator's raw
+    interpreter-loop speedup (campaign-level gains are measured in
+    ``test_translation_speedup.py``).
+    """
+    workload = get_workload("Susan E")
+
+    def run():
+        system = System(workload.program(SCALED_A9_CONFIG.layout))
+        assert attach_translator(system) is not None
+        return system.run(max_cycles=50_000_000)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.exited_cleanly
+    _record_rate(benchmark, result)
 
 
 def test_atomic_mode_throughput(benchmark):
@@ -41,6 +70,7 @@ def test_atomic_mode_throughput(benchmark):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.exited_cleanly
+    _record_rate(benchmark, result)
 
 
 def test_ablation_decode_cache(benchmark):
@@ -54,6 +84,7 @@ def test_ablation_decode_cache(benchmark):
 
     result = benchmark.pedantic(run_cold, rounds=3, iterations=1)
     assert result.exited_cleanly
+    _record_rate(benchmark, result)
 
 
 @pytest.fixture(scope="module")
@@ -85,6 +116,9 @@ def test_injection_latency_checkpointed(benchmark, injection_setup):
 
     effects = benchmark.pedantic(inject, rounds=3, iterations=1)
     assert len(effects) == 4
+    benchmark.extra_info["injections_per_sec"] = round(
+        len(effects) / benchmark.stats.stats.mean, 2
+    )
 
 
 def test_ablation_injection_without_checkpoints(benchmark, injection_setup):
@@ -99,3 +133,6 @@ def test_ablation_injection_without_checkpoints(benchmark, injection_setup):
 
     effects = benchmark.pedantic(inject, rounds=3, iterations=1)
     assert len(effects) == 4
+    benchmark.extra_info["injections_per_sec"] = round(
+        len(effects) / benchmark.stats.stats.mean, 2
+    )

@@ -1,0 +1,90 @@
+"""Basic-block translation + COW images: accelerated vs interpreter-only.
+
+Runs the same seed-deterministic fault plan twice at ``jobs=1`` - once
+with the basic-block trace translator and copy-on-write image restores
+enabled (the default) and once with both disabled (the pre-translation
+baseline) - on the int-heavy CRC32 workload, asserts the per-fault
+effect lists are byte-identical (translation and COW are result-neutral
+by construction), and requires the accelerated run to sustain at least
+5x the injections/sec of the baseline.  Both sides keep early
+termination on, so the bar measures the translator/COW contribution on
+top of the existing pruning, not instead of it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.injection.campaign import record_golden_captures, run_golden
+from repro.injection.components import Component, component_bits
+from repro.injection.fault import generate_faults
+from repro.injection.parallel import MachineImage, run_injection_plan
+from repro.microarch.config import SCALED_A9_CONFIG
+from repro.workloads import get_workload
+
+FAULTS_PER_COMPONENT = 30
+COMPONENTS = (Component.L2, Component.L1I)
+SPEEDUP_BAR = 5.0
+
+
+def _build():
+    workload = get_workload("CRC32")
+    golden = run_golden(workload, SCALED_A9_CONFIG)
+    snapshots, digests = record_golden_captures(
+        workload, SCALED_A9_CONFIG, golden
+    )
+    accelerated = MachineImage.capture(
+        workload, SCALED_A9_CONFIG, golden, snapshots,
+        digests=digests, early_exit=True, translate=True, cow=True,
+    )
+    baseline = MachineImage.capture(
+        workload, SCALED_A9_CONFIG, golden, snapshots,
+        digests=digests, early_exit=True, translate=False, cow=False,
+    )
+    plan = {
+        component: generate_faults(
+            component,
+            component_bits(SCALED_A9_CONFIG, component),
+            golden.cycles,
+            count=FAULTS_PER_COMPONENT,
+            seed=9,
+        )
+        for component in COMPONENTS
+    }
+    return accelerated, baseline, plan
+
+
+def test_translation_speedup(benchmark):
+    """Same plan, jobs=1: identical effects, >= 5x injections/sec."""
+    accelerated_image, baseline_image, plan = _build()
+    total = sum(len(faults) for faults in plan.values())
+
+    accelerated_effects = benchmark.pedantic(
+        lambda: run_injection_plan(accelerated_image, plan, jobs=1),
+        rounds=3,
+        iterations=1,
+    )
+    accelerated_seconds = benchmark.stats.stats.mean
+
+    start = time.perf_counter()
+    baseline_effects = run_injection_plan(baseline_image, plan, jobs=1)
+    baseline_seconds = time.perf_counter() - start
+
+    speedup = baseline_seconds / accelerated_seconds
+    benchmark.extra_info["injections"] = total
+    benchmark.extra_info["accelerated_inj_per_sec"] = round(
+        total / accelerated_seconds, 2
+    )
+    benchmark.extra_info["baseline_inj_per_sec"] = round(
+        total / baseline_seconds, 2
+    )
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    # The equivalence guarantee: translation + COW never change any effect.
+    assert accelerated_effects == baseline_effects
+    assert speedup >= SPEEDUP_BAR, (
+        f"translation+COW speedup {speedup:.2f}x below the {SPEEDUP_BAR}x "
+        f"bar ({total} injections, "
+        f"{total / accelerated_seconds:.1f}/s vs "
+        f"{total / baseline_seconds:.1f}/s)"
+    )

@@ -21,7 +21,10 @@ Commands
     the provably-sound early Masked terminations (golden-digest
     convergence and dead-cell short-circuits) - the effects are
     bit-identical either way, so the flag exists only for benchmarking
-    and auditing.  ``--no-events`` disables fault-lifetime event
+    and auditing.  ``--no-translate`` and ``--no-cow`` likewise disable
+    the (result-neutral) basic-block translator and copy-on-write
+    restores (``docs/PERFORMANCE.md``).  ``--no-events`` disables
+    fault-lifetime event
     recording; ``--trace-on-crash N`` attaches the last N instructions to
     Crash-classified journal records; ``--metrics PATH`` exports the
     telemetry summary as machine-readable JSON
@@ -126,6 +129,8 @@ def _cmd_inject(args) -> int:
         digest_probes=args.digest_probes,
         lifetime_events=not args.no_events,
         trace_on_crash=args.trace_on_crash,
+        translate=not args.no_translate,
+        cow_images=not args.no_cow,
         target_margin=args.target_margin,
         batch_size=args.batch_size,
         min_faults=args.min_faults,
@@ -364,6 +369,15 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="evenly spaced golden-state digest probes "
                         "used for convergence detection (default 24)")
+    inject.add_argument("--no-translate", action="store_true",
+                        help="run injections through the per-instruction "
+                        "interpreter instead of the basic-block translator; "
+                        "effects are bit-identical either way (the flag "
+                        "exists for benchmarking and equivalence audits)")
+    inject.add_argument("--no-cow", action="store_true",
+                        help="restore the full machine state between "
+                        "injections instead of only the pages the previous "
+                        "run dirtied; restores are bit-identical either way")
     inject.add_argument("--no-events", action="store_true",
                         help="disable fault-lifetime event recording "
                         "(flip -> read/overwrite/evict -> divergence -> "

@@ -137,6 +137,17 @@ class CampaignConfig:
     #: Tracing forces the slow interpreter loop; 0 (the default) disables
     #: it.  Observation-only, hence also excluded from the cache key.
     trace_on_crash: int = 0
+    #: Execute injected runs through the basic-block translator
+    #: (:mod:`repro.microarch.translate`).  Bit-identical to the interpreter
+    #: by construction (enforced by the translator equivalence suite), so -
+    #: like ``early_exit`` - it is deliberately *not* part of the cache
+    #: key; ``--no-translate`` exists for debugging and audits.
+    translate: bool = True
+    #: Restore worker machine state copy-on-write between injections
+    #: (rewrite only dirtied/differing pages; see
+    #: :class:`~repro.microarch.snapshot.DeltaRestorer`).  Restores are
+    #: bit-identical either way, so also excluded from the cache key.
+    cow_images: bool = True
     #: Adaptive (sequential) stopping: when set, the campaign ignores
     #: ``faults_per_component`` and instead injects batch after batch until
     #: every tracked rate of every component - the AVF's re-adjusted
@@ -645,6 +656,8 @@ class InjectionCampaign:
             arch_digests=arch_digests,
             lifetime=self.config.lifetime_events,
             trace_on_crash=self.config.trace_on_crash,
+            translate=self.config.translate,
+            cow=self.config.cow_images,
         )
         return golden, image
 

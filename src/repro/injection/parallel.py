@@ -80,7 +80,12 @@ from repro.injection.journal import (
 from repro.injection.telemetry import CampaignTelemetry
 from repro.isa.assembler import Program
 from repro.microarch.config import MachineConfig
-from repro.microarch.snapshot import SystemSnapshot, best_snapshot
+from repro.microarch.snapshot import (
+    DeltaRestorer,
+    SystemSnapshot,
+    best_snapshot,
+)
+from repro.microarch.translate import attach_translator
 from repro.microarch.system import RunResult, System
 from repro.microarch.trace import Tracer
 from repro.observability.events import (
@@ -144,6 +149,13 @@ class MachineImage:
     #: When > 0, trace every injected run and attach the last N instructions
     #: to Crash-classified results.  Forces the slow interpreter loop.
     trace_on_crash: int = 0
+    #: Run injected programs through the basic-block translator
+    #: (:mod:`repro.microarch.translate`).  Result-neutral by construction;
+    #: ``--no-translate`` exists for debugging and equivalence audits.
+    translate: bool = True
+    #: Restore injections copy-on-write (rewrite only dirtied/differing
+    #: memory pages) instead of sweeping the whole address space.
+    cow: bool = True
 
     @classmethod
     def capture(
@@ -158,6 +170,8 @@ class MachineImage:
         arch_digests: Mapping[int, bytes] | None = None,
         lifetime: bool = False,
         trace_on_crash: int = 0,
+        translate: bool = True,
+        cow: bool = True,
     ) -> "MachineImage":
         """Bundle a workload's golden run into a shippable image."""
         return cls(
@@ -173,6 +187,8 @@ class MachineImage:
             arch_digests=dict(arch_digests or {}),
             lifetime=lifetime,
             trace_on_crash=trace_on_crash,
+            translate=translate,
+            cow=cow,
         )
 
 
@@ -245,6 +261,17 @@ class ImageInjector:
         self.system = System(image.program, config=image.machine)
         self.pristine = SystemSnapshot(self.system)
         self.budget = watchdog_budget(image.golden_cycles)
+        if image.translate:
+            attach_translator(self.system)
+        # This injector owns its system exclusively and restores through
+        # one engine, which is exactly the DeltaRestorer contract.  Atomic
+        # machines store straight into memory without dirty tracking, so
+        # they keep the full-sweep restore (and uncached digests).
+        if image.cow and not image.machine.atomic:
+            self._restorer = DeltaRestorer(self.system)
+            self.system.memory.enable_digest_cache()
+        else:
+            self._restorer = None
         # The probe grid serves early termination *and* (observation-only)
         # convergence/divergence stamping for fault-lifetime events.
         self._probe_cycles = (
@@ -281,7 +308,10 @@ class ImageInjector:
         snapshot = best_snapshot(image.snapshots, fault.cycle)
         if snapshot is None:
             snapshot = self.pristine
-        snapshot.restore(system)
+        if self._restorer is not None:
+            self._restorer.restore(snapshot)
+        else:
+            snapshot.restore(system)
         target = component_target(system, fault.component)
         population = target.data_bits
         cluster = image.cluster_size

@@ -635,6 +635,13 @@ class Core:
         self.timer_interval = config.timer_interval
         self.next_timer = config.timer_interval
 
+        #: Optional basic-block translator
+        #: (:class:`repro.microarch.translate.BlockTranslator`).  ``None``
+        #: means pure interpretation.  Both run loops consult it between
+        #: instructions; it is ignored while a trace hook is installed
+        #: (tracing is per-instruction by definition).
+        self.translator = None
+
     # -- address translation --------------------------------------------------
 
     def _translate(self, vaddr: int, tlb: TLB, need: int) -> tuple[int, int]:
@@ -901,6 +908,7 @@ class Core:
         pending = sorted(events, key=lambda item: item[0]) if events else []
         pending.reverse()  # pop() from the end
         next_event = pending[-1][0] if pending else None
+        translator = self.translator if trace is None else None
 
         while True:
             if next_event is None and trace is None:
@@ -921,6 +929,31 @@ class Core:
                 raise WatchdogTimeout(cycle)
             if trace is not None:
                 trace(self)
+            if translator is not None:
+                # A translated block may run only up to the next boundary a
+                # per-instruction check would notice: the next event, the
+                # watchdog, and (in user mode) the pending timer.  All three
+                # checks above guarantee limit > cycle here.
+                limit = (
+                    next_event
+                    if next_event is not None and next_event < max_cycles
+                    else max_cycles
+                )
+                if self.mode == Mode.USER and self.next_timer < limit:
+                    limit = self.next_timer
+                try:
+                    if translator.execute(self, limit):
+                        continue
+                except ArchitecturalFault as fault:
+                    if self.mode == Mode.KERNEL:
+                        raise KernelPanic(
+                            str(fault), pc=self.current_pc
+                        ) from fault
+                    self.enter_kernel(
+                        fault.cause, epc=self.current_pc, faultaddr=fault.pc
+                    )
+                    self.cycle += 4
+                    continue
             try:
                 self.step()
             except ArchitecturalFault as fault:
@@ -965,6 +998,8 @@ class Core:
         int_from_bytes = int.from_bytes
         mode_user = Mode.USER
         mode_kernel = Mode.KERNEL
+        translator = self.translator
+        translator_execute = translator.execute if translator is not None else None
 
         while True:
             cycle = self.cycle
@@ -976,6 +1011,26 @@ class Core:
                 # In kernel mode the interrupt stays pending until eret.
             if cycle >= max_cycles:
                 raise WatchdogTimeout(cycle)
+            if translator_execute is not None:
+                # Same boundary rule as the slow loop: stop at the watchdog
+                # and, in user mode, at the pending timer.  The checks above
+                # guarantee limit > cycle here.
+                limit = self.next_timer if self.mode is mode_user else max_cycles
+                if limit > max_cycles:
+                    limit = max_cycles
+                try:
+                    if translator_execute(self, limit):
+                        continue
+                except ArchitecturalFault as fault:
+                    if self.mode is mode_kernel:
+                        raise KernelPanic(
+                            str(fault), pc=self.current_pc
+                        ) from fault
+                    self.enter_kernel(
+                        fault.cause, epc=self.current_pc, faultaddr=fault.pc
+                    )
+                    self.cycle += 4
+                    continue
             pc = self.pc
             self.current_pc = pc
             try:

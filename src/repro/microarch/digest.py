@@ -48,16 +48,57 @@ _LINE_META = struct.Struct("<qqB")
 _TLB_ENTRY = struct.Struct("<QQQQB")
 _COUNTER_PAIR = struct.Struct("<qqq")
 
+_PAGE_SHIFT = 12
+_PAGE_SIZE = 1 << _PAGE_SHIFT
+
+
+def _hash_memory(h, memory) -> None:
+    """Fold main memory in as a hash of per-4KB-page hashes.
+
+    The tree form makes the digest memoizable: with
+    :meth:`~repro.microarch.memory.MainMemory.enable_digest_cache` armed,
+    only pages written since the previous digest (tracked by the same
+    dirty marking the copy-on-write restorer uses) are re-hashed, turning
+    the per-probe cost from O(memory) into O(pages touched).  Cached and
+    uncached callers compute the identical function, so golden digests
+    recorded on a plain machine compare against probe digests from a
+    caching injector.
+    """
+    data = memory.data
+    pages = (len(data) + _PAGE_SIZE - 1) >> _PAGE_SHIFT
+    hashes = memory._page_hashes
+    view = memoryview(data)
+    if hashes is None:
+        page_hashes = [
+            blake2b(
+                view[page << _PAGE_SHIFT : (page + 1) << _PAGE_SHIFT],
+                digest_size=DIGEST_SIZE,
+            ).digest()
+            for page in range(pages)
+        ]
+    else:
+        page_hashes = hashes
+        for page in range(pages):
+            if page_hashes[page] is None:
+                page_hashes[page] = blake2b(
+                    view[page << _PAGE_SHIFT : (page + 1) << _PAGE_SHIFT],
+                    digest_size=DIGEST_SIZE,
+                ).digest()
+    view.release()
+    h.update(b"".join(page_hashes))
+
 
 def _hash_cache(h, cache) -> None:
+    parts = []
     meta = []
     pack = _LINE_META.pack
     for ways in cache.sets:
         for line in ways:
             meta.append(pack(line.tag, line.stamp, line.valid | (line.dirty << 1)))
-            h.update(line.data)
-    h.update(b"".join(meta))
-    h.update(_COUNTER_PAIR.pack(cache._clock, cache.accesses, cache.misses))
+            parts.append(line.data)
+    parts.extend(meta)
+    parts.append(_COUNTER_PAIR.pack(cache._clock, cache.accesses, cache.misses))
+    h.update(b"".join(parts))
 
 
 def _hash_tlb(h, tlb) -> None:
@@ -75,8 +116,8 @@ def _hash_tlb(h, tlb) -> None:
                 entry.valid | (reachable << 1),
             )
         )
+    meta.append(_COUNTER_PAIR.pack(tlb._clock, tlb.accesses, tlb.misses))
     h.update(b"".join(meta))
-    h.update(_COUNTER_PAIR.pack(tlb._clock, tlb.accesses, tlb.misses))
 
 
 def system_digest(system) -> bytes:
@@ -87,7 +128,7 @@ def system_digest(system) -> bytes:
     changes the digest, and overwriting the flipped state restores it.
     """
     h = blake2b(digest_size=DIGEST_SIZE)
-    h.update(system.memory.data)
+    _hash_memory(h, system.memory)
     for name in ("l1i", "l1d", "l2"):
         _hash_cache(h, getattr(system, name))
     for name in ("itlb", "dtlb"):

@@ -20,6 +20,40 @@ class MainMemory:
         self.data = bytearray(size)
         #: Optional taint probe (:mod:`repro.observability.taint`).
         self.probe = None
+        #: 4 KB pages written since the tracker was last cleared.  Memory
+        #: writes are rare (L2 miss refills are reads; only write-backs and
+        #: loader pokes land here), so the per-write set insertion is noise,
+        #: and it lets :class:`~repro.microarch.snapshot.DeltaRestorer`
+        #: rewrite only the pages an injection actually touched.
+        self.dirty_pages: set[int] = set()
+        #: Memoized per-page digests for :func:`repro.microarch.digest`
+        #: (``None`` slots are stale).  Off by default; campaign injectors
+        #: opt in via :meth:`enable_digest_cache` so digest probes re-hash
+        #: only the pages written since the previous probe.
+        self._page_hashes: list | None = None
+
+    def enable_digest_cache(self) -> None:
+        """Memoize per-page digests, invalidated by the dirty tracking.
+
+        Only sound on machines whose every memory write goes through
+        :meth:`write_block`/:meth:`poke` (atomic-mode cores store into
+        ``data`` directly, so they must not enable this).
+        """
+        self._page_hashes = [None] * ((self.size + (1 << 12) - 1) >> 12)
+
+    def _mark_dirty(self, paddr: int, size: int) -> None:
+        first = paddr >> 12
+        last = (paddr + size - 1) >> 12
+        hashes = self._page_hashes
+        if first == last:
+            self.dirty_pages.add(first)
+            if hashes is not None:
+                hashes[first] = None
+        else:
+            self.dirty_pages.update(range(first, last + 1))
+            if hashes is not None:
+                for page in range(first, last + 1):
+                    hashes[page] = None
 
     # -- hierarchy interface (line granularity, used by caches) -------------
 
@@ -40,6 +74,7 @@ class MainMemory:
         if self.probe is not None:
             self.probe.on_write_block(self, paddr, len(data))
         self.data[paddr : paddr + len(data)] = data
+        self._mark_dirty(paddr, len(data))
         return self.latency
 
     # -- functional (no timing, no state change) access ----------------------
@@ -54,3 +89,4 @@ class MainMemory:
                 f"loader write outside memory: {paddr:#010x}", pc=0
             )
         self.data[paddr : paddr + len(data)] = data
+        self._mark_dirty(paddr, len(data))

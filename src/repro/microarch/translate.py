@@ -1,0 +1,883 @@
+"""Basic-block trace translation: compiled straight-line superinstructions.
+
+The interpreter pays its per-instruction costs - fetch translation, cache
+tag scan, decode-memo lookup, handler dispatch, counter bookkeeping - for
+every dynamic instruction, even though hot code re-executes the same
+straight-line regions millions of times.  This module discovers those
+regions at runtime and compiles each one into a single closed-over Python
+function: generated source, ``compile()``\\ d once, cached per (pc, mode).
+
+A translated block is **bit-exact** with the interpreter by construction:
+
+- Entry guards are pure reads.  The block verifies the ITLB entry, the L1I
+  lines, and the exact instruction bytes it was compiled from before
+  touching any state; any mismatch returns ``False`` and the dispatch loop
+  falls back to the interpreter, which replays the canonical sequence.
+- It refuses to run while any observability hook is armed (taint probes
+  on either TLB, any cache level or main memory; wrapped register lists)
+  - probe events carry per-instruction cycle stamps that a block's
+  batched cycle counter cannot provide, so probed runs always interpret.
+- Every instruction boundary checks the caller's ``limit`` (the next
+  event/digest-probe cycle, the pending timer, the watchdog), so events
+  fire between exactly the same instructions as under interpretation.
+- Data-side accesses take an inline DTLB+L1D full-hit fast path that
+  replays exactly the interpreter's hit sequence (same counter bumps,
+  same LRU stamps, same latencies); anything short of an aligned,
+  non-MMIO, TLB-resident, cache-resident access falls back to
+  :meth:`Core.load_int` / ``store_int`` - the same code the handlers
+  call - so walks, misses and faults are bit-identical.
+  ``load_double`` / ``store_double`` always take the interpreter calls.
+- Batched state (cycle, icount, cmp, rename cursors, branch counters,
+  fetch counters and LRU stamps) is flushed at every exit, including the
+  exception path, leaving the machine exactly where the interpreter would
+  have left it, mid-fault included.
+
+Blocks end at taken-branch boundaries, page boundaries, privileged or
+kernel-entry instructions (SYSCALL/ERET/HALT/CSRR/CSRW - CSRR also reads
+the live cycle counter, which a block batches), illegal words, and L1I
+lines that are not resident.  A conditional or unconditional branch whose
+target is the block head compiles into an in-block loop, so hot inner
+loops run without re-entering the dispatcher.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArithmeticFault
+from repro.isa.encoding import try_decode
+from repro.isa.opcodes import Op
+from repro.kernel.layout import (
+    MMIO_BASE,
+    PAGE_SHIFT,
+    PTE_EXEC,
+    PTE_READ,
+    PTE_USER,
+    PTE_VALID,
+    PTE_WRITE,
+)
+from repro.microarch.core import Mode
+
+_MASK32 = 0xFFFFFFFF
+
+#: Dispatch misses at a pc before a translation attempt.
+HEAT_THRESHOLD = 16
+#: A failed (but maybe retryable) attempt backs off this many visits.
+RETRY_PENALTY = 112
+#: Block size bounds.  The maximum keeps generated functions small enough
+#: to compile quickly; the minimum avoids blocks whose guard cost exceeds
+#: the interpretation cost they replace.
+MAX_BLOCK_INSTRUCTIONS = 64
+MIN_BLOCK_INSTRUCTIONS = 2
+
+#: Instructions a block must end *before*: kernel entries/exits change the
+#: privilege mode mid-stream, and CSRR reads the live cycle counter that a
+#: block keeps batched in a local.
+UNTRANSLATABLE_OPS = frozenset({Op.SYSCALL, Op.ERET, Op.HALT, Op.CSRR, Op.CSRW})
+
+_COND_BRANCH_EXPR = {
+    Op.BEQ: "cmp == 0",
+    Op.BNE: "cmp != 0",
+    Op.BLT: "cmp == -1",
+    Op.BGE: "cmp == 0 or cmp == 1",
+    Op.BGT: "cmp == 1",
+    Op.BLE: "cmp == 0 or cmp == -1",
+}
+_TERMINAL_OPS = frozenset(_COND_BRANCH_EXPR) | {Op.B, Op.BL, Op.BR, Op.BLR}
+
+
+#: Permanent do-not-translate marker (an untranslatable first instruction,
+#: or a structurally tiny block): dispatch answers with a single identity
+#: check instead of a call.
+_NEVER = object()
+
+
+def attach_translator(system):
+    """Enable basic-block translation on ``system``'s core.
+
+    Returns the installed :class:`BlockTranslator`, or ``None`` on atomic
+    machines - atomic mode has no caches or TLBs to guard blocks with, and
+    its interpreter is already a flat array walk.
+    """
+    if system.config.atomic:
+        return None
+    translator = BlockTranslator(system.core)
+    system.core.translator = translator
+    return translator
+
+
+class BlockTranslator:
+    """Discovers, compiles and dispatches translated blocks for one core."""
+
+    def __init__(self, core):
+        self.core = core
+        self._user_blocks: dict[int, object] = {}
+        self._kernel_blocks: dict[int, object] = {}
+        self._heat: dict[int, int] = {}
+        #: Compiled-block count, exposed for tests and benchmarks.
+        self.compiled = 0
+
+    # -- dispatch -------------------------------------------------------------
+
+    def execute(self, core, limit: int) -> bool:
+        """Run a translated block at ``core.pc`` if one applies.
+
+        Returns ``True`` when at least one instruction was executed (the
+        run loop then re-checks events/timer/watchdog), ``False`` when the
+        caller must interpret the next instruction itself.
+        """
+        mode = core.mode
+        blocks = (
+            self._kernel_blocks if mode is Mode.KERNEL else self._user_blocks
+        )
+        pc = core.pc
+        fn = blocks.get(pc)
+        if fn is not None:
+            if fn is _NEVER:
+                return False
+            return fn(limit)
+        heat = self._heat
+        key = (pc << 1) | int(mode)
+        count = heat.get(key, 0) + 1
+        if count < HEAT_THRESHOLD:
+            heat[key] = count
+            return False
+        heat.pop(key, None)
+        fn = self._translate(core, pc, mode)
+        if fn is None:
+            heat[key] = -RETRY_PENALTY
+            return False
+        blocks[pc] = fn
+        if fn is _NEVER:
+            return False
+        return fn(limit)
+
+    # -- discovery ------------------------------------------------------------
+
+    def _discover(self, core, pc: int, mode) -> tuple[list, bool]:
+        """Decode a straight-line region at ``pc`` using only pure reads.
+
+        Returns ``(instrs, extendable)``; ``extendable`` means a longer
+        region might become discoverable later (an L1I line was absent),
+        so a failed attempt should be retried rather than pinned.
+        """
+        itlb = core.itlb
+        vpn = pc >> PAGE_SHIFT
+        entry = itlb._map.get(vpn)
+        if entry is None or not entry.valid or entry.vpn != vpn:
+            return [], True
+        perms = entry.perms
+        need = PTE_VALID | PTE_EXEC
+        if perms & need != need:
+            return [], False
+        if mode is Mode.USER and not perms & PTE_USER:
+            return [], False
+        base = entry.ppn << PAGE_SHIFT
+        l1i = core.l1i
+        memory_size = core.layout.memory_size
+        page_end = (vpn + 1) << PAGE_SHIFT
+        instrs: list = []
+        addr = pc
+        while len(instrs) < MAX_BLOCK_INSTRUCTIONS and addr + 4 <= page_end:
+            paddr = base | (addr & ((1 << PAGE_SHIFT) - 1))
+            if paddr + 4 > memory_size:
+                return instrs, False
+            tag = paddr >> l1i._offset_bits
+            line = None
+            for candidate in l1i.sets[tag & l1i._set_mask]:
+                if candidate.valid and candidate.tag == tag:
+                    line = candidate
+                    break
+            if line is None:
+                return instrs, True
+            offset = paddr & l1i._offset_mask
+            word = int.from_bytes(line.data[offset : offset + 4], "little")
+            inst = try_decode(word)
+            if inst is None or inst.op in UNTRANSLATABLE_OPS:
+                return instrs, False
+            instrs.append((addr, word, inst.op, inst.rd, inst.rs1, inst.rs2, inst.imm))
+            if inst.op in _TERMINAL_OPS:
+                return instrs, False
+            addr += 4
+        return instrs, False
+
+    def _translate(self, core, pc: int, mode):
+        instrs, extendable = self._discover(core, pc, mode)
+        loop = bool(instrs) and _loop_target(instrs[-1]) == pc
+        if len(instrs) < MIN_BLOCK_INSTRUCTIONS and not loop:
+            if extendable:
+                return None
+            return _NEVER
+        source, consts = _emit_block(core, pc, mode, instrs, loop)
+        code = compile(source, f"<block {mode.name.lower()}@{pc:#x}>", "exec")
+        namespace: dict = {}
+        exec(code, namespace)
+        self.compiled += 1
+        return namespace["_factory"](core, consts)
+
+
+def _loop_target(instr) -> int | None:
+    """Branch target of a block-terminal instruction, if compile-time known."""
+    addr, _word, op, _rd, _rs1, _rs2, imm = instr
+    if op is Op.B or op in _COND_BRANCH_EXPR:
+        return (addr + 4 + imm * 4) & _MASK32
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+
+class _Emitter:
+    def __init__(self):
+        self.lines: list[str] = []
+        self.indent = 0
+
+    def emit(self, *lines: str) -> None:
+        pad = "    " * self.indent
+        for line in lines:
+            self.lines.append(pad + line)
+
+
+def _group_spans(instrs, offset_mask: int):
+    """Split the block into runs of instructions sharing one L1I line.
+
+    Returns ``[(page_offset_of_line, first_byte, last_byte, expected)]``
+    plus, per instruction, the index of its group.
+    """
+    groups = []
+    owner = []
+    for addr, word, *_ in instrs:
+        page_offset = addr & ((1 << PAGE_SHIFT) - 1)
+        line_offset = page_offset & ~offset_mask
+        in_line = page_offset & offset_mask
+        if groups and groups[-1][0] == line_offset:
+            groups[-1][2] = in_line + 4
+            groups[-1][3] += word.to_bytes(4, "little")
+        else:
+            groups.append([line_offset, in_line, in_line + 4, word.to_bytes(4, "little")])
+        owner.append(len(groups) - 1)
+    return [tuple(group) for group in groups], owner
+
+
+def _emit_block(core, pc: int, mode, instrs, loop: bool):
+    """Generate the factory source and constant pool for one block."""
+    l1i = core.l1i
+    hit = 1 + l1i.hit_latency
+    n_int = core.rf.n_int
+    n_fp = core.rf.n_fp
+    groups, owner = _group_spans(instrs, l1i._offset_mask)
+    block_len = len(instrs)
+    start = pc
+    last_addr = instrs[-1][0]
+    consts = {
+        "mode": mode,
+        "nan": float("nan"),
+        "ArithmeticFault": ArithmeticFault,
+    }
+    for index, (_off, _first, _last, expected) in enumerate(groups):
+        consts[f"X{index}"] = expected
+
+    out = _Emitter()
+    out.emit(
+        "def _factory(core, C):",
+    )
+    out.indent = 1
+    out.emit(
+        "rf = core.rf",
+        "itlb = core.itlb",
+        "l1i = core.l1i",
+        "itlb_map = itlb._map",
+        "l1i_sets = l1i.sets",
+        "dtlb = core.dtlb",
+        "dtlb_map = dtlb._map",
+        "l1d = core.l1d",
+        "l1d_sets = l1d.sets",
+        "l2 = core.l2",
+        "mem = core.memory",
+        "ifb = int.from_bytes",
+        "load_int = core.load_int",
+        "store_int = core.store_int",
+        "load_double = core.load_double",
+        "store_double = core.store_double",
+        "mode_c = C['mode']",
+        "NAN = C['nan']",
+        "ArithmeticFault = C['ArithmeticFault']",
+    )
+    for index in range(len(groups)):
+        out.emit(f"X{index} = C['X{index}']")
+    out.emit("def block(limit):")
+    out.indent = 2
+
+    # -- pure entry guards ---------------------------------------------------
+    vpn = pc >> PAGE_SHIFT
+    need = PTE_VALID | PTE_EXEC
+    last_byte = max(offset + last for offset, _first, last, _x in groups) - 1
+    out.emit(
+        "cycle = core.cycle",
+        "if cycle >= limit:",
+        "    return False",
+        "if core.mode is not mode_c:",
+        "    return False",
+        "int_regs = rf.int_regs",
+        "if type(int_regs) is not list:",
+        "    return False",
+        "if (itlb.probe is not None or l1i.probe is not None"
+        " or dtlb.probe is not None or l1d.probe is not None"
+        " or l2.probe is not None or mem.probe is not None):",
+        "    return False",
+        f"e = itlb_map.get({vpn})",
+        f"if e is None or not e.valid or e.vpn != {vpn}:",
+        "    return False",
+        "p = e.perms",
+        f"if p & {need} != {need}:",
+        "    return False",
+    )
+    if mode is Mode.USER:
+        out.emit(
+            f"if not p & {PTE_USER}:",
+            "    return False",
+        )
+    out.emit(
+        f"base = e.ppn << {PAGE_SHIFT}",
+        f"if base + {last_byte} >= {core.layout.memory_size}:",
+        "    return False",
+        f"tag = (base + {groups[0][0]}) >> {l1i._offset_bits}",
+        "cur = None",
+        f"for _L in l1i_sets[tag & {l1i._set_mask}]:",
+        "    if _L.valid and _L.tag == tag:",
+        "        cur = _L",
+        "        break",
+        f"if cur is None or cur.data[{groups[0][1]}:{groups[0][2]}] != X0:",
+        "    return False",
+        "fp_regs = rf.fp_regs",
+        "cmp = core.cmp",
+        "ih = rf._int_history",
+        "fh = rf._fp_history",
+        "br = core.branches",
+        "bm = core.branch_misses",
+        "clk0 = l1i._clock",
+        "a0 = l1i.accesses",
+        "tclk0 = itlb._clock",
+        "ta0 = itlb.accesses",
+        "ic0 = core.icount",
+        "nb = 0",
+        "fc = 0",
+        "g0 = cur",
+    )
+    ops = {instr[2] for instr in instrs}
+    loads_fast = bool(ops & {Op.LDW, Op.LDB})
+    stores_fast = bool(ops & {Op.STW, Op.STB}) and not core.l1d._write_through
+    if loads_fast:
+        out.emit("ld = 0")
+    if stores_fast:
+        out.emit("st = 0")
+    out.emit("try:")
+    out.indent = 3
+    out.emit("while True:")
+    out.indent = 4
+
+    multi_group = len(groups) > 1
+    nb = "nb + " if loop else ""
+
+    def bail(pos: int) -> list[str]:
+        """Limit-check bail before executing position ``pos``."""
+        if pos == 0:
+            # Only loop blocks re-check position 0; on iterations >= 2 the
+            # previous instruction was the terminal branch (taken).
+            return [
+                "if cycle >= limit:",
+                "    total = nb",
+                f"    pcv = {start}",
+                f"    cpc = {last_addr}",
+                "    break",
+            ]
+        prev = instrs[pos - 1][0]
+        return [
+            "if cycle >= limit:",
+            f"    total = {nb}{pos}",
+            f"    pcv = {prev + 4}",
+            f"    cpc = {prev}",
+            "    break",
+        ]
+
+    for pos, (addr, _word, op, rd, rs1, rs2, imm) in enumerate(instrs):
+        group = owner[pos]
+        if pos > 0 or loop:
+            out.emit(*bail(pos))
+        if pos > 0 and owner[pos - 1] != group:
+            # New L1I line: guard it, then commit the previous line's LRU
+            # stamp (its last fetch was position pos-1 = fetch count pos).
+            offset, first, last, _expected = groups[group]
+            prev = instrs[pos - 1][0]
+            out.emit(
+                f"tag = (base + {offset}) >> {l1i._offset_bits}",
+                "nxt = None",
+                f"for _L in l1i_sets[tag & {l1i._set_mask}]:",
+                "    if _L.valid and _L.tag == tag:",
+                "        nxt = _L",
+                "        break",
+                f"if nxt is None or nxt.data[{first}:{last}] != X{group}:",
+                f"    total = {nb}{pos}",
+                f"    pcv = {prev + 4}",
+                f"    cpc = {prev}",
+                "    break",
+                f"cur.stamp = clk0 + {nb}{pos}",
+                "cur = nxt",
+            )
+        _emit_instr(
+            out, core, instrs, pos, loop, nb, hit, n_int, n_fp, start,
+            multi_group, mode, stores_fast,
+        )
+
+    if instrs[-1][2] not in _TERMINAL_OPS:
+        # Fall-through exit: the block ended at a page/line/untranslatable
+        # boundary; the dispatcher (or interpreter) continues at the next pc.
+        out.emit(
+            f"total = {nb}{block_len}",
+            f"pcv = {last_addr + 4}",
+            f"cpc = {last_addr}",
+            "break",
+        )
+
+    out.indent = 3
+    out.indent = 2
+    out.emit("except BaseException:")
+    out.indent = 3
+    # A faulting instruction keeps its fetch side effects (fc includes it)
+    # but contributes nothing to icount/cycle; current_pc was stored before
+    # the faulting call, and the interpreter leaves pc = current_pc + 4.
+    out.emit(
+        "core.cycle = cycle",
+        "core.icount = ic0 + fc - 1",
+        "core.cmp = cmp",
+        "core.pc = core.current_pc + 4",
+        "rf._int_history = ih",
+        "rf._fp_history = fh",
+        "core.branches = br",
+        "core.branch_misses = bm",
+        "l1i._clock = clk0 + fc",
+        "l1i.accesses = a0 + fc",
+        "cur.stamp = clk0 + fc",
+        "itlb._clock = tclk0 + fc",
+        "itlb.accesses = ta0 + fc",
+        "e.stamp = tclk0 + fc",
+    )
+    if loads_fast:
+        out.emit("core.loads += ld")
+    if stores_fast:
+        out.emit("core.stores += st")
+    out.emit("raise")
+    out.indent = 2
+    out.emit(
+        "core.cycle = cycle",
+        "core.icount = ic0 + total",
+        "core.cmp = cmp",
+        "core.pc = pcv",
+        "core.current_pc = cpc",
+        "rf._int_history = ih",
+        "rf._fp_history = fh",
+        "core.branches = br",
+        "core.branch_misses = bm",
+        "l1i._clock = clk0 + total",
+        "l1i.accesses = a0 + total",
+        "cur.stamp = clk0 + total",
+        "itlb._clock = tclk0 + total",
+        "itlb.accesses = ta0 + total",
+        "e.stamp = tclk0 + total",
+    )
+    if loads_fast:
+        out.emit("core.loads += ld")
+    if stores_fast:
+        out.emit("core.stores += st")
+    out.emit("return True")
+    out.indent = 1
+    out.emit("return block")
+    return "\n".join(out.lines) + "\n", consts
+
+
+def _write_int(rd: int, expr: str, n_int: int, mask: bool) -> list[str]:
+    """Inline :meth:`PhysRegFile.write_int`, rename-slot refresh included."""
+    value = f"({expr}) & 4294967295" if mask else expr
+    if n_int <= 16:
+        return [f"int_regs[{rd}] = {value}"]
+    return [
+        f"v = {value}",
+        f"int_regs[{rd}] = v",
+        "int_regs[ih] = v",
+        "ih += 1",
+        f"if ih == {n_int}:",
+        "    ih = 16",
+    ]
+
+
+def _write_fp(rd: int, expr: str, n_fp: int) -> list[str]:
+    if n_fp <= 16:
+        return [f"fp_regs[{rd}] = {expr}"]
+    return [
+        f"w = {expr}",
+        f"fp_regs[{rd}] = w",
+        "fp_regs[fh] = w",
+        "fh += 1",
+        f"if fh == {n_fp}:",
+        "    fh = 16",
+    ]
+
+
+def _signed_local(name: str, expr: str) -> list[str]:
+    return [
+        f"{name} = {expr}",
+        f"if {name} & 2147483648:",
+        f"    {name} -= 4294967296",
+    ]
+
+
+def _emit_instr(
+    out, core, instrs, pos, loop, nb, hit, n_int, n_fp, start,
+    multi_group, mode, stores_fast,
+):
+    addr, _word, op, rd, rs1, rs2, imm = instrs[pos]
+    block_len = len(instrs)
+    last = pos == block_len - 1
+
+    def risky_prologue() -> list[str]:
+        return [f"core.current_pc = {addr}", f"fc = {nb}{pos + 1}"]
+
+    def data_hit_guard(need: int, align: bool) -> list[str]:
+        """Open the inline DTLB+L1D hit scan; mirrors ``_data_hit_paddr``.
+
+        Purely read-only until the L1D line is found, so a fallthrough
+        (``mv``/``ok`` unset) leaves no trace and the ``load_int`` /
+        ``store_int`` fallback replays the canonical sequence, faults
+        included.
+        """
+        l1d = core.l1d
+        check = f"ma < {MMIO_BASE}"
+        if align:
+            check += " and not ma & 3"
+        perms = need | PTE_VALID
+        if mode is Mode.USER:
+            perms |= PTE_USER
+        return [
+            f"if {check}:",
+            f"    mvp = ma >> {PAGE_SHIFT}",
+            "    en = dtlb_map.get(mvp)",
+            "    if (en is not None and en.valid and en.vpn == mvp"
+            f" and en.perms & {perms} == {perms}):",
+            f"        pa = (en.ppn << {PAGE_SHIFT}) | (ma & 4095)",
+            f"        if pa < {core.layout.memory_size}:",
+            f"            t2 = pa >> {l1d._offset_bits}",
+            f"            for _D in l1d_sets[t2 & {l1d._set_mask}]:",
+            "                if _D.valid and _D.tag == t2:",
+            "                    dtlb.accesses += 1",
+            "                    dtlb._clock += 1",
+            "                    en.stamp = dtlb._clock",
+            "                    l1d._clock += 1",
+            "                    l1d.accesses += 1",
+            "                    _D.stamp = l1d._clock",
+            f"                    o = pa & {l1d._offset_mask}",
+        ]
+
+    def tick(extra) -> str:
+        return f"cycle += {hit + extra}"
+
+    e = out.emit
+
+    # -- integer ALU ---------------------------------------------------------
+    if op is Op.NOP:
+        e(tick(0))
+    elif op is Op.ADD:
+        e(*_write_int(rd, f"int_regs[{rs1}] + int_regs[{rs2}]", n_int, True), tick(0))
+    elif op is Op.SUB:
+        e(*_write_int(rd, f"int_regs[{rs1}] - int_regs[{rs2}]", n_int, True), tick(0))
+    elif op is Op.MUL:
+        e(
+            *_write_int(rd, f"int_regs[{rs1}] * int_regs[{rs2}]", n_int, True),
+            tick(core.mul_latency),
+        )
+    elif op in (Op.DIV, Op.MOD):
+        message = (
+            "integer division by zero" if op is Op.DIV else "integer modulo by zero"
+        )
+        e(
+            *_signed_local("b", f"int_regs[{rs2}]"),
+            "if b == 0:",
+            f"    core.current_pc = {addr}",
+            f"    fc = {nb}{pos + 1}",
+            f"    raise ArithmeticFault({message!r}, pc={addr})",
+            *_signed_local("a", f"int_regs[{rs1}]"),
+        )
+        if op is Op.DIV:
+            e(*_write_int(rd, "int(a / b)", n_int, True))
+        else:
+            e(*_write_int(rd, "a - int(a / b) * b", n_int, True))
+        e(tick(core.div_latency))
+    elif op is Op.AND:
+        e(*_write_int(rd, f"int_regs[{rs1}] & int_regs[{rs2}]", n_int, False), tick(0))
+    elif op is Op.ORR:
+        e(*_write_int(rd, f"int_regs[{rs1}] | int_regs[{rs2}]", n_int, False), tick(0))
+    elif op is Op.EOR:
+        e(*_write_int(rd, f"int_regs[{rs1}] ^ int_regs[{rs2}]", n_int, False), tick(0))
+    elif op is Op.LSL:
+        e(
+            *_write_int(
+                rd, f"int_regs[{rs1}] << (int_regs[{rs2}] & 31)", n_int, True
+            ),
+            tick(0),
+        )
+    elif op is Op.LSR:
+        e(
+            *_write_int(
+                rd, f"int_regs[{rs1}] >> (int_regs[{rs2}] & 31)", n_int, False
+            ),
+            tick(0),
+        )
+    elif op is Op.ASR:
+        e(
+            *_signed_local("a", f"int_regs[{rs1}]"),
+            *_write_int(rd, f"a >> (int_regs[{rs2}] & 31)", n_int, True),
+            tick(0),
+        )
+    elif op is Op.MOV:
+        e(*_write_int(rd, f"int_regs[{rs1}]", n_int, False), tick(0))
+    elif op is Op.CMP:
+        e(
+            *_signed_local("a", f"int_regs[{rs1}]"),
+            *_signed_local("b", f"int_regs[{rs2}]"),
+            "cmp = (a > b) - (a < b)",
+            tick(0),
+        )
+    elif op is Op.ADDI:
+        e(*_write_int(rd, f"int_regs[{rs1}] + {imm}", n_int, True), tick(0))
+    elif op is Op.SUBI:
+        e(*_write_int(rd, f"int_regs[{rs1}] - {imm}", n_int, True), tick(0))
+    elif op is Op.MULI:
+        e(
+            *_write_int(rd, f"int_regs[{rs1}] * {imm}", n_int, True),
+            tick(core.mul_latency),
+        )
+    elif op is Op.ANDI:
+        e(*_write_int(rd, f"int_regs[{rs1}] & {imm}", n_int, False), tick(0))
+    elif op is Op.ORRI:
+        e(*_write_int(rd, f"int_regs[{rs1}] | {imm}", n_int, False), tick(0))
+    elif op is Op.EORI:
+        e(*_write_int(rd, f"int_regs[{rs1}] ^ {imm}", n_int, False), tick(0))
+    elif op is Op.LSLI:
+        e(*_write_int(rd, f"int_regs[{rs1}] << {imm & 31}", n_int, True), tick(0))
+    elif op is Op.LSRI:
+        e(*_write_int(rd, f"int_regs[{rs1}] >> {imm & 31}", n_int, False), tick(0))
+    elif op is Op.ASRI:
+        e(
+            *_signed_local("a", f"int_regs[{rs1}]"),
+            *_write_int(rd, f"a >> {imm & 31}", n_int, True),
+            tick(0),
+        )
+    elif op is Op.MOVI:
+        e(*_write_int(rd, str(imm & _MASK32), n_int, False), tick(0))
+    elif op is Op.MOVHI:
+        e(*_write_int(rd, str((imm & 0xFFFF) << 16), n_int, False), tick(0))
+    elif op is Op.CMPI:
+        e(
+            *_signed_local("a", f"int_regs[{rs1}]"),
+            f"cmp = (a > {imm}) - (a < {imm})",
+            tick(0),
+        )
+    # -- memory ---------------------------------------------------------------
+    elif op in (Op.LDW, Op.LDB):
+        size = 4 if op is Op.LDW else 1
+        read = 'ifb(_D.data[o:o + 4], "little")' if op is Op.LDW else "_D.data[o]"
+        e(
+            *risky_prologue(),
+            f"ma = (int_regs[{rs1}] + {imm}) & 4294967295",
+            "mv = None",
+            *data_hit_guard(PTE_READ, align=op is Op.LDW),
+            f"                    mv = {read}",
+            "                    break",
+            "if mv is None:",
+            f"    mv, cost = load_int(ma, {size})",
+            f"    cycle += {hit} + cost",
+            "else:",
+            "    ld += 1",
+            f"    cycle += {hit + core.l1d.hit_latency}",
+            *_write_int(rd, "mv", n_int, False),
+        )
+    elif op in (Op.STW, Op.STB):
+        source = f"int_regs[{rd}]" if op is Op.STW else f"int_regs[{rd}] & 255"
+        size = 4 if op is Op.STW else 1
+        if not stores_fast:
+            e(
+                *risky_prologue(),
+                f"cycle += {hit} + store_int((int_regs[{rs1}] + {imm}) & 4294967295, {source}, {size})",
+            )
+        else:
+            if op is Op.STW:
+                write = f'_D.data[o:o + 4] = int_regs[{rd}].to_bytes(4, "little")'
+            else:
+                write = f"_D.data[o] = int_regs[{rd}] & 255"
+            e(
+                *risky_prologue(),
+                f"ma = (int_regs[{rs1}] + {imm}) & 4294967295",
+                "ok = False",
+                *data_hit_guard(PTE_WRITE, align=op is Op.STW),
+                "                    _D.dirty = True",
+                f"                    {write}",
+                "                    ok = True",
+                "                    break",
+                "if ok:",
+                "    st += 1",
+                f"    cycle += {hit + core.l1d.hit_latency}",
+                "else:",
+                f"    cycle += {hit} + store_int(ma, {source}, {size})",
+            )
+    elif op is Op.FLD:
+        e(
+            *risky_prologue(),
+            f"value, cost = load_double((int_regs[{rs1}] + {imm}) & 4294967295)",
+            *_write_fp(rd, "value", n_fp),
+            f"cycle += {hit} + cost",
+        )
+    elif op is Op.FST:
+        e(
+            *risky_prologue(),
+            f"cycle += {hit} + store_double((int_regs[{rs1}] + {imm}) & 4294967295, fp_regs[{rd}])",
+        )
+    # -- floating point -------------------------------------------------------
+    elif op is Op.FADD:
+        e(
+            *_write_fp(rd, f"fp_regs[{rs1}] + fp_regs[{rs2}]", n_fp),
+            tick(core.fpu_latency),
+        )
+    elif op is Op.FSUB:
+        e(
+            *_write_fp(rd, f"fp_regs[{rs1}] - fp_regs[{rs2}]", n_fp),
+            tick(core.fpu_latency),
+        )
+    elif op is Op.FMUL:
+        e(
+            *_write_fp(rd, f"fp_regs[{rs1}] * fp_regs[{rs2}]", n_fp),
+            tick(core.fpu_latency),
+        )
+    elif op is Op.FDIV:
+        e(
+            f"fb = fp_regs[{rs2}]",
+            "if fb == 0.0:",
+            f"    fa = fp_regs[{rs1}]",
+            "    fr = float('inf') if fa > 0 else float('-inf')",
+            "    if fa == 0.0:",
+            "        fr = NAN",
+            "else:",
+            f"    fr = fp_regs[{rs1}] / fb",
+            *_write_fp(rd, "fr", n_fp),
+            tick(core.fdiv_latency),
+        )
+    elif op is Op.FSQRT:
+        e(
+            f"fa = fp_regs[{rs1}]",
+            "fr = fa ** 0.5 if fa >= 0 else NAN",
+            *_write_fp(rd, "fr", n_fp),
+            tick(core.fsqrt_latency),
+        )
+    elif op is Op.FMOV:
+        e(*_write_fp(rd, f"fp_regs[{rs1}]", n_fp), tick(0))
+    elif op is Op.FNEG:
+        e(*_write_fp(rd, f"-fp_regs[{rs1}]", n_fp), tick(0))
+    elif op is Op.FCMP:
+        e(
+            f"fa = fp_regs[{rs1}]",
+            f"fb = fp_regs[{rs2}]",
+            "if fa != fa or fb != fb:",
+            "    cmp = 2",
+            "else:",
+            "    cmp = (fa > fb) - (fa < fb)",
+            tick(core.fpu_latency),
+        )
+    elif op is Op.FCVT:
+        e(
+            *_signed_local("a", f"int_regs[{rs1}]"),
+            *_write_fp(rd, "float(a)", n_fp),
+            tick(core.fpu_latency),
+        )
+    elif op is Op.FCVTI:
+        e(
+            f"fa = fp_regs[{rs1}]",
+            "if fa != fa:",
+            "    r = 0",
+            "elif fa >= 2147483647:",
+            "    r = 2147483647",
+            "elif fa <= -2147483648:",
+            "    r = -2147483648",
+            "else:",
+            "    r = int(fa)",
+            *_write_int(rd, "r", n_int, True),
+            tick(core.fpu_latency),
+        )
+    # -- control flow (always block-terminal) ---------------------------------
+    elif op in _COND_BRANCH_EXPR:
+        assert last
+        target = (addr + 4 + imm * 4) & _MASK32
+        predicted = imm < 0
+        mispredict = core.mispredict_penalty
+        taken_cost = hit + (0 if predicted else mispredict)
+        nt_cost = hit + (mispredict if predicted else 0)
+        e("br += 1", f"if {_COND_BRANCH_EXPR[op]}:")
+        body = ["    bm += 1"] if not predicted else []
+        if loop and target == start:
+            body += [f"    cycle += {taken_cost}", f"    nb += {block_len}"]
+            if multi_group:
+                body += ["    cur.stamp = clk0 + nb", "    cur = g0"]
+            body += ["    continue"]
+        else:
+            body += [f"    cycle += {taken_cost}", f"    pcv = {target}"]
+        e(*body)
+        e("else:")
+        nt_body = ["    bm += 1"] if predicted else []
+        nt_body += [f"    cycle += {nt_cost}", f"    pcv = {addr + 4}"]
+        e(*nt_body)
+        e(f"total = {nb}{block_len}", f"cpc = {addr}", "break")
+    elif op is Op.B:
+        assert last
+        target = (addr + 4 + imm * 4) & _MASK32
+        if loop and target == start:
+            e(f"cycle += {hit}", f"nb += {block_len}")
+            if multi_group:
+                e("cur.stamp = clk0 + nb", "cur = g0")
+            e("continue")
+        else:
+            e(
+                f"cycle += {hit}",
+                f"pcv = {target}",
+                f"total = {nb}{block_len}",
+                f"cpc = {addr}",
+                "break",
+            )
+    elif op is Op.BL:
+        assert last
+        target = (addr + 4 + imm * 4) & _MASK32
+        e(
+            *_write_int(14, str(addr + 4), n_int, False),
+            f"cycle += {hit}",
+            f"pcv = {target}",
+            f"total = {nb}{block_len}",
+            f"cpc = {addr}",
+            "break",
+        )
+    elif op is Op.BR:
+        assert last
+        e(
+            f"pcv = int_regs[{rs1}]",
+            f"cycle += {hit}",
+            f"total = {nb}{block_len}",
+            f"cpc = {addr}",
+            "break",
+        )
+    elif op is Op.BLR:
+        assert last
+        e(
+            f"pcv = int_regs[{rs1}]",
+            *_write_int(14, str(addr + 4), n_int, False),
+            f"cycle += {hit}",
+            f"total = {nb}{block_len}",
+            f"cpc = {addr}",
+            "break",
+        )
+    else:  # pragma: no cover - discovery refuses unknown ops
+        raise AssertionError(f"untranslatable op reached codegen: {op}")

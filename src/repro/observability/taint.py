@@ -13,6 +13,17 @@ The hook seams live in the components themselves (``Cache.probe``,
 :meth:`PhysRegFile.wrap_regs`); each hook site is a single
 ``is not None`` check, so an unprobed machine pays almost nothing.
 
+The basic-block translator (:mod:`repro.microarch.translate`) honours the
+same seams: its entry guards refuse to run a block while *any* probe is
+armed - on either TLB, any cache level, main memory - or the register
+lists are wrapped (``type(rf.int_regs) is not list``).  Probe events
+carry the cycle at which the access happened, and a block batches its
+cycle counter, so a probe firing mid-block would be stamped with the
+stale block-entry cycle; probed runs therefore always interpret.  Probes
+installed mid-run switch the machine back to interpretation at the next
+dispatch, and self-removing probes (like :class:`RegfileTaintProbe`)
+re-enable translation the same way.
+
 Writeback taint travels *down* the hierarchy through a shared
 ``inflight`` set of tainted physical byte addresses: when a dirty tainted
 line is evicted, its tainted bytes are marked in flight, and the level

@@ -154,6 +154,53 @@ class TestPlanExecution:
         assert any("REGFILE: 2/2" in message for message in messages)
 
 
+class TestAccelerationEquivalence:
+    """Translation and COW restores must be invisible in every effect.
+
+    The two knobs are excluded from the campaign cache key on exactly
+    this guarantee, so it is pinned here at campaign granularity: the
+    accelerated engine (default) and the interpreter-only, full-restore
+    engine must produce byte-identical per-fault effects at any worker
+    count.
+    """
+
+    @pytest.fixture(scope="class")
+    def plan(self, golden):
+        return {
+            component: generate_faults(
+                component,
+                component_bits(SCALED_A9_CONFIG, component),
+                golden.cycles,
+                count=4,
+                seed=23,
+            )
+            for component in COMPONENTS
+        }
+
+    @pytest.fixture(scope="class")
+    def baseline_effects(self, workload, golden, snapshots, plan):
+        image = MachineImage.capture(
+            workload, SCALED_A9_CONFIG, golden, snapshots,
+            translate=False, cow=False,
+        )
+        return run_injection_plan(image, plan, jobs=1)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_accelerated_effects_are_byte_identical(
+        self, workload, golden, snapshots, plan, baseline_effects, jobs
+    ):
+        image = MachineImage.capture(
+            workload, SCALED_A9_CONFIG, golden, snapshots,
+            translate=True, cow=True,
+        )
+        assert run_injection_plan(image, plan, jobs=jobs) == baseline_effects
+
+    def test_knobs_do_not_change_the_cache_key(self):
+        fast = CampaignConfig(translate=True, cow_images=True)
+        slow = CampaignConfig(translate=False, cow_images=False)
+        assert fast.cache_key("CRC32") == slow.cache_key("CRC32")
+
+
 @pytest.mark.slow
 class TestSerialParallelEquivalence:
     """Acceptance: byte-identical campaign output for jobs in {1, 2, 4}."""

@@ -13,11 +13,14 @@ from repro.injection.components import Component, component_bits
 from repro.injection.fault import generate_faults
 from repro.kernel.layout import DEFAULT_LAYOUT
 from repro.microarch.config import SCALED_A9_CONFIG
+from repro.microarch.digest import system_digest
 from repro.microarch.snapshot import (
+    DeltaRestorer,
     SystemSnapshot,
     best_snapshot,
     deserialize_snapshots,
     record_snapshots,
+    run_with_captures,
     serialize_snapshots,
 )
 from repro.microarch.system import System
@@ -104,6 +107,61 @@ class TestSnapshotSerialization:
             deserialize_snapshots(pickle.dumps("not a snapshot list"))
         with pytest.raises(TypeError):
             deserialize_snapshots(pickle.dumps([object()]))
+
+
+class TestRestoreDigestFidelity:
+    """Restore-then-digest must reproduce the capture-time digest.
+
+    Guards the compare-and-skip sweep in :meth:`SystemSnapshot.restore`
+    and the page-granular :class:`DeltaRestorer`: any segment either one
+    wrongly skips (or any stale memoized page digest) shows up as a
+    digest mismatch here.
+    """
+
+    @pytest.fixture(scope="class")
+    def captures(self, workload, golden):
+        system = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        pairs: list[tuple[SystemSnapshot, bytes]] = []
+
+        def capture():
+            pairs.append((SystemSnapshot(system), system_digest(system)))
+
+        cycles = [golden.cycles // 4, golden.cycles // 2, 3 * golden.cycles // 4]
+        run_with_captures(system, [(cycle, capture) for cycle in cycles])
+        return pairs
+
+    def test_full_restore_reproduces_capture_digest(self, workload, captures):
+        system = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        for snapshot, digest in captures:
+            snapshot.restore(system)
+            assert system_digest(system) == digest
+            # Dirty the machine before the next restore so the
+            # compare-and-skip sweep has real work to (not) skip.
+            system.run(max_cycles=snapshot.cycle + 2000)
+
+    def test_delta_restore_reproduces_capture_digest(self, workload, captures):
+        system = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        system.memory.enable_digest_cache()
+        restorer = DeltaRestorer(system)
+        # Revisit snapshots out of order: exercises the dirty-page path
+        # (same snapshot twice) and the memoized snapshot-to-snapshot
+        # page-diff path (switching between snapshots).
+        for index in (0, 0, 1, 2, 0, 2):
+            snapshot, digest = captures[index]
+            restorer.restore(snapshot)
+            assert system_digest(system) == digest
+            system.run(max_cycles=snapshot.cycle + 2000)
+
+    def test_delta_restore_matches_full_restore(self, workload, captures):
+        snapshot, _digest = captures[1]
+        full = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        delta = System(workload.program(DEFAULT_LAYOUT), config=SCALED_A9_CONFIG)
+        restorer = DeltaRestorer(delta)
+        for system in (full, delta):
+            system.run(max_cycles=3000)
+        snapshot.restore(full)
+        restorer.restore(snapshot)
+        assert system_digest(delta) == system_digest(full)
 
 
 class TestInjectionEquivalence:

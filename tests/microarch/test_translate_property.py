@@ -1,0 +1,127 @@
+"""Property: translation is invisible on randomly generated programs.
+
+Hypothesis assembles short random straight-line bodies inside a hot loop
+(so the basic-block translator actually fires: blocks only compile after
+``HEAT_THRESHOLD`` executions), runs each program interpreter-only and
+translator-enabled on identical machines, and asserts the two runs are
+indistinguishable: same architectural digest, same full-system digest,
+same cycle count, and same performance counters.  Bodies deliberately
+include faultable instructions - division by a possibly-zero register
+and occasionally misaligned word accesses - so the translator's
+exception flush path is exercised, not just the happy path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import Assembler
+from repro.kernel.layout import DEFAULT_LAYOUT
+from repro.microarch.config import SCALED_A9_CONFIG
+from repro.microarch.digest import arch_digest, system_digest
+from repro.microarch.system import PerfCounters, System
+from repro.microarch.translate import attach_translator
+
+#: r0-r9 are scratch; r10 is the loop counter, r11 the data-buffer base.
+SCRATCH = st.integers(0, 9)
+
+ALU3 = ("add", "sub", "mul", "and", "orr", "eor", "lsl", "lsr", "asr", "mov")
+ALUI = ("addi", "subi", "muli", "andi", "orri", "eori")
+SHIFTI = ("lsli", "lsri", "asri")
+
+
+@st.composite
+def _instruction(draw) -> str:
+    kind = draw(
+        st.sampled_from(
+            ["alu3", "alui", "shifti", "movi", "cmp", "cmpi", "divmod"]
+            + ["load", "store"] * 2
+        )
+    )
+    rd, rs1, rs2 = draw(SCRATCH), draw(SCRATCH), draw(SCRATCH)
+    if kind == "alu3":
+        op = draw(st.sampled_from(ALU3))
+        if op == "mov":
+            return f"mov r{rd}, r{rs1}"
+        return f"{op} r{rd}, r{rs1}, r{rs2}"
+    if kind == "alui":
+        return f"{draw(st.sampled_from(ALUI))} r{rd}, r{rs1}, {draw(st.integers(0, 255))}"
+    if kind == "shifti":
+        return f"{draw(st.sampled_from(SHIFTI))} r{rd}, r{rs1}, {draw(st.integers(0, 15))}"
+    if kind == "movi":
+        return f"movi r{rd}, {draw(st.integers(0, 32767))}"
+    if kind == "cmp":
+        return f"cmp r{rs1}, r{rs2}"
+    if kind == "cmpi":
+        return f"cmpi r{rs1}, {draw(st.integers(0, 255))}"
+    if kind == "divmod":
+        # rs2 may hold zero: both executions must take the same
+        # ArithmeticFault path into the kernel.
+        return f"{draw(st.sampled_from(('div', 'mod')))} r{rd}, r{rs1}, r{rs2}"
+    if kind == "load":
+        if draw(st.booleans()):
+            return f"ldw r{rd}, [r11, {draw(st.integers(0, 62)) * 4}]"
+        return f"ldb r{rd}, [r11, {draw(st.integers(0, 255))}]"
+    if draw(st.booleans()):
+        # Rarely misaligned: exercises the AlignmentFault flush path.
+        offset = draw(st.integers(0, 62)) * 4 if draw(st.integers(0, 9)) else 2
+        return f"stw r{rd}, [r11, {offset}]"
+    return f"stb r{rd}, [r11, {draw(st.integers(0, 255))}]"
+
+
+@st.composite
+def _program(draw) -> str:
+    seeds = [
+        f"    movi r{reg}, {draw(st.integers(0, 32767))}" for reg in range(10)
+    ]
+    body = [f"    {draw(_instruction())}" for _ in range(draw(st.integers(1, 16)))]
+    iterations = draw(st.integers(24, 48))
+    lines = [
+        "_start:",
+        "    la   r11, buf",
+        *seeds,
+        f"    movi r10, {iterations}",
+        "loop:",
+        *body,
+        "    subi r10, r10, 1",
+        "    cmpi r10, 0",
+        "    bne  loop",
+        "    movi r0, 0",
+        "    movi r7, 0",
+        "    syscall",
+        "    .data",
+        "buf: .space 256",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def _run(source: str, translate: bool):
+    assembler = Assembler(
+        text_base=DEFAULT_LAYOUT.user_text_base,
+        data_base=DEFAULT_LAYOUT.user_data_base,
+    )
+    program = assembler.assemble(source, entry="_start")
+    system = System(program, config=SCALED_A9_CONFIG)
+    if translate:
+        assert attach_translator(system) is not None
+    result = system.run(max_cycles=500_000)
+    return system, result
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=_program())
+def test_translator_is_invisible(source):
+    interp_system, interp_result = _run(source, translate=False)
+    trans_system, trans_result = _run(source, translate=True)
+
+    assert trans_result.cycles == interp_result.cycles
+    assert trans_result.exited_cleanly == interp_result.exited_cleanly
+    for name in PerfCounters.__slots__:
+        assert getattr(trans_result.counters, name) == getattr(
+            interp_result.counters, name
+        ), name
+    for unit in ("l1i", "l1d", "l2", "itlb", "dtlb"):
+        a, b = getattr(interp_system, unit), getattr(trans_system, unit)
+        assert (a.accesses, a.misses) == (b.accesses, b.misses), unit
+    assert arch_digest(trans_system) == arch_digest(interp_system)
+    assert system_digest(trans_system) == system_digest(interp_system)
