@@ -36,6 +36,22 @@ Commands
     component's AVF margin and class-rate Wilson half-widths are within
     M; an achieved-margins table and the savings against a fixed plan
     are printed after the breakdown.  Full reference: ``docs/CLI.md``.
+    ``--fabric URL`` submits the campaign to a fabric coordinator
+    instead of running it locally: the golden run still happens here (it
+    anchors the spec), the injections run on whatever workers are
+    attached, and the printed result is bit-identical to a local run.
+``serve [--store PATH] [--journal-dir DIR] [--port N]``
+    Run a fabric coordinator: accepts campaign submissions, shards their
+    deterministic fault streams into index-window leases over HTTP/JSON,
+    dedups faults against the shared sqlite fault store, and journals
+    completed injections exactly as a local run would.  Kill it and
+    restart it freely - campaigns resume from the store with zero
+    re-executed faults.
+``work <coordinator-url> [--name NAME]``
+    Run a fabric worker: lease fault-index windows from the coordinator,
+    rebuild the campaign's machine image locally, inject through the
+    fast path, report the records back.  Start as many as you like, on
+    as many hosts as share the package.
 ``stats <journal-file-or-dir> [--metrics PATH]``
     Rebuild campaign telemetry from one journal (or every ``*.jsonl``
     journal under a directory) and print the telemetry and
@@ -117,6 +133,14 @@ def _cmd_inject(args) -> int:
     if args.resume and not args.journal:
         print("error: --resume requires --journal DIR", file=sys.stderr)
         return 2
+    if args.fabric and (args.journal or args.resume):
+        print("error: --fabric campaigns are journaled by the coordinator; "
+              "drop --journal/--resume", file=sys.stderr)
+        return 2
+    if args.fabric and args.target_margin is not None:
+        print("error: adaptive campaigns (--target-margin) are not "
+              "fabric-aware yet; run them locally", file=sys.stderr)
+        return 2
     workload = get_workload(args.benchmark)
     telemetry = CampaignTelemetry()
     config = CampaignConfig(
@@ -136,17 +160,28 @@ def _cmd_inject(args) -> int:
         min_faults=args.min_faults,
         max_faults=args.max_faults,
     )
-    campaign_cls = (
-        AdaptiveCampaign if args.target_margin is not None else InjectionCampaign
-    )
-    campaign = campaign_cls(
-        config,
-        progress=lambda message: print(f"  .. {message}", file=sys.stderr),
-        journal_dir=Path(args.journal) if args.journal else None,
-        resume=args.resume,
-        telemetry=telemetry,
-    )
-    result = campaign.run_workload(workload)
+    campaign = None
+    if args.fabric:
+        from repro.fabric import FabricClient
+
+        client = FabricClient(
+            args.fabric,
+            progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+        )
+        result = client.run_workload(workload, config)
+    else:
+        campaign_cls = (
+            AdaptiveCampaign if args.target_margin is not None
+            else InjectionCampaign
+        )
+        campaign = campaign_cls(
+            config,
+            progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+            journal_dir=Path(args.journal) if args.journal else None,
+            resume=args.resume,
+            telemetry=telemetry,
+        )
+        result = campaign.run_workload(workload)
     if args.target_margin is not None:
         print(f"{workload.name}: adaptive to +/-{args.target_margin * 100:g}% "
               f"at {args.confidence * 100:g}% confidence "
@@ -199,6 +234,39 @@ def _export_metrics(path: str, summary: dict, name: str) -> None:
 
     written = write_metrics(path, campaign_metrics(summary, name))
     print(f"metrics written to {written}", file=sys.stderr)
+
+
+def _cmd_serve(args) -> int:
+    from repro.fabric import serve_forever
+
+    serve_forever(
+        args.store,
+        args.journal_dir,
+        host=args.host,
+        port=args.port,
+        lease_ttl=args.lease_ttl,
+        lease_size=args.lease_size,
+        progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+    )
+    return 0
+
+
+def _cmd_work(args) -> int:
+    from repro.fabric import FabricWorker
+
+    worker = FabricWorker(
+        args.coordinator,
+        name=args.name,
+        lease_count=args.lease_count,
+        poll_interval=args.poll,
+        progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+    )
+    executed = worker.run(
+        max_idle_polls=args.max_idle, max_windows=args.max_windows
+    )
+    # Parsed by the fabric smoke test to prove zero duplicated executions.
+    print(f"{worker.name}: executed {executed} injection(s)")
+    return 0
 
 
 def _cmd_stats(args) -> int:
@@ -390,6 +458,13 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--metrics", metavar="PATH", default=None,
                         help="export the telemetry summary as "
                         "machine-readable JSON (repro-metrics schema)")
+    inject.add_argument("--fabric", metavar="URL", default=None,
+                        help="submit the campaign to a fabric coordinator "
+                        "(repro serve) instead of injecting locally; the "
+                        "result is bit-identical to a local run and "
+                        "journaling happens on the coordinator "
+                        "(incompatible with --journal/--resume/"
+                        "--target-margin)")
     inject.add_argument("--target-margin", type=float, default=None,
                         metavar="M",
                         help="adaptive mode: ignore -n and inject batch by "
@@ -417,6 +492,55 @@ def build_parser() -> argparse.ArgumentParser:
                         "stratum that cannot reach the target stops there "
                         "and is flagged (default 1000)")
     inject.set_defaults(func=_cmd_inject)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a fabric coordinator (distributed campaigns)",
+    )
+    serve.add_argument("--store", default=".repro_fabric/faults.sqlite",
+                       metavar="PATH",
+                       help="sqlite fault store shared by every campaign "
+                       "on this coordinator "
+                       "(default .repro_fabric/faults.sqlite)")
+    serve.add_argument("--journal-dir", default=".repro_fabric/journals",
+                       metavar="DIR",
+                       help="directory of per-campaign JSONL journals "
+                       "(default .repro_fabric/journals)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1; use 0.0.0.0 "
+                       "for cross-host workers)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (default 8765)")
+    serve.add_argument("--lease-ttl", type=float, default=300.0,
+                       metavar="SEC",
+                       help="seconds a leased index window stays reserved "
+                       "without a report before it is reclaimed and "
+                       "re-issued (default 300)")
+    serve.add_argument("--lease-size", type=int, default=8, metavar="N",
+                       help="fault indices per lease window (default 8)")
+    serve.set_defaults(func=_cmd_serve)
+
+    work = sub.add_parser(
+        "work",
+        help="run a fabric worker against a coordinator",
+    )
+    work.add_argument("coordinator",
+                      help="coordinator URL, e.g. http://127.0.0.1:8765")
+    work.add_argument("--name", default=None,
+                      help="worker name shown in coordinator progress "
+                      "(default host:pid)")
+    work.add_argument("--poll", type=float, default=1.0, metavar="SEC",
+                      help="idle poll interval (default 1.0)")
+    work.add_argument("--lease-count", type=int, default=None, metavar="N",
+                      help="fault indices requested per lease (default: "
+                      "the coordinator's --lease-size)")
+    work.add_argument("--max-idle", type=int, default=None, metavar="N",
+                      help="exit after N consecutive idle polls "
+                      "(default: poll forever)")
+    work.add_argument("--max-windows", type=int, default=None, metavar="N",
+                      help="exit after N leased windows (default: "
+                      "unbounded)")
+    work.set_defaults(func=_cmd_work)
 
     stats = sub.add_parser(
         "stats",

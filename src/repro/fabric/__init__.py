@@ -1,0 +1,43 @@
+"""Distributed campaign fabric: injection as a service.
+
+The statistical campaigns behind the paper (1,000 faults per component
+per benchmark, six components, 13 workloads) are embarrassingly parallel,
+and PR 1-6 made every injection a pure function of (machine image, fault).
+This package breaks the farm out of a single process:
+
+- a **coordinator** (:mod:`repro.fabric.coordinator`) accepts campaign
+  submissions, shards each campaign's deterministic fault stream into
+  index-window *leases* over a simple HTTP/JSON work queue, journals
+  completed injections exactly as a local run would, and assembles the
+  final :class:`~repro.injection.campaign.WorkloadResult`;
+- a **fault store** (:mod:`repro.fabric.store`) - one sqlite database
+  keyed by fault identity ``(workload, machine digest, component,
+  cluster, index, seed)`` - provides dedup (a fault completed by any
+  prior or concurrent campaign is never re-executed), resume (the store
+  survives a coordinator SIGKILL), and a shared pool many campaigns can
+  draw from;
+- **workers** (:mod:`repro.fabric.worker`) on any host rebuild the same
+  machine image from the campaign spec, lease index windows, run them
+  through the existing :class:`~repro.injection.parallel.ImageInjector`
+  fast path, and report the records back.
+
+Because fault lists, images and injections are all deterministic, a
+distributed run is bit-identical to ``jobs=1`` serial - the equivalence
+suite in ``tests/fabric`` enforces it per fault, not just per tally.
+"""
+
+from repro.fabric.client import FabricClient
+from repro.fabric.coordinator import Coordinator, serve_forever
+from repro.fabric.protocol import CampaignSpec, machine_digest
+from repro.fabric.store import FaultStore
+from repro.fabric.worker import FabricWorker
+
+__all__ = [
+    "CampaignSpec",
+    "Coordinator",
+    "FabricClient",
+    "FabricWorker",
+    "FaultStore",
+    "machine_digest",
+    "serve_forever",
+]

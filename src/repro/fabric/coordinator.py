@@ -1,0 +1,519 @@
+"""Fabric coordinator: the campaign-owning side of the work queue.
+
+The coordinator is the only process that touches the fault store and the
+journals.  It accepts campaign submissions, regenerates each campaign's
+deterministic fault lists (a :class:`CampaignSpec` plus
+:func:`~repro.injection.campaign.build_fault_plan` is all it takes - no
+simulation happens here), registers them in the store, and hands out
+contiguous index-window leases to whichever workers ask.  Completed
+records flow back, are committed to the store first, and are then
+appended to the campaign's journal - the same JSONL journal, with the
+same :class:`~repro.injection.journal.JournalMeta` fingerprint, that a
+local ``jobs=1`` run would write.
+
+Crash story (the DAVOS posture: the harness itself is fault-tolerant):
+
+- every accepted report is committed to sqlite *before* it is journaled
+  or acknowledged, so a SIGKILL between any two statements loses at most
+  unacknowledged work, which the worker simply reports again;
+- on startup the coordinator reloads every campaign persisted in the
+  store and reconciles store against journal in both directions - a
+  record present in either survives into both;
+- a restarted coordinator therefore resumes mid-campaign with zero
+  re-executed faults (the CI smoke test SIGKILLs one mid-run to pin
+  this).
+
+Transport is deliberately boring: a stdlib ``ThreadingHTTPServer``
+speaking the JSON bodies of :mod:`repro.fabric.protocol` - no new
+dependencies, same-machine and cross-host alike.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable
+
+from repro.fabric.protocol import (
+    CampaignSpec,
+    FabricError,
+    identity_base,
+)
+from repro.fabric.store import DONE, FaultStore, QUARANTINED
+from repro.injection.campaign import (
+    CampaignConfig,
+    ComponentResult,
+    WorkloadResult,
+    build_fault_plan,
+)
+from repro.injection.classify import FaultEffect
+from repro.injection.components import Component, component_bits
+from repro.injection.fault import Fault
+from repro.injection.journal import (
+    InjectionJournal,
+    InjectionRecord,
+    JournalMeta,
+    QuarantineRecord,
+)
+from repro.injection.telemetry import CampaignTelemetry
+
+#: Default seconds a lease stays valid without a report.
+DEFAULT_LEASE_TTL = 300.0
+#: Default fault indices per lease window.
+DEFAULT_LEASE_SIZE = 8
+
+
+class _ActiveCampaign:
+    """One submitted campaign: spec, regenerated plan, journal, scope."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        config: CampaignConfig,
+        plan: dict[Component, list[Fault]],
+        journal: InjectionJournal,
+    ):
+        self.spec = spec
+        self.config = config
+        self.plan = plan
+        self.journal = journal
+        self.base = identity_base(spec)
+        #: Store-scope bounds: component name -> this campaign's index cap.
+        self.limits = {
+            component.name: len(faults) for component, faults in plan.items()
+        }
+
+
+class Coordinator:
+    """Campaign registry + lease broker + journal writer.
+
+    Thread-safe: HTTP handler threads call straight in; one lock
+    serializes campaign state (the store has its own).  ``journal_dir``
+    holds one JSONL journal per campaign, named by campaign id.
+    """
+
+    def __init__(
+        self,
+        store: FaultStore,
+        journal_dir: Path,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        lease_size: int = DEFAULT_LEASE_SIZE,
+        telemetry: CampaignTelemetry | None = None,
+        progress: Callable[[str], None] | None = None,
+    ):
+        self.store = store
+        self.journal_dir = Path(journal_dir)
+        self.lease_ttl = lease_ttl
+        self.lease_size = lease_size
+        self.telemetry = telemetry
+        self._progress = progress or (lambda message: None)
+        self._lock = threading.RLock()
+        self._campaigns: dict[str, _ActiveCampaign] = {}
+        #: Per-worker progress: name -> {completed, quarantined, leases,
+        #: last_seen} (the per-worker-host view the status endpoint and
+        #: telemetry render).
+        self.workers: dict[str, dict] = {}
+        for spec_payload in self.store.campaigns().values():
+            self._activate(CampaignSpec.from_payload(spec_payload))
+
+    # -- campaign lifecycle --------------------------------------------------
+
+    def submit(self, spec_payload: dict) -> dict:
+        """Register a campaign (idempotent); returns id + dedup counts."""
+        spec = CampaignSpec.from_payload(spec_payload)
+        with self._lock:
+            already = spec.campaign_id in self._campaigns
+            campaign = self._activate(spec)
+            if not already:
+                self.store.save_campaign(spec.campaign_id, spec.to_payload())
+            counts = self.store.counts(campaign.base, campaign.limits)
+        total = sum(counts.values())
+        self._progress(
+            f"fabric: campaign {spec.campaign_id} ({spec.workload}, "
+            f"n={spec.faults_per_component}) submitted - "
+            f"{counts[DONE] + counts[QUARANTINED]}/{total} already in store"
+        )
+        return {
+            "campaign_id": spec.campaign_id,
+            "total": total,
+            "already_done": counts[DONE] + counts[QUARANTINED],
+        }
+
+    def _activate(self, spec: CampaignSpec) -> _ActiveCampaign:
+        """Build (or return) the in-memory state of one campaign.
+
+        Regenerates the fault plan from the spec, registers every fault
+        row (``INSERT OR IGNORE`` - the dedup), opens the journal, and
+        reconciles journal and store so each contains everything the
+        other does.
+        """
+        with self._lock:
+            campaign = self._campaigns.get(spec.campaign_id)
+            if campaign is not None:
+                return campaign
+            config = spec.to_config()
+            plan = build_fault_plan(
+                config, spec.golden_cycles, spec.component_list()
+            )
+            base = identity_base(spec)
+            for component, faults in plan.items():
+                self.store.register(base, component.name, faults)
+            journal = InjectionJournal.open(
+                self.journal_dir / f"{spec.campaign_id}.jsonl",
+                JournalMeta(
+                    workload=spec.workload,
+                    machine=spec.machine,
+                    faults_per_component=spec.faults_per_component,
+                    seed=spec.seed,
+                    cluster_size=spec.cluster_size,
+                    golden_cycles=spec.golden_cycles,
+                ),
+            )
+            campaign = _ActiveCampaign(spec, config, plan, journal)
+            self._reconcile(campaign)
+            self._campaigns[spec.campaign_id] = campaign
+            return campaign
+
+    def _reconcile(self, campaign: _ActiveCampaign) -> None:
+        """Make journal and store agree after a restart or resubmit.
+
+        Journal -> store: records journaled before a crash (or by a prior
+        local run of the same campaign) mark their rows done.  Store ->
+        journal: rows completed by other campaigns sharing the pool (the
+        dedup) or reported while this journal was unwritable are appended
+        from their stored payload.  Both directions are idempotent.
+        """
+        journal = campaign.journal
+        for record in journal.records:
+            self.store.complete(
+                campaign.base,
+                record.component.name,
+                record.index,
+                record.to_line(),
+                record.effect.name,
+                record.ended_by,
+                record.wall_time,
+                worker="journal",
+            )
+        for record in journal.quarantines:
+            self.store.quarantine(
+                campaign.base,
+                record.component.name,
+                record.index,
+                record.to_line(),
+                record.reason,
+                worker="journal",
+            )
+        for component in campaign.plan:
+            journaled = journal.completed(component)
+            quarantined = journal.quarantined(component)
+            rows = self.store.records(
+                campaign.base, component.name, campaign.limits[component.name]
+            )
+            for index, status, payload, reason in rows:
+                if payload is None:
+                    continue
+                if status == DONE and index not in journaled:
+                    journal.record(InjectionRecord.from_line(payload))
+                elif status == QUARANTINED and index not in quarantined:
+                    journal.record_quarantine(
+                        QuarantineRecord.from_line(payload)
+                    )
+
+    # -- work queue ----------------------------------------------------------
+
+    def lease(self, worker: str, count: int | None = None) -> dict:
+        """Hand one index window to ``worker``, or report idleness.
+
+        Scans active campaigns in submission order so concurrent
+        campaigns drain oldest-first; the store guarantees no index is in
+        two live leases.
+        """
+        count = count or self.lease_size
+        entry = self._worker_entry(worker)
+        with self._lock:
+            for campaign in self._campaigns.values():
+                lease = self.store.lease(
+                    campaign.base,
+                    campaign.limits,
+                    worker,
+                    count,
+                    self.lease_ttl,
+                )
+                if lease is not None:
+                    entry["leases"] += 1
+                    return {
+                        "campaign": campaign.spec.to_payload(),
+                        "campaign_id": campaign.spec.campaign_id,
+                        **lease.to_payload(),
+                    }
+        return {"idle": True}
+
+    def report(self, payload: dict) -> dict:
+        """Accept one lease's results; journal + tally the novel ones.
+
+        Every record is committed to the store first (first writer wins);
+        only accepted rows reach the journal and telemetry, so a stale
+        worker double-reporting after a lease expiry changes nothing.
+        """
+        campaign = self._campaign(payload["campaign_id"])
+        worker = payload.get("worker", "?")
+        entry = self._worker_entry(worker)
+        accepted = 0
+        duplicates = 0
+        with self._lock:
+            for line in payload.get("records", ()):
+                record = InjectionRecord.from_line(line)
+                if self.store.complete(
+                    campaign.base,
+                    record.component.name,
+                    record.index,
+                    record.to_line(),
+                    record.effect.name,
+                    record.ended_by,
+                    record.wall_time,
+                    worker=worker,
+                ):
+                    campaign.journal.record(record)
+                    accepted += 1
+                    entry["completed"] += 1
+                    if self.telemetry is not None:
+                        self.telemetry.record(
+                            record.component,
+                            record.effect,
+                            wall_time=record.wall_time,
+                            ended_by=record.ended_by,
+                            events=record.events,
+                        )
+                        self.telemetry.record_fabric_worker(worker)
+                else:
+                    duplicates += 1
+            for line in payload.get("quarantines", ()):
+                record = QuarantineRecord.from_line(line)
+                if self.store.quarantine(
+                    campaign.base,
+                    record.component.name,
+                    record.index,
+                    record.to_line(),
+                    record.reason,
+                    worker=worker,
+                ):
+                    campaign.journal.record_quarantine(record)
+                    entry["quarantined"] += 1
+                    if self.telemetry is not None:
+                        self.telemetry.record_quarantine(record.component)
+                else:
+                    duplicates += 1
+        if duplicates:
+            self._progress(
+                f"fabric: {worker} reported {duplicates} already-terminal "
+                f"fault(s) (expired lease or concurrent campaign) - ignored"
+            )
+        return {"accepted": accepted, "duplicates": duplicates}
+
+    # -- introspection -------------------------------------------------------
+
+    def status(self, campaign_id: str | None = None) -> dict:
+        """Progress counters - one campaign's, or the whole fabric's."""
+        with self._lock:
+            if campaign_id is not None:
+                campaign = self._campaign(campaign_id)
+                counts = self.store.counts(campaign.base, campaign.limits)
+                total = sum(counts.values())
+                return {
+                    "campaign_id": campaign_id,
+                    "counts": counts,
+                    "total": total,
+                    "complete": counts[DONE] + counts[QUARANTINED] == total,
+                }
+            return {
+                "campaigns": {
+                    campaign_id: self.status(campaign_id)
+                    for campaign_id in self._campaigns
+                },
+                "workers": {name: dict(entry) for name, entry in self.workers.items()},
+                "executed_total": self.store.executed_total(),
+            }
+
+    def result(self, campaign_id: str) -> dict:
+        """The finished campaign's :class:`WorkloadResult`, from the store.
+
+        Assembled from terminal rows in fault-index order - the order a
+        serial run tallies in - so the per-fault effects *and* the tallies
+        are bit-identical to ``jobs=1`` local execution.  While work
+        remains the response is ``{"ready": false}`` and the client keeps
+        polling.
+        """
+        with self._lock:
+            campaign = self._campaign(campaign_id)
+            status = self.status(campaign_id)
+            if not status["complete"]:
+                return {"ready": False, "status": status}
+            result = WorkloadResult(
+                workload_name=campaign.spec.workload,
+                golden_cycles=campaign.spec.golden_cycles,
+            )
+            machine = campaign.config.machine
+            for component in campaign.plan:
+                counts: dict[FaultEffect, int] = {}
+                quarantined = 0
+                rows = self.store.records(
+                    campaign.base,
+                    component.name,
+                    campaign.limits[component.name],
+                )
+                for _index, row_status, payload, _reason in rows:
+                    if row_status == QUARANTINED:
+                        quarantined += 1
+                        continue
+                    effect = FaultEffect[payload["effect"]]
+                    counts[effect] = counts.get(effect, 0) + 1
+                result.components[component] = ComponentResult(
+                    component=component,
+                    injections=sum(counts.values()),
+                    population_bits=component_bits(machine, component),
+                    counts=counts,
+                    confidence=campaign.spec.confidence,
+                    quarantined=quarantined,
+                )
+            return {"ready": True, "result": result.to_dict()}
+
+    def close(self) -> None:
+        """Close every journal and the store."""
+        with self._lock:
+            for campaign in self._campaigns.values():
+                campaign.journal.close()
+            self.store.close()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _campaign(self, campaign_id: str) -> _ActiveCampaign:
+        campaign = self._campaigns.get(campaign_id)
+        if campaign is None:
+            raise FabricError(f"unknown campaign {campaign_id!r}")
+        return campaign
+
+    def _worker_entry(self, worker: str) -> dict:
+        with self._lock:
+            entry = self.workers.setdefault(
+                worker,
+                {"completed": 0, "quarantined": 0, "leases": 0, "last_seen": 0.0},
+            )
+            entry["last_seen"] = time.time()
+            return entry
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs to coordinator methods; JSON in, JSON out."""
+
+    #: Set by :func:`create_server`.
+    coordinator: Coordinator = None  # type: ignore[assignment]
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence per-request stderr chatter (progress goes elsewhere)."""
+
+    def _reply(self, payload: dict, code: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if not length:
+            return {}
+        return json.loads(self.rfile.read(length).decode())
+
+    def _dispatch(self, handler: Callable[[], dict]) -> None:
+        try:
+            self._reply(handler())
+        except FabricError as exc:
+            self._reply({"error": str(exc)}, code=400)
+        except Exception as exc:  # noqa: BLE001 - surface, don't kill the server
+            self._reply({"error": f"{type(exc).__name__}: {exc}"}, code=500)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """POST routes: /submit, /lease, /report."""
+        body = self._body()
+        routes = {
+            "/submit": lambda: self.coordinator.submit(body["spec"]),
+            "/lease": lambda: self.coordinator.lease(
+                body.get("worker", "?"), body.get("count")
+            ),
+            "/report": lambda: self.coordinator.report(body),
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._reply({"error": f"no such endpoint {self.path}"}, code=404)
+            return
+        self._dispatch(handler)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """GET routes: /ping, /status, /campaign/<id>/{status,result}."""
+        if self.path == "/ping":
+            self._reply({"ok": True})
+            return
+        if self.path == "/status":
+            self._dispatch(lambda: self.coordinator.status())
+            return
+        parts = self.path.strip("/").split("/")
+        if len(parts) == 3 and parts[0] == "campaign":
+            campaign_id, verb = parts[1], parts[2]
+            if verb == "status":
+                self._dispatch(lambda: self.coordinator.status(campaign_id))
+                return
+            if verb == "result":
+                self._dispatch(lambda: self.coordinator.result(campaign_id))
+                return
+        self._reply({"error": f"no such endpoint {self.path}"}, code=404)
+
+
+def create_server(
+    coordinator: Coordinator, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind a coordinator to an HTTP server (port 0 picks a free port).
+
+    The caller owns the serve loop - tests run it on a daemon thread,
+    :func:`serve_forever` blocks on it.
+    """
+    handler = type("BoundHandler", (_Handler,), {"coordinator": coordinator})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve_forever(
+    store_path: str | Path,
+    journal_dir: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    lease_size: int = DEFAULT_LEASE_SIZE,
+    progress: Callable[[str], None] | None = None,
+) -> None:
+    """Run a coordinator until interrupted (the ``repro serve`` command)."""
+    coordinator = Coordinator(
+        FaultStore(store_path),
+        Path(journal_dir),
+        lease_ttl=lease_ttl,
+        lease_size=lease_size,
+        telemetry=CampaignTelemetry(),
+        progress=progress,
+    )
+    server = create_server(coordinator, host, port)
+    if progress is not None:
+        progress(
+            f"fabric: coordinator on http://{host}:{server.server_address[1]} "
+            f"(store {store_path}, journals {journal_dir})"
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        coordinator.close()

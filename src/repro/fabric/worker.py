@@ -1,0 +1,189 @@
+"""Fabric worker: lease index windows, inject, report back.
+
+A worker is stateless from the fabric's point of view - it can appear,
+disappear, or be duplicated at will.  Its loop:
+
+1. ``POST /lease`` - the coordinator answers with a campaign spec plus a
+   contiguous fault-index window ``[start, stop)`` of one component, or
+   ``{"idle": true}``;
+2. rebuild the campaign's machine image from the spec (golden run,
+   checkpoints, digests - :func:`~repro.injection.campaign.prepare_image`,
+   the exact seam the local campaign uses), verifying the regenerated
+   golden duration against the spec's ``golden_cycles`` so simulator
+   drift is an error, not a silently different campaign;
+3. regenerate the component's fault list, slice the leased window, and
+   run it through :func:`~repro.injection.parallel.run_injection_plan`
+   with ``index_base`` (so indices are global) and a
+   :class:`~repro.injection.journal.RecordBuffer` (so records are
+   collected, not written - the coordinator owns the journal);
+4. ``POST /report`` the records and lease the next window.
+
+The image, fault plan and a long-lived
+:class:`~repro.injection.parallel.ImageInjector` are cached per campaign,
+so a worker grinding through many small windows pays image construction
+once.  Because every injection is a pure function of (image, fault), the
+records a worker reports are bit-identical to what a local serial run
+would have produced for the same indices.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Callable
+
+from repro.fabric.protocol import (
+    CampaignSpec,
+    FabricUnavailable,
+    post_json,
+)
+from repro.injection.campaign import build_fault_plan, prepare_image
+from repro.injection.components import Component
+from repro.injection.journal import RecordBuffer
+from repro.injection.parallel import ImageInjector, run_injection_plan
+from repro.workloads import get_workload
+
+
+def default_worker_name() -> str:
+    """``host:pid`` - unique per process, readable in progress views."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class _CampaignContext:
+    """One campaign's regenerated artifacts, cached across leases."""
+
+    def __init__(self, spec: CampaignSpec):
+        self.spec = spec
+        config = spec.to_config()
+        workload = get_workload(spec.workload)
+        golden, self.image = prepare_image(workload, config)
+        if golden.cycles != spec.golden_cycles:
+            raise FabricUnavailable(
+                f"regenerated golden run of {spec.workload} lasted "
+                f"{golden.cycles} cycles, campaign expects "
+                f"{spec.golden_cycles}: simulator drift between worker "
+                f"and submitter - refusing the campaign"
+            )
+        self.plan = build_fault_plan(
+            config, spec.golden_cycles, spec.component_list()
+        )
+        self.injector = ImageInjector(self.image)
+
+
+class FabricWorker:
+    """Lease/inject/report loop against one coordinator URL."""
+
+    def __init__(
+        self,
+        url: str,
+        name: str | None = None,
+        lease_count: int | None = None,
+        poll_interval: float = 1.0,
+        progress: Callable[[str], None] | None = None,
+    ):
+        self.url = url.rstrip("/")
+        self.name = name or default_worker_name()
+        self.lease_count = lease_count
+        self.poll_interval = poll_interval
+        self._progress = progress or (lambda message: None)
+        self._contexts: dict[str, _CampaignContext] = {}
+        #: Injections this worker actually executed (not deduped ones) -
+        #: the CI smoke test sums this across workers to prove zero
+        #: duplicated executions.
+        self.executed = 0
+
+    def _context(self, spec: CampaignSpec) -> _CampaignContext:
+        context = self._contexts.get(spec.campaign_id)
+        if context is None:
+            self._progress(
+                f"{self.name}: building image for campaign "
+                f"{spec.campaign_id} ({spec.workload} on {spec.machine})"
+            )
+            context = _CampaignContext(spec)
+            # One cached campaign at a time: images are the expensive
+            # part, and a worker ping-ponging between concurrent
+            # campaigns would thrash anyway - the coordinator drains
+            # campaigns oldest-first precisely so workers don't.
+            self._contexts.clear()
+            self._contexts[spec.campaign_id] = context
+        return context
+
+    def run_one(self) -> bool:
+        """Lease, execute and report one window; ``False`` when idle."""
+        response = post_json(
+            f"{self.url}/lease",
+            {"worker": self.name, "count": self.lease_count},
+        )
+        if response.get("idle"):
+            return False
+        spec = CampaignSpec.from_payload(response["campaign"])
+        context = self._context(spec)
+        component = Component[response["component"]]
+        start, stop = response["start"], response["stop"]
+        window = {component: context.plan[component][start:stop]}
+        buffer = RecordBuffer()
+        run_injection_plan(
+            context.image,
+            window,
+            jobs=1,
+            journal=buffer,
+            index_base={component: start},
+            injector=context.injector,
+            quarantined=[],
+        )
+        self.executed += len(buffer.records) + len(buffer.quarantines)
+        outcome = post_json(
+            f"{self.url}/report",
+            {
+                "campaign_id": response["campaign_id"],
+                "lease_id": response["lease_id"],
+                "worker": self.name,
+                "records": [record.to_line() for record in buffer.records],
+                "quarantines": [
+                    record.to_line() for record in buffer.quarantines
+                ],
+            },
+        )
+        self._progress(
+            f"{self.name}: {component.name}[{start}:{stop}] -> "
+            f"{outcome['accepted']} accepted"
+            + (
+                f", {outcome['duplicates']} duplicate(s)"
+                if outcome.get("duplicates")
+                else ""
+            )
+        )
+        return True
+
+    def run(
+        self,
+        max_idle_polls: int | None = None,
+        max_windows: int | None = None,
+    ) -> int:
+        """Work until drained; returns injections executed.
+
+        ``max_idle_polls`` bounds consecutive idle responses before the
+        worker exits (``None`` polls forever - the long-lived daemon
+        mode); ``max_windows`` bounds total windows (tests).  A coordinator
+        restart mid-loop surfaces as :class:`FabricUnavailable` and is
+        retried with the idle backoff - workers outlive coordinator
+        downtime by design.
+        """
+        idle = 0
+        windows = 0
+        while max_windows is None or windows < max_windows:
+            try:
+                worked = self.run_one()
+            except FabricUnavailable as exc:
+                self._progress(f"{self.name}: {exc}; retrying")
+                worked = False
+            if worked:
+                idle = 0
+                windows += 1
+                continue
+            idle += 1
+            if max_idle_polls is not None and idle >= max_idle_polls:
+                break
+            time.sleep(self.poll_interval)
+        return self.executed

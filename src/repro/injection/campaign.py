@@ -77,6 +77,8 @@ __all__ = [
     "record_golden_snapshots",
     "record_golden_captures",
     "record_golden_observables",
+    "prepare_image",
+    "build_fault_plan",
 ]
 
 
@@ -529,6 +531,82 @@ def record_golden_observables(
     return snapshots, digests, arch_digests
 
 
+def prepare_image(
+    workload: Workload, config: CampaignConfig
+) -> tuple[RunResult, MachineImage]:
+    """Golden run plus the shippable machine image the farm injects into.
+
+    One golden prefix run captures checkpoints, full-state digests and
+    architectural digests together (whichever of them ``config`` needs);
+    the image bundles them for the workers.  This is the shared seam
+    between :class:`InjectionCampaign` and the fabric worker
+    (:mod:`repro.fabric.worker`) - both build *exactly* the same image
+    from the same config, which is what makes a distributed campaign
+    bit-identical to a local one.
+    """
+    machine = config.machine
+    golden = run_golden(workload, machine)
+    snapshots: list | None = None
+    digests: dict[int, bytes] = {}
+    arch_digests: dict[int, bytes] = {}
+    snapshot_count = config.checkpoint_count if config.use_checkpoints else 0
+    # The probe grid serves both early termination and fault-lifetime
+    # divergence stamping, so either feature keeps it alive.
+    digest_count = (
+        config.digest_probes
+        if (config.early_exit or config.lifetime_events)
+        else 0
+    )
+    if snapshot_count or digest_count:
+        snapshots, digests, arch_digests = record_golden_observables(
+            workload,
+            machine,
+            golden,
+            snapshot_count=snapshot_count,
+            digest_count=digest_count,
+        )
+    image = MachineImage.capture(
+        workload,
+        machine,
+        golden,
+        snapshots,
+        cluster_size=config.cluster_size,
+        digests=digests,
+        early_exit=config.early_exit,
+        arch_digests=arch_digests,
+        lifetime=config.lifetime_events,
+        trace_on_crash=config.trace_on_crash,
+        translate=config.translate,
+        cow=config.cow_images,
+    )
+    return golden, image
+
+
+def build_fault_plan(
+    config: CampaignConfig,
+    golden_cycles: int,
+    components: Iterable[Component] = tuple(Component),
+) -> dict[Component, list[Fault]]:
+    """The campaign's deterministic fault lists, one per component.
+
+    A pure function of (config, golden duration): the same seed and
+    machine regenerate byte-identical fault lists on the coordinator, on
+    every fabric worker, and on a local resume - the property the
+    journal's cross-checks and the fault store's identity keys rely on.
+    """
+    machine = config.machine
+    return {
+        component: generate_faults(
+            component,
+            component_bits(machine, component),
+            golden_cycles,
+            config.planned_faults,
+            seed=config.seed,
+        )
+        for component in components
+    }
+
+
 class InjectionCampaign:
     """Run (and cache) fault-injection campaigns over the suite.
 
@@ -616,50 +694,8 @@ class InjectionCampaign:
     # -- execution -------------------------------------------------------------
 
     def _prepare_image(self, workload: Workload) -> tuple[RunResult, MachineImage]:
-        """Golden run plus the shippable machine image the farm injects into.
-
-        One golden prefix run captures checkpoints, full-state digests and
-        architectural digests together (whichever of them the active config
-        needs); the image bundles them for the workers.
-        """
-        machine = self.config.machine
-        golden = run_golden(workload, machine)
-        snapshots: list | None = None
-        digests: dict[int, bytes] = {}
-        arch_digests: dict[int, bytes] = {}
-        snapshot_count = (
-            self.config.checkpoint_count if self.config.use_checkpoints else 0
-        )
-        # The probe grid serves both early termination and fault-lifetime
-        # divergence stamping, so either feature keeps it alive.
-        digest_count = (
-            self.config.digest_probes
-            if (self.config.early_exit or self.config.lifetime_events)
-            else 0
-        )
-        if snapshot_count or digest_count:
-            snapshots, digests, arch_digests = record_golden_observables(
-                workload,
-                machine,
-                golden,
-                snapshot_count=snapshot_count,
-                digest_count=digest_count,
-            )
-        image = MachineImage.capture(
-            workload,
-            machine,
-            golden,
-            snapshots,
-            cluster_size=self.config.cluster_size,
-            digests=digests,
-            early_exit=self.config.early_exit,
-            arch_digests=arch_digests,
-            lifetime=self.config.lifetime_events,
-            trace_on_crash=self.config.trace_on_crash,
-            translate=self.config.translate,
-            cow=self.config.cow_images,
-        )
-        return golden, image
+        """Delegate to the shared :func:`prepare_image` seam."""
+        return prepare_image(workload, self.config)
 
     def run_workload(
         self,

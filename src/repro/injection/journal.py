@@ -25,6 +25,7 @@ behind - but rejects corruption anywhere else.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 from dataclasses import asdict, dataclass
@@ -301,7 +302,14 @@ class InjectionJournal:
 
     @classmethod
     def resume(cls, path: Path, meta: JournalMeta) -> "InjectionJournal":
-        """Replay an existing journal; its meta must match ``meta``."""
+        """Replay an existing journal; its meta must match ``meta``.
+
+        The torn tail a SIGKILL can leave behind is repaired *first*, and
+        the replay then parses the repaired file - so the in-memory record
+        list and the on-disk journal are two views of one byte sequence,
+        never two independent parses of a torn one.
+        """
+        _repair_tail(Path(path))
         found, records, quarantines = read_journal(path)
         if found != meta:
             mismatched = [
@@ -316,7 +324,6 @@ class InjectionJournal:
                 f"journal {path} was written by a different campaign "
                 f"({'; '.join(mismatched)}); refusing to resume"
             )
-        _repair_tail(Path(path))
         return cls(path, meta, records, quarantines, _write_meta=False)
 
     @classmethod
@@ -330,8 +337,27 @@ class InjectionJournal:
     # -- appends -------------------------------------------------------------
 
     def _append_line(self, payload: dict) -> None:
+        # O_APPEND makes each os.write an atomic append, but a single call
+        # may still write *fewer* bytes than asked (interrupted by a
+        # signal, disk nearly full) - and a silently truncated record is
+        # exactly the torn tail the resume machinery would then drop or
+        # mis-repair.  Loop until every byte is down; a full disk raises
+        # instead of pretending the record was journaled.
         line = (json.dumps(payload, separators=(",", ":")) + "\n").encode()
-        os.write(self._fd, line)  # O_APPEND: one atomic append per record
+        view = memoryview(line)
+        written = 0
+        while written < len(line):
+            try:
+                count = os.write(self._fd, view[written:])
+            except OSError as exc:
+                if exc.errno == errno.ENOSPC:
+                    raise InjectionError(
+                        f"journal {self.path}: disk full after "
+                        f"{written}/{len(line)} bytes of a record (the "
+                        f"partial tail is repaired on the next resume)"
+                    ) from exc
+                raise
+            written += count
         os.fsync(self._fd)
 
     def record(self, record: InjectionRecord) -> None:
@@ -373,3 +399,39 @@ class InjectionJournal:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+
+class RecordBuffer:
+    """In-memory stand-in for :class:`InjectionJournal`.
+
+    Quacks like a journal for :func:`repro.injection.parallel.run_injection_plan`
+    - ``record``/``record_quarantine`` collect instead of writing to disk,
+    and the replay accessors report nothing already completed - so the
+    fabric worker can run a leased index window through the exact
+    campaign execution path and ship the resulting records over the wire
+    (the coordinator then journals them durably, exactly as a local run
+    would).
+    """
+
+    def __init__(self):
+        self.records: list[InjectionRecord] = []
+        self.quarantines: list[QuarantineRecord] = []
+
+    def record(self, record: InjectionRecord) -> None:
+        """Collect one completed injection."""
+        self.records.append(record)
+
+    def record_quarantine(self, record: QuarantineRecord) -> None:
+        """Collect one quarantined fault."""
+        self.quarantines.append(record)
+
+    def completed(self, component: Component) -> dict[int, InjectionRecord]:
+        """Nothing is ever pre-completed in a fresh buffer."""
+        return {}
+
+    def quarantined(self, component: Component) -> dict[int, QuarantineRecord]:
+        """Nothing is ever pre-quarantined in a fresh buffer."""
+        return {}
+
+    def close(self) -> None:
+        """No file descriptor to release; present for journal parity."""

@@ -525,11 +525,26 @@ class _WorkerHandle:
         )
 
     def kill(self) -> None:
+        # Closing the pipe ends belongs to the kill path itself: every
+        # timeout/death reap replaces the worker with a fresh handle (two
+        # fresh pipes), so a kill that left the old descriptors open would
+        # leak two fds per death - enough to hit the fd ceiling on long
+        # quarantine-heavy campaigns.
         if self.process.is_alive():
             self.process.kill()
         self.process.join(timeout=5.0)
+        self.close()
+        if self.process.exitcode is not None:
+            # Also release the process object's sentinel fd; without it a
+            # handle kept alive by the supervisor still pins one fd per
+            # death.  Guarded: close() raises while the process runs
+            # (join timed out), and a leaked zombie beats an exception
+            # on the error path.
+            self.process.close()
 
     def close(self) -> None:
+        # Connection.close is idempotent, so kill() + an explicit close()
+        # on the shutdown path double-closing is harmless.
         self.task_conn.close()
         self.result_conn.close()
 
@@ -844,6 +859,7 @@ def run_injection_plan(
     max_retries: int = DEFAULT_MAX_RETRIES,
     quarantined: list[QuarantinedFault] | None = None,
     index_base: Mapping[Component, int] | None = None,
+    injector: ImageInjector | None = None,
 ) -> dict[Component, list[FaultEffect]]:
     """Execute every fault in ``plan``; returns effects in fault order.
 
@@ -858,7 +874,15 @@ def run_injection_plan(
     ``c``.  Journal records are written with (and replayed against) those
     global indices, which is how the adaptive campaign streams batch after
     batch into one shared journal - a record outside the window is simply
-    another batch's work, not corruption.
+    another batch's work, not corruption.  The fabric worker leases such
+    windows too, pairing them with a
+    :class:`~repro.injection.journal.RecordBuffer` journal.
+
+    ``injector`` (``jobs == 1`` only) reuses a caller-owned
+    :class:`ImageInjector` instead of building a fresh one - the lease
+    seam that lets a fabric worker amortize machine construction across
+    many small leased windows.  Every injection restores complete machine
+    state before running, so reuse is result-neutral.
 
     Resilience knobs:
 
@@ -1010,7 +1034,10 @@ def run_injection_plan(
     if tasks:
         jobs = min(resolve_jobs(jobs), max(1, len(tasks)))
         if jobs == 1:
-            _run_serial(image, tasks, max_retries, record, quarantine, retry)
+            _run_serial(
+                image, tasks, max_retries, record, quarantine, retry,
+                injector=injector,
+            )
         else:
             supervisor = _FarmSupervisor(
                 image,
@@ -1046,6 +1073,7 @@ def _run_serial(
     record: Callable[[int, int, InjectionResult, float], None],
     quarantine: Callable[[_Attempt, str], None],
     retry: Callable[[_Attempt, str], None],
+    injector: ImageInjector | None = None,
 ) -> None:
     """In-process execution with the same retry/quarantine semantics.
 
@@ -1053,8 +1081,13 @@ def _run_serial(
     die in our place), but in-simulator exceptions still get bounded
     retries on a fresh injector and then quarantine, and the journal sees
     every completion - so even a serial campaign resumes after SIGKILL.
+
+    A caller-provided ``injector`` is reused across calls (the fabric
+    worker's lease loop); after an in-simulator exception a fresh one
+    replaces it for the retry, since its state may be poisoned.
     """
-    injector = ImageInjector(image)
+    if injector is None:
+        injector = ImageInjector(image)
     pending = deque(_Attempt(ci, fi, fault) for ci, fi, fault in tasks)
     while pending:
         attempt = pending.popleft()

@@ -153,3 +153,13 @@ SCALED_A9_CONFIG = MachineConfig(
     l1d=CacheGeometry(size=4 * 1024, assoc=4, line_size=32),
     l2=CacheGeometry(size=16 * 1024, assoc=8, line_size=32, hit_latency=8),
 )
+
+#: Named configurations resolvable across process and host boundaries.
+#: The fabric protocol ships a machine by *name* plus a structural digest
+#: (see :func:`repro.fabric.protocol.machine_digest`); workers look the
+#: name up here and verify the digest, so a drifted geometry on either
+#: side is an error instead of a silently different campaign.
+MACHINE_CONFIGS: dict[str, MachineConfig] = {
+    CORTEX_A9_CONFIG.name: CORTEX_A9_CONFIG,
+    SCALED_A9_CONFIG.name: SCALED_A9_CONFIG,
+}

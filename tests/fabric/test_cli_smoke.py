@@ -1,0 +1,167 @@
+"""Fabric CLI smoke: serve + workers + SIGKILL, through real processes.
+
+The CI-facing acceptance path: a coordinator subprocess (``repro
+serve``), worker subprocesses (``repro work``), and a client subprocess
+(``repro inject --fabric``) run a small CRC32 campaign.  Mid-run the
+coordinator is SIGKILLed - the real signal, not an in-process
+approximation - and restarted on the same store; the client polls
+through the outage and the campaign finishes with zero duplicated
+injections (proved by summing the executed counts every worker prints).
+Finally the fabric AVF breakdown is compared line-for-line against a
+local serial run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent.parent
+BENCHMARK = "CRC32"
+FAULTS = 2  # per component, 6 components -> 12 faults total
+EXECUTED_PATTERN = re.compile(r"executed (\d+) injection\(s\)")
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def repro(*args, env: dict | None = None) -> subprocess.Popen:
+    merged = dict(os.environ)
+    merged["PYTHONPATH"] = str(REPO / "src")
+    merged.update(env or {})
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        cwd=REPO,
+        env=merged,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def serve(tmp_path: Path, port: int) -> subprocess.Popen:
+    process = repro(
+        "serve",
+        "--store", str(tmp_path / "faults.sqlite"),
+        "--journal-dir", str(tmp_path / "journals"),
+        "--port", str(port),
+        "--lease-size", "2",
+        "--lease-ttl", "30",
+    )
+    deadline = time.monotonic() + 30
+    url = f"http://127.0.0.1:{port}/ping"
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url, timeout=1) as response:
+                if json.loads(response.read().decode()).get("ok"):
+                    return process
+        except OSError:
+            time.sleep(0.2)
+        if process.poll() is not None:
+            break
+    out = process.stdout.read() if process.poll() is not None else ""
+    process.kill()
+    raise AssertionError(f"coordinator never came up on {port}: {out}")
+
+
+def finish(process: subprocess.Popen, timeout: float) -> str:
+    out, _ = process.communicate(timeout=timeout)
+    assert process.returncode == 0, f"exit {process.returncode}:\n{out}"
+    return out
+
+
+def executed_count(worker_output: str) -> int:
+    match = EXECUTED_PATTERN.search(worker_output)
+    assert match, f"worker printed no executed count:\n{worker_output}"
+    return int(match.group(1))
+
+
+def breakdown_lines(output: str) -> list[str]:
+    """The deterministic part of the inject stdout: AVF rows + FIT.
+
+    The local run additionally prints a telemetry table (the fabric
+    client has no local telemetry), so only the per-component AVF rows
+    and the FIT line are compared.
+    """
+    return [
+        line.strip()
+        for line in output.splitlines()
+        if ("AVF" in line and "|" not in line) or "predicted FIT" in line
+    ]
+
+
+@pytest.mark.slow
+def test_fabric_smoke_with_coordinator_sigkill(tmp_path):
+    cache = tmp_path / "cache"
+    env_cache = {"REPRO_CACHE_DIR": str(cache)}
+    port = free_port()
+    url = f"http://127.0.0.1:{port}"
+
+    coordinator = serve(tmp_path, port)
+    workers: list[subprocess.Popen] = []
+    client = None
+    try:
+        # The client submits the campaign and starts polling.
+        client = repro(
+            "inject", BENCHMARK, "-n", str(FAULTS), "--fabric", url,
+            env=env_cache,
+        )
+        # Phase 1: one worker completes exactly one window (2 faults of
+        # the 12), then the coordinator is SIGKILLed mid-campaign.
+        first = repro("work", url, "--name", "first", "--max-windows", "1",
+                      "--max-idle", "60", "--poll", "0.2")
+        workers.append(first)
+        first_out = finish(first, timeout=300)
+        first_executed = executed_count(first_out)
+        assert first_executed > 0
+        coordinator.send_signal(signal.SIGKILL)
+        coordinator.wait(timeout=30)
+
+        # Phase 2: restart on the same store; the campaign resumes and
+        # the client - which never exited - keeps polling through the
+        # outage.
+        coordinator = serve(tmp_path, port)
+        for name in ("second", "third"):
+            workers.append(
+                repro("work", url, "--name", name, "--max-idle", "25",
+                      "--poll", "0.2")
+            )
+        total_executed = first_executed + sum(
+            executed_count(finish(worker, timeout=600))
+            for worker in workers[1:]
+        )
+        client_out = finish(client, timeout=600)
+        client = None
+
+        # Zero duplicated injections across the kill/restart boundary.
+        assert total_executed == FAULTS * 6, (
+            f"expected every fault exactly once, saw {total_executed}"
+        )
+
+        # The fabric result is line-identical to a local serial run.
+        local = repro(
+            "inject", BENCHMARK, "-n", str(FAULTS),
+            env={"REPRO_CACHE_DIR": str(tmp_path / "local_cache")},
+        )
+        local_out = finish(local, timeout=600)
+        fabric_rows = breakdown_lines(client_out)
+        local_rows = breakdown_lines(local_out)
+        assert fabric_rows, f"no breakdown in fabric output:\n{client_out}"
+        assert fabric_rows == local_rows
+    finally:
+        for process in [coordinator, client, *workers]:
+            if process is not None and process.poll() is None:
+                process.kill()

@@ -1,0 +1,281 @@
+"""Fabric end-to-end: distributed == serial, per fault and per tally.
+
+Acceptance scenarios from the fault-farm correctness sweep:
+
+- a campaign sharded over two workers produces per-fault effects and
+  final tallies bit-identical to a serial ``jobs=1`` run;
+- a coordinator that dies mid-campaign (server torn down without any
+  cleanup, new coordinator pointed at the same store/journals) resumes
+  with zero duplicated injections;
+- a second campaign over a longer prefix of the same fault stream
+  reuses every completed fault from the first (identity dedup).
+
+Everything runs in-process on threads; the subprocess/SIGKILL flavor
+lives in ``test_cli_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.fabric.client import FabricClient
+from repro.fabric.protocol import CampaignSpec
+from repro.fabric.coordinator import Coordinator, create_server
+from repro.fabric.store import FaultStore
+from repro.fabric.worker import FabricWorker
+from repro.injection.campaign import (
+    CampaignConfig,
+    build_fault_plan,
+    prepare_image,
+)
+from repro.injection.components import Component, component_bits
+from repro.injection.journal import read_journal
+from repro.injection.parallel import run_injection_plan
+from repro.injection.telemetry import CampaignTelemetry
+from repro.workloads import get_workload
+
+WORKLOAD = "StringSearch"
+COMPONENTS = (Component.REGFILE, Component.DTLB)
+FAULTS = 6
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload(WORKLOAD)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CampaignConfig(faults_per_component=FAULTS, seed=11)
+
+
+@pytest.fixture(scope="module")
+def serial(workload, config):
+    """Ground truth: golden run, image, plan and serial effects."""
+    golden, image = prepare_image(workload, config)
+    plan = build_fault_plan(config, golden.cycles, COMPONENTS)
+    effects = run_injection_plan(image, plan, jobs=1)
+    return {"golden": golden, "plan": plan, "effects": effects}
+
+
+class _Fabric:
+    """One in-process coordinator + HTTP server on a private store."""
+
+    def __init__(self, tmp_path, telemetry=None):
+        self.tmp_path = tmp_path
+        self.telemetry = telemetry
+        self.coordinator = None
+        self.server = None
+        self.url = None
+        self.start()
+
+    def start(self):
+        self.coordinator = Coordinator(
+            FaultStore(self.tmp_path / "faults.sqlite"),
+            self.tmp_path / "journals",
+            lease_size=2,
+            telemetry=self.telemetry,
+        )
+        self.server = create_server(self.coordinator)
+        self.url = f"http://127.0.0.1:{self.server.server_address[1]}"
+        threading.Thread(target=self.server.serve_forever, daemon=True).start()
+
+    def kill(self):
+        """Tear down the HTTP server with *no* coordinator cleanup -
+        the in-process approximation of a SIGKILL (the store committed
+        everything; open fds just leak until the test ends)."""
+        self.server.shutdown()
+        self.server.server_close()
+
+    def stop(self):
+        self.kill()
+        self.coordinator.close()
+
+
+def run_client_and_workers(
+    fabric, workload, config, worker_count=2, client=None
+):
+    """Drive one campaign to completion; returns (result, workers)."""
+    client = client or FabricClient(fabric.url, poll_interval=0.05)
+    box = {}
+
+    def submit():
+        box["result"] = client.run_workload(workload, config, COMPONENTS)
+
+    client_thread = threading.Thread(target=submit)
+    client_thread.start()
+    workers = [
+        FabricWorker(fabric.url, name=f"w{index}", poll_interval=0.05)
+        for index in range(worker_count)
+    ]
+    worker_threads = [
+        threading.Thread(target=worker.run, kwargs={"max_idle_polls": 40})
+        for worker in workers
+    ]
+    for thread in worker_threads:
+        thread.start()
+    client_thread.join(timeout=300)
+    for thread in worker_threads:
+        thread.join(timeout=60)
+    assert "result" in box, "client never received a result"
+    return box["result"], workers
+
+
+class TestDistributedEqualsSerial:
+    @pytest.fixture(scope="class")
+    def outcome(self, tmp_path_factory, workload, config, serial):
+        telemetry = CampaignTelemetry()
+        fabric = _Fabric(
+            tmp_path_factory.mktemp("fabric"), telemetry=telemetry
+        )
+        result, workers = run_client_and_workers(fabric, workload, config)
+        yield {
+            "result": result,
+            "workers": workers,
+            "fabric": fabric,
+            "telemetry": telemetry,
+        }
+        fabric.stop()
+
+    def test_tallies_are_bit_identical_to_serial(
+        self, outcome, config, serial
+    ):
+        result = outcome["result"]
+        for component in COMPONENTS:
+            counts = {}
+            for effect in serial["effects"][component]:
+                counts[effect] = counts.get(effect, 0) + 1
+            tally = result.components[component]
+            assert tally.counts == counts
+            assert tally.injections == FAULTS
+            assert tally.population_bits == component_bits(
+                config.machine, component
+            )
+            assert tally.quarantined == 0
+        assert result.golden_cycles == serial["golden"].cycles
+
+    def test_per_fault_effects_match_serial(self, outcome, serial):
+        """Stronger than tally equality: every journaled fault's effect
+        equals the serial run's effect at the same index."""
+        journals = list(
+            (outcome["fabric"].tmp_path / "journals").glob("*.jsonl")
+        )
+        assert len(journals) == 1
+        _meta, records, quarantines = read_journal(journals[0])
+        assert quarantines == []
+        by_fault = {
+            (record.component, record.index): record for record in records
+        }
+        for component in COMPONENTS:
+            for index, effect in enumerate(serial["effects"][component]):
+                record = by_fault.pop((component, index))
+                assert record.effect is effect
+                fault = serial["plan"][component][index]
+                assert record.bit_index == fault.bit_index
+                assert record.cycle == fault.cycle
+        assert not by_fault, f"extra journal records: {sorted(by_fault)}"
+
+    def test_no_fault_was_executed_twice(self, outcome):
+        executed = sum(worker.executed for worker in outcome["workers"])
+        assert executed == FAULTS * len(COMPONENTS)
+
+    def test_both_workers_participated(self, outcome):
+        # Not a determinism property - just evidence the fan-out fanned
+        # out (each worker had time to lease at least one window).
+        assert all(worker.executed > 0 for worker in outcome["workers"])
+
+    def test_telemetry_credits_workers(self, outcome):
+        telemetry = outcome["telemetry"]
+        assert sum(telemetry.fabric_workers.values()) == FAULTS * len(
+            COMPONENTS
+        )
+        assert set(telemetry.fabric_workers) <= {"w0", "w1"}
+        summary = telemetry.summary()
+        assert summary["fabric_workers"] == telemetry.fabric_workers
+
+    def test_status_reports_completion(self, outcome):
+        coordinator = outcome["fabric"].coordinator
+        status = coordinator.status()
+        (campaign_status,) = status["campaigns"].values()
+        assert campaign_status["complete"]
+        assert status["executed_total"] == FAULTS * len(COMPONENTS)
+        assert set(status["workers"]) == {"w0", "w1"}
+
+
+class TestCoordinatorKillAndResume:
+    def test_restart_resumes_with_zero_duplicates(
+        self, tmp_path, workload, config, serial
+    ):
+        fabric = _Fabric(tmp_path)
+        client = FabricClient(fabric.url, poll_interval=0.05, patience=60.0)
+
+        # Phase 1: one worker executes a couple of windows, then the
+        # coordinator "dies" (no cleanup at all).
+        early = FabricWorker(fabric.url, name="early", poll_interval=0.05)
+        summary = client.submit(
+            CampaignSpec.from_config(
+                workload.name, config, serial["golden"].cycles, COMPONENTS
+            )
+        )
+        campaign_id = summary["campaign_id"]
+        assert early.run(max_windows=2) > 0
+        done_before = fabric.coordinator.store.executed_total()
+        assert 0 < done_before < FAULTS * len(COMPONENTS)
+        fabric.kill()
+
+        # Phase 2: a fresh coordinator on the same store and journal dir
+        # (as after a SIGKILL + restart) finishes the campaign.
+        restarted = _Fabric(tmp_path)
+        result, workers = run_client_and_workers(
+            restarted,
+            workload,
+            config,
+            client=FabricClient(restarted.url, poll_interval=0.05),
+        )
+        executed_after = sum(worker.executed for worker in workers)
+        assert early.executed + executed_after == FAULTS * len(COMPONENTS), (
+            "restart re-executed already-completed faults"
+        )
+        # Identity: the resumed campaign is the same campaign.
+        assert restarted.coordinator.status(campaign_id)["complete"]
+        for component in COMPONENTS:
+            counts = {}
+            for effect in serial["effects"][component]:
+                counts[effect] = counts.get(effect, 0) + 1
+            assert result.components[component].counts == counts
+        restarted.stop()
+
+
+class TestCrossCampaignDedup:
+    def test_longer_campaign_reuses_completed_prefix(
+        self, tmp_path, workload, serial
+    ):
+        short_config = CampaignConfig(faults_per_component=3, seed=11)
+        long_config = CampaignConfig(faults_per_component=FAULTS, seed=11)
+        fabric = _Fabric(tmp_path)
+
+        short_result, short_workers = run_client_and_workers(
+            fabric, workload, short_config, worker_count=1
+        )
+        executed_short = sum(worker.executed for worker in short_workers)
+        assert executed_short == 3 * len(COMPONENTS)
+
+        long_result, long_workers = run_client_and_workers(
+            fabric, workload, long_config, worker_count=1
+        )
+        executed_long = sum(worker.executed for worker in long_workers)
+        # Only the new tail ran: indices [3, 6) of each component.
+        assert executed_long == (FAULTS - 3) * len(COMPONENTS)
+
+        for component in COMPONENTS:
+            counts = {}
+            for effect in serial["effects"][component]:
+                counts[effect] = counts.get(effect, 0) + 1
+            assert long_result.components[component].counts == counts
+            short_counts = {}
+            for effect in serial["effects"][component][:3]:
+                short_counts[effect] = short_counts.get(effect, 0) + 1
+            assert short_result.components[component].counts == short_counts
+        fabric.stop()

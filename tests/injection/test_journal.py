@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import errno
 import json
+import os
 
 import pytest
 
@@ -233,3 +235,107 @@ class TestTruncationTolerance:
         path.write_text('{"type":"injection"}\n')
         with pytest.raises(InjectionError, match="meta"):
             read_journal(path)
+
+
+class TestAppendRobustness:
+    """Regressions for the short-write and repair-ordering bugs.
+
+    ``os.write`` may write fewer bytes than asked (signal interruption,
+    a nearly full disk); the append loop must keep writing until every
+    byte is down, and a genuinely full disk must raise instead of
+    silently journaling a torn record.
+    """
+
+    def test_short_writes_are_completed(self, tmp_path, monkeypatch):
+        path = tmp_path / "j.jsonl"
+        journal = InjectionJournal.create(path, META)
+        real_write = os.write
+
+        def drip(fd, data):
+            return real_write(fd, bytes(data)[:3])  # at most 3 bytes per call
+
+        monkeypatch.setattr(os, "write", drip)
+        journal.record(make_record(0))
+        monkeypatch.undo()
+        journal.close()
+        _meta, records, _q = read_journal(path)
+        assert [r.index for r in records] == [0]
+        assert path.read_bytes().endswith(b"\n")
+
+    def test_disk_full_raises_instead_of_tearing_silently(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "j.jsonl"
+        journal = InjectionJournal.create(path, META)
+        real_write = os.write
+        budget = [10]  # bytes until the fake disk fills up
+
+        def filling_disk(fd, data):
+            if budget[0] <= 0:
+                raise OSError(errno.ENOSPC, "No space left on device")
+            count = min(budget[0], len(bytes(data)))
+            budget[0] -= count
+            return real_write(fd, bytes(data)[:count])
+
+        monkeypatch.setattr(os, "write", filling_disk)
+        with pytest.raises(InjectionError, match="disk full"):
+            journal.record(make_record(0))
+        monkeypatch.undo()
+        # The torn record was never added to the in-memory view, and the
+        # partial tail is exactly what the next resume repairs away.
+        assert journal.records == []
+        journal.close()
+        with InjectionJournal.resume(path, META) as resumed:
+            assert resumed.records == []
+
+    def test_non_enospc_oserror_propagates(self, tmp_path, monkeypatch):
+        journal = InjectionJournal.create(tmp_path / "j.jsonl", META)
+
+        def broken(fd, data):
+            raise OSError(errno.EIO, "I/O error")
+
+        monkeypatch.setattr(os, "write", broken)
+        with pytest.raises(OSError, match="I/O error"):
+            journal.record(make_record(0))
+        monkeypatch.undo()
+        journal.close()
+
+
+class TestResumeRepairOrdering:
+    """Resume must repair the torn tail *before* replaying the file, so
+    the in-memory record list and the on-disk journal are two views of
+    one byte sequence - never two independent parses of a torn one."""
+
+    def test_resumed_memory_matches_reread_disk_after_torn_tail(
+        self, tmp_path
+    ):
+        path = tmp_path / "j.jsonl"
+        with InjectionJournal.create(path, META) as journal:
+            journal.record(make_record(0))
+            journal.record(make_record(1, effect=FaultEffect.SDC))
+        with open(path, "ab") as handle:
+            handle.write(b'{"type":"injection","component":"REGF')
+        with InjectionJournal.resume(path, META) as resumed:
+            in_memory = list(resumed.records)
+            resumed.record(make_record(2))
+        _meta, on_disk, _q = read_journal(path)
+        assert [r.index for r in in_memory] == [0, 1]
+        assert on_disk[: len(in_memory)] == in_memory
+        assert [r.index for r in on_disk] == [0, 1, 2]
+
+    def test_repair_happens_even_when_meta_validation_fails(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with InjectionJournal.create(path, META) as journal:
+            journal.record(make_record(0))
+        with open(path, "ab") as handle:
+            handle.write(b'{"torn')
+        import dataclasses
+
+        other = dataclasses.replace(META, seed=META.seed + 1)
+        with pytest.raises(InjectionError, match="different campaign"):
+            InjectionJournal.resume(path, other)
+        # The tail was still normalized: a later resume with the right
+        # meta starts from a clean file.
+        assert path.read_bytes().endswith(b"\n")
+        with InjectionJournal.resume(path, META) as resumed:
+            assert [r.index for r in resumed.records] == [0]

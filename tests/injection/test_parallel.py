@@ -8,6 +8,8 @@ build-a-fresh-System path bit for bit.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.injection.campaign import (
@@ -237,3 +239,35 @@ class TestSerialParallelEquivalence:
                 tally = result.components[component]
                 assert tally.injections == FAULTS
                 assert sum(tally.counts.values()) == FAULTS
+
+
+class TestKillReleasesDescriptors:
+    """Regression: ``_WorkerHandle.kill()`` must close the supervisor's
+    pipe ends (and the process sentinel).  Every timeout/death reap
+    replaces the worker with a fresh handle, so a kill that leaked its
+    descriptors cost fds per death - enough to hit the fd ceiling on
+    long quarantine-heavy campaigns."""
+
+    @staticmethod
+    def _open_fds() -> int:
+        return len(os.listdir("/proc/self/fd"))
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/proc/self/fd"), reason="needs procfs"
+    )
+    def test_fd_count_stable_across_repeated_kills(self, image):
+        from repro.injection.parallel import _WorkerHandle, _pool_context
+
+        ctx = _pool_context()
+        # Warm-up: the first spawn can lazily open interpreter-level fds
+        # (multiprocessing semaphores, etc.) that are not per-handle.
+        warm = _WorkerHandle(ctx, image, worker_id=0)
+        warm.kill()
+        handles = []
+        before = self._open_fds()
+        for worker_id in range(5):
+            handle = _WorkerHandle(ctx, image, worker_id=worker_id + 1)
+            handle.kill()
+            handles.append(handle)  # keep alive: no GC-based cleanup
+        assert self._open_fds() == before
+        assert handles  # the handles themselves survived, only fds closed
