@@ -3,10 +3,13 @@
 Commands
 --------
 
-``run <benchmark> [--trace N]``
+``run <benchmark> [--trace N] [--profile]``
     Boot the machine, run one benchmark, print outcome and counters.
     ``--trace`` keeps a bounded instruction trace and prints the last N
-    instructions after the run.
+    instructions after the run.  ``--profile`` runs through the block
+    translator with profiling armed and prints the execution profile
+    (interpreted vs translated split, per-op interpreter dispatches,
+    translator statistics; :mod:`repro.microarch.profile`).
 ``list``
     List the 13 benchmarks with their inputs and characteristics.
 ``inject <benchmark> [-n FAULTS] [-j JOBS] [--journal DIR] [--resume]``
@@ -23,7 +26,10 @@ Commands
     bit-identical either way, so the flag exists only for benchmarking
     and auditing.  ``--no-translate`` and ``--no-cow`` likewise disable
     the (result-neutral) basic-block translator and copy-on-write
-    restores (``docs/PERFORMANCE.md``).  ``--no-events`` disables
+    restores (``docs/PERFORMANCE.md``); ``--heat-threshold``,
+    ``--no-chain`` and ``--no-superblocks`` tune the translator without
+    changing results, and ``--profile`` prints (and, with ``--metrics``,
+    exports) the execution profile.  ``--no-events`` disables
     fault-lifetime event
     recording; ``--trace-on-crash N`` attaches the last N instructions to
     Crash-classified journal records; ``--metrics PATH`` exports the
@@ -108,6 +114,15 @@ def _cmd_run(args) -> int:
         from repro.microarch.trace import Tracer
 
         tracer = Tracer(args.trace)
+    translator = None
+    if args.profile:
+        from repro.microarch.profile import enable_op_counts
+        from repro.microarch.translate import attach_translator
+
+        # Tracing forces the interpreter loop, so a combined
+        # --trace --profile run reports everything as interpreted.
+        translator = attach_translator(system, profile=True)
+        enable_op_counts(system.core)
     result = system.run(
         max_cycles=200_000_000,
         trace=tracer.hook if tracer is not None else None,
@@ -124,6 +139,10 @@ def _cmd_run(args) -> int:
         print(f"trace   : last {min(args.trace, len(tracer.records))} "
               f"instruction(s)")
         print(tracer.format_tail(args.trace))
+    if args.profile:
+        from repro.microarch.profile import execution_profile, format_profile
+
+        print(format_profile(execution_profile(system.core, translator)))
     return 0 if matches and result.exited_cleanly else 1
 
 
@@ -141,12 +160,25 @@ def _cmd_inject(args) -> int:
         print("error: adaptive campaigns (--target-margin) are not "
               "fabric-aware yet; run them locally", file=sys.stderr)
         return 2
+    if args.profile and args.fabric:
+        print("error: --profile observes the in-process machine; it cannot "
+              "profile fabric workers (drop --fabric)", file=sys.stderr)
+        return 2
+    if args.profile and args.target_margin is not None:
+        print("error: --profile supports fixed-sample campaigns only "
+              "(drop --target-margin)", file=sys.stderr)
+        return 2
+    jobs = args.jobs
+    if args.profile and jobs != 1:
+        print("  .. --profile forces -j 1 (the profiled machine must run "
+              "in this process)", file=sys.stderr)
+        jobs = 1
     workload = get_workload(args.benchmark)
     telemetry = CampaignTelemetry()
     config = CampaignConfig(
         faults_per_component=args.faults,
         confidence=args.confidence,
-        jobs=args.jobs,
+        jobs=jobs,
         injection_timeout=args.timeout,
         max_retries=args.retries,
         early_exit=not args.no_early_exit,
@@ -155,6 +187,10 @@ def _cmd_inject(args) -> int:
         trace_on_crash=args.trace_on_crash,
         translate=not args.no_translate,
         cow_images=not args.no_cow,
+        heat_threshold=args.heat_threshold,
+        chain=not args.no_chain,
+        superblocks=not args.no_superblocks,
+        profile=args.profile,
         target_margin=args.target_margin,
         batch_size=args.batch_size,
         min_faults=args.min_faults,
@@ -181,7 +217,9 @@ def _cmd_inject(args) -> int:
             resume=args.resume,
             telemetry=telemetry,
         )
-        result = campaign.run_workload(workload)
+        # A profile run must actually execute, so it bypasses the campaign
+        # result cache in both directions.
+        result = campaign.run_workload(workload, use_cache=not args.profile)
     if args.target_margin is not None:
         print(f"{workload.name}: adaptive to +/-{args.target_margin * 100:g}% "
               f"at {args.confidence * 100:g}% confidence "
@@ -218,6 +256,13 @@ def _cmd_inject(args) -> int:
     fits = injection_fit(result)
     print(f"  predicted FIT: SDC {fits.sdc:.2f}  App {fits.app_crash:.2f}  "
           f"Sys {fits.sys_crash:.2f}  total {fits.total:.2f}")
+    profile = None
+    if args.profile and campaign is not None:
+        from repro.microarch.profile import format_profile
+
+        profile = campaign.profiles.get(workload.name)
+        if profile is not None:
+            print(format_profile(profile))
     if telemetry.completed or telemetry.quarantined:
         summary = telemetry.summary()
         print(telemetry_table(summary))
@@ -225,6 +270,8 @@ def _cmd_inject(args) -> int:
         if propagation:
             print(propagation)
         if args.metrics:
+            if profile is not None:
+                summary["profile"] = profile
             _export_metrics(args.metrics, summary, workload.name)
     return 0
 
@@ -407,6 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="keep a bounded instruction trace and print the "
                      "last N instructions after the run (slower: forces "
                      "the non-optimized interpreter loop)")
+    run.add_argument("--profile", action="store_true",
+                     help="run through the block translator with profiling "
+                     "armed and print the execution profile: interpreted "
+                     "vs translated instructions, per-op interpreter "
+                     "dispatches, translator/chaining/superblock counters "
+                     "and the translation-refusal histogram")
     run.set_defaults(func=_cmd_run)
 
     inject = sub.add_parser("inject", help="fault-injection campaign")
@@ -446,6 +499,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="restore the full machine state between "
                         "injections instead of only the pages the previous "
                         "run dirtied; restores are bit-identical either way")
+    inject.add_argument("--heat-threshold", type=int, default=16,
+                        metavar="N",
+                        help="dispatches of a (pc, mode) before the "
+                        "translator compiles it (default 16; compile "
+                        "timing only, results identical)")
+    inject.add_argument("--no-chain", action="store_true",
+                        help="return to the run loop after every translated "
+                        "block instead of chaining into the successor "
+                        "block (scheduling only, results identical)")
+    inject.add_argument("--no-superblocks", action="store_true",
+                        help="translate straight-line regions only - no "
+                        "in-page branch following, no loop superblocks "
+                        "(region shape only, results identical)")
+    inject.add_argument("--profile", action="store_true",
+                        help="collect and print the execution profile "
+                        "(per-op interpreter dispatches + translator "
+                        "statistics); forces -j 1 and skips the campaign "
+                        "cache so the injections actually execute; with "
+                        "--metrics the profile rides along in the "
+                        "envelope (incompatible with --fabric and "
+                        "--target-margin)")
     inject.add_argument("--no-events", action="store_true",
                         help="disable fault-lifetime event recording "
                         "(flip -> read/overwrite/evict -> divergence -> "

@@ -105,6 +105,9 @@ class CampaignSpec:
     trace_on_crash: int = 0
     translate: bool = True
     cow_images: bool = True
+    heat_threshold: int = 16
+    chain: bool = True
+    superblocks: bool = True
     use_checkpoints: bool = True
     checkpoint_count: int = 8
     version: int = PROTOCOL_VERSION
@@ -139,6 +142,9 @@ class CampaignSpec:
             trace_on_crash=config.trace_on_crash,
             translate=config.translate,
             cow_images=config.cow_images,
+            heat_threshold=config.heat_threshold,
+            chain=config.chain,
+            superblocks=config.superblocks,
             use_checkpoints=config.use_checkpoints,
             checkpoint_count=config.checkpoint_count,
         )
@@ -164,6 +170,9 @@ class CampaignSpec:
             trace_on_crash=self.trace_on_crash,
             translate=self.translate,
             cow_images=self.cow_images,
+            heat_threshold=self.heat_threshold,
+            chain=self.chain,
+            superblocks=self.superblocks,
         )
 
     def component_list(self) -> tuple[Component, ...]:

@@ -40,6 +40,7 @@ from repro.injection.parallel import (
     DEFAULT_MAX_RETRIES,
     WATCHDOG_FACTOR,
     WATCHDOG_SLACK,
+    ImageInjector,
     MachineImage,
     QuarantinedFault,
     run_injection_plan,
@@ -150,6 +151,25 @@ class CampaignConfig:
     #: :class:`~repro.microarch.snapshot.DeltaRestorer`).  Restores are
     #: bit-identical either way, so also excluded from the cache key.
     cow_images: bool = True
+    #: Dispatches of a (pc, mode) before the translator compiles it (see
+    #: :data:`repro.microarch.translate.HEAT_THRESHOLD`).  Compile-timing
+    #: only - blocks are bit-identical to the interpreter whenever they
+    #: run - so, like ``translate`` itself, it is excluded from the cache
+    #: key.
+    heat_threshold: int = 16
+    #: Let the translated dispatcher keep running successor blocks while
+    #: the cycle budget lasts instead of returning to the run loop after
+    #: every block.  Scheduling only; excluded from the cache key.
+    chain: bool = True
+    #: Translate across in-page branches (including taken backward
+    #: branches), turning hot loops into single compiled superblocks.
+    #: Region-shape only; excluded from the cache key.
+    superblocks: bool = True
+    #: Compile per-superblock iteration counters into translated blocks and
+    #: collect per-op dispatch + translator statistics for the
+    #: ``repro-metrics/1`` envelope (see :mod:`repro.microarch.profile`).
+    #: Observation-only; excluded from the cache key.
+    profile: bool = False
     #: Adaptive (sequential) stopping: when set, the campaign ignores
     #: ``faults_per_component`` and instead injects batch after batch until
     #: every tracked rate of every component - the AVF's re-adjusted
@@ -578,6 +598,10 @@ def prepare_image(
         trace_on_crash=config.trace_on_crash,
         translate=config.translate,
         cow=config.cow_images,
+        heat_threshold=config.heat_threshold,
+        chain=config.chain,
+        superblocks=config.superblocks,
+        profile=config.profile,
     )
     return golden, image
 
@@ -634,6 +658,10 @@ class InjectionCampaign:
         self.resume = resume
         self.telemetry = telemetry
         self._progress = progress or (lambda message: None)
+        #: Per-workload :func:`~repro.microarch.profile.execution_profile`
+        #: snapshots, populated only under ``config.profile`` at
+        #: ``jobs == 1`` (the profiled machine must live in this process).
+        self.profiles: dict[str, dict] = {}
 
     # -- caching -------------------------------------------------------------
 
@@ -738,6 +766,14 @@ class InjectionCampaign:
         }
         journal = self._open_journal(workload.name, golden.cycles)
         quarantined: list[QuarantinedFault] = []
+        # Profiling keeps the injector in our hands: the op histogram and
+        # translator counters live on its machine, which run_injection_plan
+        # would otherwise build and discard internally.
+        injector = (
+            ImageInjector(image)
+            if self.config.profile and self.config.jobs == 1
+            else None
+        )
         try:
             effects = run_injection_plan(
                 image,
@@ -749,10 +785,17 @@ class InjectionCampaign:
                 timeout=self.config.injection_timeout,
                 max_retries=self.config.max_retries,
                 quarantined=quarantined,
+                injector=injector,
             )
         finally:
             if journal is not None:
                 journal.close()
+        if injector is not None:
+            from repro.microarch.profile import execution_profile
+
+            self.profiles[workload.name] = execution_profile(
+                injector.system.core, injector.translator
+            )
         quarantine_tally: dict[Component, int] = {}
         for entry in quarantined:
             quarantine_tally[entry.component] = (

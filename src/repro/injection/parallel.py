@@ -85,6 +85,7 @@ from repro.microarch.snapshot import (
     SystemSnapshot,
     best_snapshot,
 )
+from repro.microarch.profile import enable_op_counts
 from repro.microarch.translate import attach_translator
 from repro.microarch.system import RunResult, System
 from repro.microarch.trace import Tracer
@@ -156,6 +157,13 @@ class MachineImage:
     #: Restore injections copy-on-write (rewrite only dirtied/differing
     #: memory pages) instead of sweeping the whole address space.
     cow: bool = True
+    #: Translator tuning knobs (see :class:`CampaignConfig` for the
+    #: semantics); all of them are result-neutral scheduling/observation
+    #: switches.
+    heat_threshold: int = 16
+    chain: bool = True
+    superblocks: bool = True
+    profile: bool = False
 
     @classmethod
     def capture(
@@ -172,6 +180,10 @@ class MachineImage:
         trace_on_crash: int = 0,
         translate: bool = True,
         cow: bool = True,
+        heat_threshold: int = 16,
+        chain: bool = True,
+        superblocks: bool = True,
+        profile: bool = False,
     ) -> "MachineImage":
         """Bundle a workload's golden run into a shippable image."""
         return cls(
@@ -189,6 +201,10 @@ class MachineImage:
             trace_on_crash=trace_on_crash,
             translate=translate,
             cow=cow,
+            heat_threshold=heat_threshold,
+            chain=chain,
+            superblocks=superblocks,
+            profile=profile,
         )
 
 
@@ -261,8 +277,17 @@ class ImageInjector:
         self.system = System(image.program, config=image.machine)
         self.pristine = SystemSnapshot(self.system)
         self.budget = watchdog_budget(image.golden_cycles)
+        self.translator = None
         if image.translate:
-            attach_translator(self.system)
+            self.translator = attach_translator(
+                self.system,
+                heat_threshold=image.heat_threshold,
+                chain=image.chain,
+                superblocks=image.superblocks,
+                profile=image.profile,
+            )
+        if image.profile:
+            enable_op_counts(self.system.core)
         # This injector owns its system exclusively and restores through
         # one engine, which is exactly the DeltaRestorer contract.  Atomic
         # machines store straight into memory without dirty tracking, so

@@ -642,6 +642,14 @@ class Core:
         #: (tracing is per-instruction by definition).
         self.translator = None
 
+        #: Optional per-op dispatch histogram (handler -> count), enabled
+        #: by :func:`repro.microarch.profile.enable_op_counts`.  ``None``
+        #: (the default) keeps the interpreter loops branch-cheap; when
+        #: set, every *interpreted* dispatch is tallied - translated
+        #: instructions deliberately do not appear here, which is exactly
+        #: what makes the histogram useful: it shows what still falls back.
+        self.op_counts = None
+
     # -- address translation --------------------------------------------------
 
     def _translate(self, vaddr: int, tlb: TLB, need: int) -> tuple[int, int]:
@@ -880,6 +888,9 @@ class Core:
                 )
         self.pc = pc + 4
         handler, rd, rs1, rs2, imm = entry
+        counts = self.op_counts
+        if counts is not None:
+            counts[handler] = counts.get(handler, 0) + 1
         cost = handler(self, rd, rs1, rs2, imm)
         self.icount += 1
         self.cycle += 1 + fetch_latency + cost
@@ -1000,6 +1011,7 @@ class Core:
         mode_kernel = Mode.KERNEL
         translator = self.translator
         translator_execute = translator.execute if translator is not None else None
+        op_counts = self.op_counts
 
         while True:
             cycle = self.cycle
@@ -1111,6 +1123,8 @@ class Core:
                         )
                 self.pc = pc + 4
                 handler, rd, rs1, rs2, imm = entry
+                if op_counts is not None:
+                    op_counts[handler] = op_counts.get(handler, 0) + 1
                 cost = handler(self, rd, rs1, rs2, imm)
                 self.icount += 1
                 self.cycle = cycle + 1 + fetch_latency + cost

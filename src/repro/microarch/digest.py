@@ -88,15 +88,24 @@ def _hash_memory(h, memory) -> None:
     h.update(b"".join(page_hashes))
 
 
+_META_BATCH: dict[int, struct.Struct] = {}
+
+
 def _hash_cache(h, cache) -> None:
-    parts = []
-    meta = []
-    pack = _LINE_META.pack
-    for ways in cache.sets:
-        for line in ways:
-            meta.append(pack(line.tag, line.stamp, line.valid | (line.dirty << 1)))
-            parts.append(line.data)
-    parts.extend(meta)
+    parts = [line.data for ways in cache.sets for line in ways]
+    meta = [
+        field
+        for ways in cache.sets
+        for line in ways
+        for field in (line.tag, line.stamp, line.valid | (line.dirty << 1))
+    ]
+    # One pack call for all line metadata: "<" uses standard sizes with no
+    # padding, so the repeated format is byte-identical to per-line packs.
+    lines = len(meta) // 3
+    batch = _META_BATCH.get(lines)
+    if batch is None:
+        batch = _META_BATCH[lines] = struct.Struct("<" + "qqB" * lines)
+    parts.append(batch.pack(*meta))
     parts.append(_COUNTER_PAIR.pack(cache._clock, cache.accesses, cache.misses))
     h.update(b"".join(parts))
 

@@ -13,16 +13,26 @@ The hook seams live in the components themselves (``Cache.probe``,
 :meth:`PhysRegFile.wrap_regs`); each hook site is a single
 ``is not None`` check, so an unprobed machine pays almost nothing.
 
-The basic-block translator (:mod:`repro.microarch.translate`) honours the
-same seams: its entry guards refuse to run a block while *any* probe is
-armed - on either TLB, any cache level, main memory - or the register
-lists are wrapped (``type(rf.int_regs) is not list``).  Probe events
-carry the cycle at which the access happened, and a block batches its
-cycle counter, so a probe firing mid-block would be stamped with the
-stale block-entry cycle; probed runs therefore always interpret.  Probes
-installed mid-run switch the machine back to interpretation at the next
-dispatch, and self-removing probes (like :class:`RegfileTaintProbe`)
-re-enable translation the same way.
+The basic-block translator (:mod:`repro.microarch.translate`) honours
+the same seams, splitting them by side.  *Fetch-side* probes (L1I,
+ITLB) force interpretation: the dispatcher short-circuits while they
+are armed, because entry guards read ITLB entries and L1I lines
+directly.  *Data-side* probes (DTLB, L1D - and transitively L2/memory,
+whose notifications only fire from interpreter fallbacks) are
+compatible with translation: blocks compiled while they are armed
+replay every ``on_lookup`` / ``on_read`` / ``on_write`` notification
+inline, flushing ``core.cycle`` first so probe events carry the exact
+access cycle, bit-identical to the interpreter's.  Wrapped register
+lists (``type(rf.int_regs) is not list``, the
+:class:`RegfileTaintProbe` mechanism) get *wrapped variants*: blocks
+that skip the registers-as-locals batching and route every operand
+read and result write through the wrapper's ``__getitem__`` /
+``__setitem__`` - same subscripts, same order as the interpreter's
+handlers, with ``core.cycle`` stamped first - so the wrapper's events
+fire identically.  Probe-free blocks refuse via their entry guards
+while probes are armed, the dispatcher compiles a replaying variant in
+their place, and self-removing probes hand execution straight back to
+the ordinary fast variants once they uninstall.
 
 Writeback taint travels *down* the hierarchy through a shared
 ``inflight`` set of tainted physical byte addresses: when a dirty tainted

@@ -1,7 +1,7 @@
 """Property: translation is invisible on randomly generated programs.
 
-Hypothesis assembles short random straight-line bodies inside a hot loop
-(so the basic-block translator actually fires: blocks only compile after
+Hypothesis assembles short random bodies inside hot loops (so the
+basic-block translator actually fires: blocks only compile after
 ``HEAT_THRESHOLD`` executions), runs each program interpreter-only and
 translator-enabled on identical machines, and asserts the two runs are
 indistinguishable: same architectural digest, same full-system digest,
@@ -9,18 +9,37 @@ same cycle count, and same performance counters.  Bodies deliberately
 include faultable instructions - division by a possibly-zero register
 and occasionally misaligned word accesses - so the translator's
 exception flush path is exercised, not just the happy path.
+
+Three program/machine shapes are covered:
+
+- straight-line bodies in one hot loop (the original property);
+- nested loops with FLD/FST double-word traffic - taken backward
+  branches inside a translated region are exactly what loop superblocks
+  chain across, and the fp paths ride the double-word inline fast path;
+- data-side taint armed mid-run (a real bit flipped into L1D / L2 /
+  DTLB / REGFILE plus the taint probes a lifetime-event campaign
+  installs): the translated engine must replay probe notifications
+  bit-identically, down to the cycle stamps in the lifetime-event
+  stream.
 """
 
 from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
+from repro.injection.components import (
+    Component,
+    component_bits,
+    component_target,
+)
 from repro.isa.assembler import Assembler
 from repro.kernel.layout import DEFAULT_LAYOUT
 from repro.microarch.config import SCALED_A9_CONFIG
 from repro.microarch.digest import arch_digest, system_digest
 from repro.microarch.system import PerfCounters, System
 from repro.microarch.translate import attach_translator
+from repro.observability.events import EV_FLIP, FaultLifetime
+from repro.observability.taint import install_taint
 
 #: r0-r9 are scratch; r10 is the loop counter, r11 the data-buffer base.
 SCRATCH = st.integers(0, 9)
@@ -95,6 +114,84 @@ def _program(draw) -> str:
     return "\n".join(lines) + "\n"
 
 
+#: Nested-loop scratch: r8 is spare, r9 the inner counter, r10 the
+#: outer counter, r11 the int buffer base, r12 the fp buffer base (and
+#: the assembler's ``la`` scratch, so it is written last).
+NESTED_SCRATCH = st.integers(0, 7)
+
+
+@st.composite
+def _nested_instruction(draw) -> str:
+    kind = draw(
+        st.sampled_from(
+            ["alu3", "alui", "movi", "load", "store"]
+            + ["fld", "fst", "fp3"] * 2
+        )
+    )
+    rd, rs1, rs2 = draw(NESTED_SCRATCH), draw(NESTED_SCRATCH), draw(NESTED_SCRATCH)
+    fd, fs1, fs2 = draw(st.integers(0, 3)), draw(st.integers(0, 3)), draw(st.integers(0, 3))
+    if kind == "alu3":
+        op = draw(st.sampled_from(ALU3))
+        if op == "mov":
+            return f"mov r{rd}, r{rs1}"
+        return f"{op} r{rd}, r{rs1}, r{rs2}"
+    if kind == "alui":
+        return f"{draw(st.sampled_from(ALUI))} r{rd}, r{rs1}, {draw(st.integers(0, 255))}"
+    if kind == "movi":
+        return f"movi r{rd}, {draw(st.integers(0, 32767))}"
+    if kind == "load":
+        return f"ldw r{rd}, [r11, {draw(st.integers(0, 62)) * 4}]"
+    if kind == "store":
+        return f"stw r{rd}, [r11, {draw(st.integers(0, 62)) * 4}]"
+    if kind == "fld":
+        return f"fld f{fd}, [r12, {draw(st.integers(0, 7)) * 8}]"
+    if kind == "fst":
+        return f"fst f{fd}, [r12, {draw(st.integers(0, 7)) * 8}]"
+    op = draw(st.sampled_from(("fadd", "fsub", "fmul")))
+    return f"{op} f{fd}, f{fs1}, f{fs2}"
+
+
+@st.composite
+def _nested_program(draw) -> str:
+    """Two nested hot loops with int + double-word fp traffic."""
+    seeds = [
+        f"    movi r{reg}, {draw(st.integers(0, 32767))}" for reg in range(8)
+    ]
+    inner_body = [
+        f"    {draw(_nested_instruction())}"
+        for _ in range(draw(st.integers(1, 8)))
+    ]
+    outer_tail = [
+        f"    {draw(_nested_instruction())}"
+        for _ in range(draw(st.integers(0, 3)))
+    ]
+    lines = [
+        "_start:",
+        "    la   r11, buf",
+        "    la   r12, fbuf",
+        *seeds,
+        f"    movi r10, {draw(st.integers(6, 12))}",
+        "outer:",
+        f"    movi r9, {draw(st.integers(3, 9))}",
+        "inner:",
+        *inner_body,
+        "    subi r9, r9, 1",
+        "    cmpi r9, 0",
+        "    bne  inner",
+        *outer_tail,
+        "    subi r10, r10, 1",
+        "    cmpi r10, 0",
+        "    bne  outer",
+        "    movi r0, 0",
+        "    movi r7, 0",
+        "    syscall",
+        "    .data",
+        "buf: .space 256",
+        "fbuf: .space 64",
+    ]
+    return "\n".join(lines) + "\n"
+
+
 def _run(source: str, translate: bool):
     assembler = Assembler(
         text_base=DEFAULT_LAYOUT.user_text_base,
@@ -125,3 +222,74 @@ def test_translator_is_invisible(source):
         assert (a.accesses, a.misses) == (b.accesses, b.misses), unit
     assert arch_digest(trans_system) == arch_digest(interp_system)
     assert system_digest(trans_system) == system_digest(interp_system)
+
+
+def _assert_indistinguishable(interp, trans):
+    interp_system, interp_result = interp
+    trans_system, trans_result = trans
+    assert trans_result.cycles == interp_result.cycles
+    assert trans_result.exited_cleanly == interp_result.exited_cleanly
+    for name in PerfCounters.__slots__:
+        assert getattr(trans_result.counters, name) == getattr(
+            interp_result.counters, name
+        ), name
+    for unit in ("l1i", "l1d", "l2", "itlb", "dtlb"):
+        a, b = getattr(interp_system, unit), getattr(trans_system, unit)
+        assert (a.accesses, a.misses) == (b.accesses, b.misses), unit
+    assert arch_digest(trans_system) == arch_digest(interp_system)
+    assert system_digest(trans_system) == system_digest(interp_system)
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=_nested_program())
+def test_translator_is_invisible_on_nested_loops(source):
+    _assert_indistinguishable(
+        _run(source, translate=False), _run(source, translate=True)
+    )
+
+
+#: Data-side components a lifetime-event campaign arms taint probes on.
+TAINTABLE = (
+    Component.L1D,
+    Component.L2,
+    Component.DTLB,
+    Component.REGFILE,
+)
+
+
+def _run_tainted(source, translate, component, bit_seed, flip_cycle):
+    """One run with a mid-flight flip + taint probes, injector-style."""
+    assembler = Assembler(
+        text_base=DEFAULT_LAYOUT.user_text_base,
+        data_base=DEFAULT_LAYOUT.user_data_base,
+    )
+    program = assembler.assemble(source, entry="_start")
+    system = System(program, config=SCALED_A9_CONFIG)
+    if translate:
+        assert attach_translator(system) is not None
+    lifetime = FaultLifetime(system.core)
+    bit = bit_seed % component_bits(SCALED_A9_CONFIG, component)
+
+    def flip():
+        component_target(system, component).flip_bit(bit)
+        lifetime.event(EV_FLIP, component.name)
+        install_taint(system, component, [bit], lifetime)
+
+    result = system.run(max_cycles=500_000, events=[(flip_cycle, flip)])
+    return system, result, lifetime.to_payload()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    source=_nested_program(),
+    component=st.sampled_from(TAINTABLE),
+    bit_seed=st.integers(0, 2**20),
+    flip_cycle=st.integers(200, 3000),
+)
+def test_translator_is_invisible_under_data_taint(
+    source, component, bit_seed, flip_cycle
+):
+    interp = _run_tainted(source, False, component, bit_seed, flip_cycle)
+    trans = _run_tainted(source, True, component, bit_seed, flip_cycle)
+    _assert_indistinguishable(interp[:2], trans[:2])
+    assert trans[2] == interp[2], "lifetime-event streams differ"
