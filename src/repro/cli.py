@@ -46,18 +46,29 @@ Commands
     instead of running it locally: the golden run still happens here (it
     anchors the spec), the injections run on whatever workers are
     attached, and the printed result is bit-identical to a local run.
+    ``--trace-spans PATH`` arms structured tracing and flushes the span
+    JSONL there; ``--metrics-port N`` serves a live Prometheus
+    ``/metrics`` exposition of the local campaign's telemetry.
 ``serve [--store PATH] [--journal-dir DIR] [--port N]``
     Run a fabric coordinator: accepts campaign submissions, shards their
     deterministic fault streams into index-window leases over HTTP/JSON,
     dedups faults against the shared sqlite fault store, and journals
     completed injections exactly as a local run would.  Kill it and
     restart it freely - campaigns resume from the store with zero
-    re-executed faults.
+    re-executed faults.  Exposes ``GET /metrics`` (Prometheus text) and
+    ``POST /heartbeat``; ``--log-json`` swaps stderr prints for one
+    structured JSON line per request, ``--trace-spans`` writes a span
+    JSONL per campaign next to its journal.
 ``work <coordinator-url> [--name NAME]``
     Run a fabric worker: lease fault-index windows from the coordinator,
     rebuild the campaign's machine image locally, inject through the
     fast path, report the records back.  Start as many as you like, on
-    as many hosts as share the package.
+    as many hosts as share the package.  Workers heartbeat host stats to
+    the coordinator; ``--log-json`` emits structured JSON logs.
+``top <coordinator-url> [--interval SEC]``
+    Live fabric dashboard: polls ``/status`` + ``/metrics`` and redraws
+    per-campaign progress bars, per-worker throughput, and stale-worker
+    warnings in place (no curses).
 ``stats <journal-file-or-dir> [--metrics PATH]``
     Rebuild campaign telemetry from one journal (or every ``*.jsonl``
     journal under a directory) and print the telemetry and
@@ -168,6 +179,11 @@ def _cmd_inject(args) -> int:
         print("error: --profile supports fixed-sample campaigns only "
               "(drop --target-margin)", file=sys.stderr)
         return 2
+    if args.metrics_port is not None and args.fabric:
+        print("error: --metrics-port exports the local campaign's registry; "
+              "a fabric coordinator already serves /metrics (drop one)",
+              file=sys.stderr)
+        return 2
     jobs = args.jobs
     if args.profile and jobs != 1:
         print("  .. --profile forces -j 1 (the profiled machine must run "
@@ -196,30 +212,65 @@ def _cmd_inject(args) -> int:
         min_faults=args.min_faults,
         max_faults=args.max_faults,
     )
-    campaign = None
-    if args.fabric:
-        from repro.fabric import FabricClient
+    tracer = None
+    if args.trace_spans:
+        from repro.observability.tracing import Tracer
 
-        client = FabricClient(
-            args.fabric,
-            progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+        tracer = Tracer()
+    metrics_server = None
+    registry = None
+    if args.metrics_port is not None:
+        from repro.fabric.metrics import (
+            MetricsRegistry,
+            start_metrics_server,
+            telemetry_collector,
         )
-        result = client.run_workload(workload, config)
-    else:
-        campaign_cls = (
-            AdaptiveCampaign if args.target_margin is not None
-            else InjectionCampaign
+
+        registry = MetricsRegistry()
+        registry.register_collector(
+            telemetry_collector(telemetry, campaign=workload.name)
         )
-        campaign = campaign_cls(
-            config,
-            progress=lambda message: print(f"  .. {message}", file=sys.stderr),
-            journal_dir=Path(args.journal) if args.journal else None,
-            resume=args.resume,
-            telemetry=telemetry,
-        )
-        # A profile run must actually execute, so it bypasses the campaign
-        # result cache in both directions.
-        result = campaign.run_workload(workload, use_cache=not args.profile)
+        metrics_server = start_metrics_server(registry, port=args.metrics_port)
+        print(f"  .. metrics on http://{metrics_server.server_address[0]}:"
+              f"{metrics_server.server_address[1]}/metrics", file=sys.stderr)
+    campaign = None
+    try:
+        if args.fabric:
+            from repro.fabric import FabricClient
+
+            client = FabricClient(
+                args.fabric,
+                progress=lambda message: print(f"  .. {message}",
+                                               file=sys.stderr),
+                tracer=tracer,
+            )
+            result = client.run_workload(workload, config)
+        else:
+            campaign_cls = (
+                AdaptiveCampaign if args.target_margin is not None
+                else InjectionCampaign
+            )
+            campaign = campaign_cls(
+                config,
+                progress=lambda message: print(f"  .. {message}",
+                                               file=sys.stderr),
+                journal_dir=Path(args.journal) if args.journal else None,
+                resume=args.resume,
+                telemetry=telemetry,
+                tracer=tracer,
+            )
+            # A profile run must actually execute, so it bypasses the
+            # campaign result cache in both directions.
+            result = campaign.run_workload(
+                workload, use_cache=not args.profile
+            )
+    finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
+            metrics_server.server_close()
+        if tracer is not None:
+            flushed = tracer.flush(args.trace_spans)
+            print(f"  .. trace spans appended to {flushed}", file=sys.stderr)
     if args.target_margin is not None:
         print(f"{workload.name}: adaptive to +/-{args.target_margin * 100:g}% "
               f"at {args.confidence * 100:g}% confidence "
@@ -272,20 +323,50 @@ def _cmd_inject(args) -> int:
         if args.metrics:
             if profile is not None:
                 summary["profile"] = profile
-            _export_metrics(args.metrics, summary, workload.name)
+            _export_metrics(
+                args.metrics,
+                summary,
+                workload.name,
+                registry=registry.snapshot() if registry is not None else None,
+            )
     return 0
 
 
-def _export_metrics(path: str, summary: dict, name: str) -> None:
+def _export_metrics(
+    path: str,
+    summary: dict,
+    name: str,
+    spans: list | None = None,
+    registry: dict | None = None,
+) -> None:
     from repro.observability.metrics import campaign_metrics, write_metrics
 
-    written = write_metrics(path, campaign_metrics(summary, name))
+    written = write_metrics(
+        path, campaign_metrics(summary, name, spans=spans, registry=registry)
+    )
     print(f"metrics written to {written}", file=sys.stderr)
+
+
+def _log_hooks(log_json: bool):
+    """(progress, events) stderr hooks honouring ``--log-json``.
+
+    With ``--log-json`` every request/lease/report becomes one structured
+    JSON line on stderr and the human progress prints are suppressed;
+    without it, progress prints stay and events go nowhere.
+    """
+    if log_json:
+        from repro.observability.jsonlog import JsonLogger
+
+        logger = JsonLogger(stream=sys.stderr)
+        return (lambda message: None), logger
+    progress = lambda message: print(f"  .. {message}", file=sys.stderr)
+    return progress, None
 
 
 def _cmd_serve(args) -> int:
     from repro.fabric import serve_forever
 
+    progress, events = _log_hooks(args.log_json)
     serve_forever(
         args.store,
         args.journal_dir,
@@ -293,7 +374,10 @@ def _cmd_serve(args) -> int:
         port=args.port,
         lease_ttl=args.lease_ttl,
         lease_size=args.lease_size,
-        progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+        worker_ttl=args.worker_ttl,
+        trace=args.trace_spans,
+        progress=progress,
+        events=events,
     )
     return 0
 
@@ -301,12 +385,14 @@ def _cmd_serve(args) -> int:
 def _cmd_work(args) -> int:
     from repro.fabric import FabricWorker
 
+    progress, events = _log_hooks(args.log_json)
     worker = FabricWorker(
         args.coordinator,
         name=args.name,
         lease_count=args.lease_count,
         poll_interval=args.poll,
-        progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+        progress=progress,
+        events=events,
     )
     executed = worker.run(
         max_idle_polls=args.max_idle, max_windows=args.max_windows
@@ -316,6 +402,20 @@ def _cmd_work(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from repro.fabric import top
+
+    try:
+        return top(
+            args.coordinator,
+            interval=args.interval,
+            frames=args.frames,
+            plain=args.plain,
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_stats(args) -> int:
     from pathlib import Path
 
@@ -323,7 +423,12 @@ def _cmd_stats(args) -> int:
 
     root = Path(args.journal)
     if root.is_dir():
-        paths = sorted(root.glob("*.jsonl"))
+        # Span logs (<campaign>.trace.jsonl) live beside fabric journals
+        # but are not injection journals - skip them.
+        paths = sorted(
+            path for path in root.glob("*.jsonl")
+            if not path.name.endswith(".trace.jsonl")
+        )
         if not paths:
             print(f"error: no *.jsonl journals under {root}", file=sys.stderr)
             return 2
@@ -532,6 +637,18 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--metrics", metavar="PATH", default=None,
                         help="export the telemetry summary as "
                         "machine-readable JSON (repro-metrics schema)")
+    inject.add_argument("--metrics-port", type=int, default=None,
+                        metavar="N",
+                        help="serve a live Prometheus-text /metrics "
+                        "exposition of this campaign's telemetry on "
+                        "127.0.0.1:N while it runs (0 = ephemeral port; "
+                        "local campaigns only - a fabric coordinator "
+                        "already serves /metrics)")
+    inject.add_argument("--trace-spans", metavar="PATH", default=None,
+                        help="arm structured tracing and append the span "
+                        "records (JSONL, one span per line) to PATH when "
+                        "the campaign finishes; observation-only, results "
+                        "identical")
     inject.add_argument("--fabric", metavar="URL", default=None,
                         help="submit the campaign to a fabric coordinator "
                         "(repro serve) instead of injecting locally; the "
@@ -592,6 +709,21 @@ def build_parser() -> argparse.ArgumentParser:
                        "re-issued (default 300)")
     serve.add_argument("--lease-size", type=int, default=8, metavar="N",
                        help="fault indices per lease window (default 8)")
+    serve.add_argument("--worker-ttl", type=float, default=30.0,
+                       metavar="SEC",
+                       help="seconds without a heartbeat or report before "
+                       "a worker is flagged stale in /status and /metrics "
+                       "(monitoring only - lease reclaim handles "
+                       "correctness; default 30)")
+    serve.add_argument("--trace-spans", action="store_true",
+                       help="arm structured tracing: write one span JSONL "
+                       "per campaign (<campaign>.trace.jsonl next to its "
+                       "journal) covering submit, lease, worker window "
+                       "and report spans")
+    serve.add_argument("--log-json", action="store_true",
+                       help="emit one structured JSON line per "
+                       "submit/lease/report/heartbeat on stderr instead "
+                       "of the human progress prints")
     serve.set_defaults(func=_cmd_serve)
 
     work = sub.add_parser(
@@ -614,7 +746,27 @@ def build_parser() -> argparse.ArgumentParser:
     work.add_argument("--max-windows", type=int, default=None, metavar="N",
                       help="exit after N leased windows (default: "
                       "unbounded)")
+    work.add_argument("--log-json", action="store_true",
+                      help="emit one structured JSON line per leased "
+                      "window on stderr instead of the human progress "
+                      "prints")
     work.set_defaults(func=_cmd_work)
+
+    top = sub.add_parser(
+        "top",
+        help="live fabric dashboard (polls /status and /metrics)",
+    )
+    top.add_argument("coordinator",
+                     help="coordinator URL, e.g. http://127.0.0.1:8765")
+    top.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                     help="seconds between polls/redraws (default 2.0)")
+    top.add_argument("--frames", type=int, default=None, metavar="N",
+                     help="exit after N redraws (default: run until "
+                     "interrupted)")
+    top.add_argument("--plain", action="store_true",
+                     help="append frames instead of clearing the screen "
+                     "(dumb terminals, CI logs)")
+    top.set_defaults(func=_cmd_top)
 
     stats = sub.add_parser(
         "stats",

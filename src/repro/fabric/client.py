@@ -33,6 +33,7 @@ from repro.injection.campaign import (
     run_golden,
 )
 from repro.injection.components import Component
+from repro.observability.tracing import pack_trace
 from repro.workloads.base import Workload
 
 
@@ -45,6 +46,7 @@ class FabricClient:
         poll_interval: float = 1.0,
         patience: float = 120.0,
         progress: Callable[[str], None] | None = None,
+        tracer=None,
     ):
         self.url = url.rstrip("/")
         self.poll_interval = poll_interval
@@ -53,10 +55,20 @@ class FabricClient:
         #: should fail the run, not hang it forever).
         self.patience = patience
         self._progress = progress or (lambda message: None)
+        #: Optional :class:`~repro.observability.tracing.Tracer`.  When
+        #: set, each ``run_workload`` wraps submit+wait in a client-side
+        #: ``campaign`` span whose context rides beside the spec in the
+        #: submit body (never inside it - campaign ids must not change),
+        #: making the client's trace id the root of the whole fabric
+        #: trace.  Flush with ``tracer.flush(path)`` (``--trace-spans``).
+        self.tracer = tracer
 
-    def submit(self, spec: CampaignSpec) -> dict:
+    def submit(self, spec: CampaignSpec, span=None) -> dict:
         """Submit one campaign spec (idempotent); returns the summary."""
-        return post_json(f"{self.url}/submit", {"spec": spec.to_payload()})
+        body = {"spec": spec.to_payload()}
+        if span is not None:
+            body["trace"] = pack_trace(span)
+        return post_json(f"{self.url}/submit", body)
 
     def wait(self, campaign_id: str) -> WorkloadResult:
         """Poll until the campaign completes; tolerate coordinator restarts."""
@@ -103,17 +115,32 @@ class FabricClient:
         spec = CampaignSpec.from_config(
             workload.name, config, golden.cycles, components
         )
-        deadline_submit = time.monotonic() + self.patience
-        while True:
-            try:
-                summary = self.submit(spec)
-                break
-            except FabricUnavailable:
-                if time.monotonic() > deadline_submit:
-                    raise
-                time.sleep(self.poll_interval)
-        self._progress(
-            f"fabric: submitted {spec.campaign_id} "
-            f"({summary['already_done']}/{summary['total']} already in store)"
+        span = (
+            self.tracer.start_span(
+                "campaign",
+                attributes={
+                    "workload": workload.name,
+                    "campaign": spec.campaign_id,
+                },
+            )
+            if self.tracer is not None
+            else None
         )
-        return self.wait(summary["campaign_id"])
+        try:
+            deadline_submit = time.monotonic() + self.patience
+            while True:
+                try:
+                    summary = self.submit(spec, span)
+                    break
+                except FabricUnavailable:
+                    if time.monotonic() > deadline_submit:
+                        raise
+                    time.sleep(self.poll_interval)
+            self._progress(
+                f"fabric: submitted {spec.campaign_id} "
+                f"({summary['already_done']}/{summary['total']} already in store)"
+            )
+            return self.wait(summary["campaign_id"])
+        finally:
+            if span is not None:
+                self.tracer.end_span(span)

@@ -26,6 +26,22 @@ Crash story (the DAVOS posture: the harness itself is fault-tolerant):
 Transport is deliberately boring: a stdlib ``ThreadingHTTPServer``
 speaking the JSON bodies of :mod:`repro.fabric.protocol` - no new
 dependencies, same-machine and cross-host alike.
+
+Observability (all off the hot path):
+
+- ``GET /metrics`` renders a Prometheus text exposition from the
+  coordinator's :class:`~repro.fabric.metrics.MetricsRegistry` -
+  event-time counters fed as reports land plus collect-time gauges
+  snapshotting store counts, worker health and telemetry throughput;
+- ``POST /heartbeat`` lets idle workers stay visible; a worker silent
+  for ``worker_ttl`` seconds is flagged *stale* in ``/status`` (leases
+  already self-heal via the store's TTL - staleness is a monitoring
+  signal, not a correctness mechanism);
+- with ``trace=True`` each campaign gets a ``<id>.trace.jsonl`` span log
+  next to its journal: a ``submit`` root span, a ``lease`` span per
+  window handed out, worker-shipped ``window`` spans and a ``report``
+  span per lease report, all one trace (see
+  :mod:`repro.observability.tracing`).
 """
 
 from __future__ import annotations
@@ -37,6 +53,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Callable
 
+from repro.fabric.metrics import MetricsRegistry
 from repro.fabric.protocol import (
     CampaignSpec,
     FabricError,
@@ -59,11 +76,19 @@ from repro.injection.journal import (
     QuarantineRecord,
 )
 from repro.injection.telemetry import CampaignTelemetry
+from repro.observability.tracing import (
+    TraceLog,
+    Tracer,
+    pack_trace,
+    unpack_trace,
+)
 
 #: Default seconds a lease stays valid without a report.
 DEFAULT_LEASE_TTL = 300.0
 #: Default fault indices per lease window.
 DEFAULT_LEASE_SIZE = 8
+#: Default seconds of silence before a worker is flagged stale.
+DEFAULT_WORKER_TTL = 30.0
 
 
 class _ActiveCampaign:
@@ -85,6 +110,12 @@ class _ActiveCampaign:
         self.limits = {
             component.name: len(faults) for component, faults in plan.items()
         }
+        #: Tracing scaffolding (populated only when the coordinator runs
+        #: with ``trace=True``): one tracer/trace-log per campaign, with
+        #: the ``submit`` span rooting every lease handed out.
+        self.tracer: Tracer | None = None
+        self.trace_log: TraceLog | None = None
+        self.submit_span_id: str | None = None
 
 
 class Coordinator:
@@ -103,38 +134,68 @@ class Coordinator:
         lease_size: int = DEFAULT_LEASE_SIZE,
         telemetry: CampaignTelemetry | None = None,
         progress: Callable[[str], None] | None = None,
+        worker_ttl: float = DEFAULT_WORKER_TTL,
+        trace: bool = False,
+        events: Callable[..., None] | None = None,
     ):
         self.store = store
         self.journal_dir = Path(journal_dir)
         self.lease_ttl = lease_ttl
         self.lease_size = lease_size
         self.telemetry = telemetry
+        self.worker_ttl = worker_ttl
+        self.trace = trace
         self._progress = progress or (lambda message: None)
+        #: Structured-event hook ``(event, **fields)`` - a
+        #: :class:`~repro.observability.jsonlog.JsonLogger` under
+        #: ``--log-json``, a no-op otherwise.
+        self._events = events or (lambda event, **fields: None)
         self._lock = threading.RLock()
         self._campaigns: dict[str, _ActiveCampaign] = {}
         #: Per-worker progress: name -> {completed, quarantined, leases,
-        #: last_seen} (the per-worker-host view the status endpoint and
-        #: telemetry render).
+        #: last_seen, health} (the per-worker-host view the status
+        #: endpoint and telemetry render).
         self.workers: dict[str, dict] = {}
+        #: The Prometheus registry behind ``GET /metrics``: counters fed
+        #: at event time (submit/lease/report), gauges snapshotted by
+        #: :meth:`_collect_gauges` at scrape time.
+        self.registry = MetricsRegistry()
+        self.registry.register_collector(self._collect_gauges)
         for spec_payload in self.store.campaigns().values():
             self._activate(CampaignSpec.from_payload(spec_payload))
 
     # -- campaign lifecycle --------------------------------------------------
 
-    def submit(self, spec_payload: dict) -> dict:
-        """Register a campaign (idempotent); returns id + dedup counts."""
+    def submit(self, spec_payload: dict, trace_context: dict | None = None) -> dict:
+        """Register a campaign (idempotent); returns id + dedup counts.
+
+        ``trace_context`` is an optional client-side span context (the
+        ``"trace"`` sibling of ``"spec"`` in the request body); when
+        tracing is armed it parents the campaign's ``submit`` span so a
+        client-held trace id spans the whole fabric.
+        """
         spec = CampaignSpec.from_payload(spec_payload)
         with self._lock:
             already = spec.campaign_id in self._campaigns
-            campaign = self._activate(spec)
+            campaign = self._activate(spec, trace_context)
             if not already:
                 self.store.save_campaign(spec.campaign_id, spec.to_payload())
             counts = self.store.counts(campaign.base, campaign.limits)
         total = sum(counts.values())
+        self.registry.counter(
+            "repro_submits_total", "Campaign submissions accepted"
+        ).inc(campaign=spec.campaign_id)
         self._progress(
             f"fabric: campaign {spec.campaign_id} ({spec.workload}, "
             f"n={spec.faults_per_component}) submitted - "
             f"{counts[DONE] + counts[QUARANTINED]}/{total} already in store"
+        )
+        self._events(
+            "submit",
+            campaign_id=spec.campaign_id,
+            workload=spec.workload,
+            total=total,
+            already_done=counts[DONE] + counts[QUARANTINED],
         )
         return {
             "campaign_id": spec.campaign_id,
@@ -142,13 +203,18 @@ class Coordinator:
             "already_done": counts[DONE] + counts[QUARANTINED],
         }
 
-    def _activate(self, spec: CampaignSpec) -> _ActiveCampaign:
+    def _activate(
+        self, spec: CampaignSpec, trace_context: dict | None = None
+    ) -> _ActiveCampaign:
         """Build (or return) the in-memory state of one campaign.
 
         Regenerates the fault plan from the spec, registers every fault
         row (``INSERT OR IGNORE`` - the dedup), opens the journal, and
         reconciles journal and store so each contains everything the
-        other does.
+        other does.  Everything already terminal at activation time is
+        fed to telemetry and the metrics registry as *replayed*, so the
+        exported tallies always equal the journal's and replays never
+        pollute live throughput/ETA.
         """
         with self._lock:
             campaign = self._campaigns.get(spec.campaign_id)
@@ -173,7 +239,44 @@ class Coordinator:
                 ),
             )
             campaign = _ActiveCampaign(spec, config, plan, journal)
+            if self.trace:
+                context = unpack_trace(trace_context)
+                campaign.tracer = Tracer(
+                    trace_id=context[0] if context else None
+                )
+                campaign.trace_log = TraceLog(
+                    self.journal_dir / f"{spec.campaign_id}.trace.jsonl"
+                )
+                span = campaign.tracer.start_span(
+                    "submit",
+                    parent_id=context[1] if context else None,
+                    attributes={
+                        "campaign": spec.campaign_id,
+                        "workload": spec.workload,
+                    },
+                )
+                campaign.submit_span_id = span.span_id
             self._reconcile(campaign)
+            if self.telemetry is not None:
+                for component, faults in plan.items():
+                    self.telemetry.register_plan(component, len(faults))
+                for record in journal.records:
+                    self.telemetry.record(
+                        record.component,
+                        record.effect,
+                        replayed=True,
+                        ended_by=record.ended_by,
+                        events=record.events,
+                    )
+                for quarantine in journal.quarantines:
+                    self.telemetry.record_quarantine(quarantine.component)
+            for record in journal.records:
+                self._count_record(spec.campaign_id, record, replayed=True)
+            if self.trace:
+                campaign.tracer.end_span(
+                    span, reconciled=len(journal.records)
+                )
+                campaign.trace_log.append(campaign.tracer.drain())
             self._campaigns[spec.campaign_id] = campaign
             return campaign
 
@@ -245,11 +348,38 @@ class Coordinator:
                 )
                 if lease is not None:
                     entry["leases"] += 1
-                    return {
+                    response = {
                         "campaign": campaign.spec.to_payload(),
                         "campaign_id": campaign.spec.campaign_id,
                         **lease.to_payload(),
                     }
+                    self.registry.counter(
+                        "repro_leases_total", "Index windows handed out"
+                    ).inc(campaign=campaign.spec.campaign_id, worker=worker)
+                    self._events(
+                        "lease",
+                        campaign_id=campaign.spec.campaign_id,
+                        worker=worker,
+                        component=response.get("component"),
+                        start=response.get("start"),
+                        stop=response.get("stop"),
+                    )
+                    if campaign.tracer is not None:
+                        span = campaign.tracer.start_span(
+                            "lease",
+                            parent_id=campaign.submit_span_id,
+                            attributes={
+                                "worker": worker,
+                                "component": response.get("component"),
+                                "start": response.get("start"),
+                                "stop": response.get("stop"),
+                                "lease_id": response.get("lease_id"),
+                            },
+                        )
+                        campaign.tracer.end_span(span)
+                        campaign.trace_log.append(campaign.tracer.drain())
+                        response["trace"] = pack_trace(span)
+                    return response
         return {"idle": True}
 
     def report(self, payload: dict) -> dict:
@@ -262,6 +392,7 @@ class Coordinator:
         campaign = self._campaign(payload["campaign_id"])
         worker = payload.get("worker", "?")
         entry = self._worker_entry(worker)
+        self._record_health(entry, payload.get("health"))
         accepted = 0
         duplicates = 0
         with self._lock:
@@ -280,6 +411,7 @@ class Coordinator:
                     campaign.journal.record(record)
                     accepted += 1
                     entry["completed"] += 1
+                    self._count_record(campaign.spec.campaign_id, record)
                     if self.telemetry is not None:
                         self.telemetry.record(
                             record.component,
@@ -303,16 +435,105 @@ class Coordinator:
                 ):
                     campaign.journal.record_quarantine(record)
                     entry["quarantined"] += 1
+                    self.registry.counter(
+                        "repro_quarantines_total", "Faults quarantined"
+                    ).inc(campaign=campaign.spec.campaign_id)
                     if self.telemetry is not None:
                         self.telemetry.record_quarantine(record.component)
                 else:
                     duplicates += 1
+            if duplicates:
+                self.registry.counter(
+                    "repro_duplicate_reports_total",
+                    "Already-terminal faults reported again and ignored",
+                ).inc(duplicates, campaign=campaign.spec.campaign_id)
+            self.registry.counter(
+                "repro_reports_total", "Lease reports accepted"
+            ).inc(campaign=campaign.spec.campaign_id, worker=worker)
+            if campaign.tracer is not None:
+                context = unpack_trace(payload.get("trace"))
+                span = campaign.tracer.start_span(
+                    "report",
+                    parent_id=(
+                        context[1] if context else campaign.submit_span_id
+                    ),
+                    attributes={
+                        "worker": worker,
+                        "accepted": accepted,
+                        "duplicates": duplicates,
+                    },
+                )
+                campaign.tracer.end_span(span)
+                shipped = payload.get("spans")
+                if isinstance(shipped, list):
+                    campaign.trace_log.append(
+                        span for span in shipped if isinstance(span, dict)
+                    )
+                campaign.trace_log.append(campaign.tracer.drain())
         if duplicates:
             self._progress(
                 f"fabric: {worker} reported {duplicates} already-terminal "
                 f"fault(s) (expired lease or concurrent campaign) - ignored"
             )
+        self._events(
+            "report",
+            campaign_id=campaign.spec.campaign_id,
+            worker=worker,
+            accepted=accepted,
+            duplicates=duplicates,
+        )
         return {"accepted": accepted, "duplicates": duplicates}
+
+    def heartbeat(self, payload: dict) -> dict:
+        """Record a worker's liveness + host stats (``POST /heartbeat``).
+
+        Heartbeats carry no work - they only refresh ``last_seen`` and
+        the health dict (pid, rss, windows completed, translator stats)
+        so ``/status`` and ``/metrics`` can tell an idle worker from a
+        dead one.
+        """
+        worker = payload.get("worker", "?")
+        entry = self._worker_entry(worker)
+        self._record_health(entry, payload.get("health"))
+        self.registry.counter(
+            "repro_heartbeats_total", "Worker heartbeats received"
+        ).inc(worker=worker)
+        self._events("heartbeat", worker=worker)
+        return {"ok": True, "worker_ttl": self.worker_ttl}
+
+    def _record_health(self, entry: dict, health) -> None:
+        with self._lock:
+            if isinstance(health, dict):
+                entry["health"] = dict(health)
+
+    def _count_record(
+        self, campaign_id: str, record: InjectionRecord, replayed: bool = False
+    ) -> None:
+        """Feed one journaled record into the event-time counters.
+
+        Called for both live reports and activation-time journal replays,
+        so the exported per-class tallies always equal the journal's -
+        the invariant the observability e2e test pins.
+        """
+        self.registry.counter(
+            "repro_injections_total", "Completed injections"
+        ).inc(campaign=campaign_id)
+        if replayed:
+            self.registry.counter(
+                "repro_injections_replayed_total",
+                "Completions replayed from journal/store (not re-simulated)",
+            ).inc(campaign=campaign_id)
+        self.registry.counter(
+            "repro_fault_effects_total",
+            "Completed injections by component and classified effect",
+        ).inc(
+            campaign=campaign_id,
+            component=record.component.name,
+            effect=record.effect.name,
+        )
+        self.registry.counter(
+            "repro_early_exit_total", "Injections by termination mechanism"
+        ).inc(campaign=campaign_id, mechanism=record.ended_by or "full")
 
     # -- introspection -------------------------------------------------------
 
@@ -329,12 +550,27 @@ class Coordinator:
                     "total": total,
                     "complete": counts[DONE] + counts[QUARANTINED] == total,
                 }
+            now = time.time()
+            workers = {}
+            for name, entry in self.workers.items():
+                age = now - entry["last_seen"] if entry["last_seen"] else None
+                workers[name] = {
+                    **entry,
+                    "age": age,
+                    "stale": age is None or age > self.worker_ttl,
+                }
             return {
                 "campaigns": {
                     campaign_id: self.status(campaign_id)
                     for campaign_id in self._campaigns
                 },
-                "workers": {name: dict(entry) for name, entry in self.workers.items()},
+                "workers": workers,
+                "stale_workers": sorted(
+                    name
+                    for name, entry in workers.items()
+                    if entry["stale"]
+                ),
+                "worker_ttl": self.worker_ttl,
                 "executed_total": self.store.executed_total(),
             }
 
@@ -381,11 +617,106 @@ class Coordinator:
                 )
             return {"ready": True, "result": result.to_dict()}
 
+    def _collect_gauges(self, registry: MetricsRegistry) -> None:
+        """Scrape-time snapshot: store counts, worker health, telemetry.
+
+        Registered as a registry collector; runs on every ``/metrics``
+        render (and :meth:`MetricsRegistry.snapshot`), never on the
+        report path.
+        """
+        with self._lock:
+            campaigns = dict(self._campaigns)
+            now = time.time()
+            workers = {
+                name: dict(entry) for name, entry in self.workers.items()
+            }
+        faults = registry.gauge(
+            "repro_campaign_faults",
+            "Store rows by status within each campaign's scope",
+        )
+        complete = registry.gauge(
+            "repro_campaign_complete",
+            "1 once every fault of the campaign is terminal",
+        )
+        for campaign_id, campaign in campaigns.items():
+            counts = self.store.counts(campaign.base, campaign.limits)
+            total = sum(counts.values())
+            for status_name, count in counts.items():
+                faults.set(count, campaign=campaign_id, status=status_name)
+            complete.set(
+                1.0 if counts[DONE] + counts[QUARANTINED] == total else 0.0,
+                campaign=campaign_id,
+            )
+        connected = registry.gauge(
+            "repro_workers_connected", "Workers heard from within the TTL"
+        )
+        stale = registry.gauge(
+            "repro_workers_stale", "Workers silent for longer than the TTL"
+        )
+        age_gauge = registry.gauge(
+            "repro_worker_last_seen_age_seconds",
+            "Seconds since each worker was last heard from",
+        )
+        completed = registry.counter(
+            "repro_worker_completed_total",
+            "Accepted injection completions per worker",
+        )
+        leases = registry.counter(
+            "repro_worker_leases_total", "Index windows leased per worker"
+        )
+        rss = registry.gauge(
+            "repro_worker_rss_kb", "Worker resident set size (KiB)"
+        )
+        windows = registry.gauge(
+            "repro_worker_windows", "Lease windows completed per worker"
+        )
+        dispatch = registry.counter(
+            "repro_worker_translator_dispatches_total",
+            "Translated-block dispatches per worker",
+        )
+        blocks = registry.gauge(
+            "repro_worker_translator_blocks",
+            "Basic blocks currently compiled per worker",
+        )
+        stale_count = live_count = 0
+        for name, entry in workers.items():
+            age = now - entry["last_seen"] if entry["last_seen"] else None
+            if age is None or age > self.worker_ttl:
+                stale_count += 1
+            else:
+                live_count += 1
+            if age is not None:
+                age_gauge.set(age, worker=name)
+            completed.peg(entry["completed"], worker=name)
+            leases.peg(entry["leases"], worker=name)
+            health = entry.get("health") or {}
+            if "rss_kb" in health:
+                rss.set(health["rss_kb"], worker=name)
+            if "windows" in health:
+                windows.set(health["windows"], worker=name)
+            translator = health.get("translator") or {}
+            if translator.get("enabled"):
+                dispatch.peg(translator.get("dispatches", 0), worker=name)
+                blocks.set(translator.get("blocks_compiled", 0), worker=name)
+        connected.set(live_count)
+        stale.set(stale_count)
+        if self.telemetry is not None:
+            registry.gauge(
+                "repro_injections_per_second",
+                "Live injection throughput (replays excluded)",
+            ).set(self.telemetry.injections_per_second(), campaign="fabric")
+            registry.counter(
+                "repro_cycles_saved_total",
+                "Golden cycles not simulated thanks to early termination",
+            ).peg(self.telemetry.cycles_saved, campaign="fabric")
+
     def close(self) -> None:
-        """Close every journal and the store."""
+        """Close every journal, trace log, and the store."""
         with self._lock:
             for campaign in self._campaigns.values():
                 campaign.journal.close()
+                if campaign.trace_log is not None:
+                    campaign.trace_log.close()
             self.store.close()
 
     # -- helpers -------------------------------------------------------------
@@ -424,6 +755,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, text: str, code: int = 200) -> None:
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _body(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
         if not length:
@@ -442,11 +781,14 @@ class _Handler(BaseHTTPRequestHandler):
         """POST routes: /submit, /lease, /report."""
         body = self._body()
         routes = {
-            "/submit": lambda: self.coordinator.submit(body["spec"]),
+            "/submit": lambda: self.coordinator.submit(
+                body["spec"], body.get("trace")
+            ),
             "/lease": lambda: self.coordinator.lease(
                 body.get("worker", "?"), body.get("count")
             ),
             "/report": lambda: self.coordinator.report(body),
+            "/heartbeat": lambda: self.coordinator.heartbeat(body),
         }
         handler = routes.get(self.path)
         if handler is None:
@@ -455,12 +797,18 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch(handler)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """GET routes: /ping, /status, /campaign/<id>/{status,result}."""
+        """GET routes: /ping, /status, /metrics, /campaign/<id>/{...}."""
         if self.path == "/ping":
             self._reply({"ok": True})
             return
         if self.path == "/status":
             self._dispatch(lambda: self.coordinator.status())
+            return
+        if self.path == "/metrics":
+            try:
+                self._reply_text(self.coordinator.registry.render())
+            except Exception as exc:  # noqa: BLE001 - surface, don't kill
+                self._reply_text(f"# metrics error: {exc}\n", code=500)
             return
         parts = self.path.strip("/").split("/")
         if len(parts) == 3 and parts[0] == "campaign":
@@ -494,6 +842,9 @@ def serve_forever(
     lease_ttl: float = DEFAULT_LEASE_TTL,
     lease_size: int = DEFAULT_LEASE_SIZE,
     progress: Callable[[str], None] | None = None,
+    worker_ttl: float = DEFAULT_WORKER_TTL,
+    trace: bool = False,
+    events: Callable[..., None] | None = None,
 ) -> None:
     """Run a coordinator until interrupted (the ``repro serve`` command)."""
     coordinator = Coordinator(
@@ -503,6 +854,9 @@ def serve_forever(
         lease_size=lease_size,
         telemetry=CampaignTelemetry(),
         progress=progress,
+        worker_ttl=worker_ttl,
+        trace=trace,
+        events=events,
     )
     server = create_server(coordinator, host, port)
     if progress is not None:

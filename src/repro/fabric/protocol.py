@@ -235,6 +235,25 @@ def get_json(url: str, timeout: float = 30.0) -> dict:
     return _exchange(urllib.request.Request(url), timeout)
 
 
+def get_text(url: str, timeout: float = 30.0) -> str:
+    """GET a plain-text document (the ``/metrics`` exposition).
+
+    Same error mapping as :func:`post_json`: connection-level failures
+    are retryable :class:`FabricUnavailable`, HTTP errors are
+    :class:`FabricError`.
+    """
+    request = urllib.request.Request(url)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.read().decode()
+    except urllib.error.HTTPError as exc:
+        raise FabricError(f"{url}: HTTP {exc.code}") from None
+    except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
+        raise FabricUnavailable(
+            f"coordinator unreachable at {url}: {exc}"
+        ) from None
+
+
 def _exchange(request: urllib.request.Request, timeout: float) -> dict:
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:

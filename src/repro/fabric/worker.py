@@ -24,6 +24,15 @@ so a worker grinding through many small windows pays image construction
 once.  Because every injection is a pure function of (image, fault), the
 records a worker reports are bit-identical to what a local serial run
 would have produced for the same indices.
+
+Observability: every report carries a *health* dict (pid, rss, windows
+completed, translator stats), and the worker also ``POST /heartbeat``-s
+it every ``heartbeat_interval`` seconds while idle or between windows so
+the coordinator can tell an idle worker from a dead one.  When a lease
+response carries a ``"trace"`` span context, the worker runs the window
+under a local :class:`~repro.observability.tracing.Tracer` and ships the
+resulting ``window`` spans back with the report - one trace across
+client, coordinator and worker.
 """
 
 from __future__ import annotations
@@ -42,7 +51,12 @@ from repro.injection.campaign import build_fault_plan, prepare_image
 from repro.injection.components import Component
 from repro.injection.journal import RecordBuffer
 from repro.injection.parallel import ImageInjector, run_injection_plan
+from repro.microarch.profile import process_stats, translator_stats
+from repro.observability.tracing import Tracer, unpack_trace
 from repro.workloads import get_workload
+
+#: Default seconds between idle heartbeats.
+DEFAULT_HEARTBEAT_INTERVAL = 10.0
 
 
 def default_worker_name() -> str:
@@ -81,17 +95,25 @@ class FabricWorker:
         lease_count: int | None = None,
         poll_interval: float = 1.0,
         progress: Callable[[str], None] | None = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        events: Callable[..., None] | None = None,
     ):
         self.url = url.rstrip("/")
         self.name = name or default_worker_name()
         self.lease_count = lease_count
         self.poll_interval = poll_interval
+        self.heartbeat_interval = heartbeat_interval
         self._progress = progress or (lambda message: None)
+        #: Structured-event hook ``(event, **fields)`` (``--log-json``).
+        self._events = events or (lambda event, **fields: None)
         self._contexts: dict[str, _CampaignContext] = {}
         #: Injections this worker actually executed (not deduped ones) -
         #: the CI smoke test sums this across workers to prove zero
         #: duplicated executions.
         self.executed = 0
+        #: Lease windows completed (reported in health stats).
+        self.windows = 0
+        self._last_heartbeat = 0.0
 
     def _context(self, spec: CampaignSpec) -> _CampaignContext:
         context = self._contexts.get(spec.campaign_id)
@@ -109,6 +131,33 @@ class FabricWorker:
             self._contexts[spec.campaign_id] = context
         return context
 
+    def health(self) -> dict:
+        """Host + progress stats shipped with reports and heartbeats."""
+        stats = process_stats()
+        stats["windows"] = self.windows
+        stats["executed"] = self.executed
+        translator = None
+        for context in self._contexts.values():
+            translator = getattr(context.injector, "translator", None)
+        stats["translator"] = translator_stats(translator)
+        return stats
+
+    def heartbeat(self) -> bool:
+        """``POST /heartbeat`` (best-effort); ``False`` when unreachable."""
+        try:
+            post_json(
+                f"{self.url}/heartbeat",
+                {"worker": self.name, "health": self.health()},
+            )
+        except FabricUnavailable:
+            return False
+        self._last_heartbeat = time.monotonic()
+        return True
+
+    def _maybe_heartbeat(self) -> None:
+        if time.monotonic() - self._last_heartbeat >= self.heartbeat_interval:
+            self.heartbeat()
+
     def run_one(self) -> bool:
         """Lease, execute and report one window; ``False`` when idle."""
         response = post_json(
@@ -123,6 +172,12 @@ class FabricWorker:
         start, stop = response["start"], response["stop"]
         window = {component: context.plan[component][start:stop]}
         buffer = RecordBuffer()
+        trace_context = unpack_trace(response.get("trace"))
+        tracer = (
+            Tracer(trace_id=trace_context[0])
+            if trace_context is not None
+            else None
+        )
         run_injection_plan(
             context.image,
             window,
@@ -131,20 +186,26 @@ class FabricWorker:
             index_base={component: start},
             injector=context.injector,
             quarantined=[],
+            tracer=tracer,
+            span_parent=trace_context[1] if trace_context else None,
         )
         self.executed += len(buffer.records) + len(buffer.quarantines)
-        outcome = post_json(
-            f"{self.url}/report",
-            {
-                "campaign_id": response["campaign_id"],
-                "lease_id": response["lease_id"],
-                "worker": self.name,
-                "records": [record.to_line() for record in buffer.records],
-                "quarantines": [
-                    record.to_line() for record in buffer.quarantines
-                ],
-            },
-        )
+        self.windows += 1
+        report = {
+            "campaign_id": response["campaign_id"],
+            "lease_id": response["lease_id"],
+            "worker": self.name,
+            "records": [record.to_line() for record in buffer.records],
+            "quarantines": [
+                record.to_line() for record in buffer.quarantines
+            ],
+            "health": self.health(),
+        }
+        if tracer is not None:
+            report["trace"] = response["trace"]
+            report["spans"] = tracer.drain()
+        outcome = post_json(f"{self.url}/report", report)
+        self._last_heartbeat = time.monotonic()  # a report proves liveness
         self._progress(
             f"{self.name}: {component.name}[{start}:{stop}] -> "
             f"{outcome['accepted']} accepted"
@@ -153,6 +214,16 @@ class FabricWorker:
                 if outcome.get("duplicates")
                 else ""
             )
+        )
+        self._events(
+            "window",
+            campaign_id=response["campaign_id"],
+            worker=self.name,
+            component=component.name,
+            start=start,
+            stop=stop,
+            accepted=outcome.get("accepted"),
+            duplicates=outcome.get("duplicates"),
         )
         return True
 
@@ -177,6 +248,7 @@ class FabricWorker:
                 worked = self.run_one()
             except FabricUnavailable as exc:
                 self._progress(f"{self.name}: {exc}; retrying")
+                self._events("unavailable", worker=self.name, error=str(exc))
                 worked = False
             if worked:
                 idle = 0
@@ -185,5 +257,6 @@ class FabricWorker:
             idle += 1
             if max_idle_polls is not None and idle >= max_idle_polls:
                 break
+            self._maybe_heartbeat()
             time.sleep(self.poll_interval)
         return self.executed

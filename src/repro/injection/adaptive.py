@@ -436,6 +436,7 @@ class AdaptiveCampaign(InjectionCampaign):
         journal_dir: Path | None = None,
         resume: bool = False,
         telemetry: CampaignTelemetry | None = None,
+        tracer=None,
     ):
         if config.target_margin is None:
             raise ConfigurationError(
@@ -457,6 +458,7 @@ class AdaptiveCampaign(InjectionCampaign):
             journal_dir=journal_dir,
             resume=resume,
             telemetry=telemetry,
+            tracer=tracer,
         )
         #: Convergence diagnostics by workload name (live runs only;
         #: cache hits get a recomputed entry with ``rounds == 0``).
@@ -566,6 +568,7 @@ class AdaptiveCampaign(InjectionCampaign):
                     max_retries=config.max_retries,
                     quarantined=quarantined,
                     index_base=bases,
+                    tracer=self.tracer,
                 )
                 for component, (start, _stop) in windows.items():
                     states[component].absorb(start, effects[component])

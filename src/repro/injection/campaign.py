@@ -651,12 +651,17 @@ class InjectionCampaign:
         journal_dir: Path | None = None,
         resume: bool = False,
         telemetry: CampaignTelemetry | None = None,
+        tracer=None,
     ):
         self.config = config or CampaignConfig()
         self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         self.resume = resume
         self.telemetry = telemetry
+        #: Optional :class:`~repro.observability.tracing.Tracer`; when set,
+        #: each workload gets a ``campaign`` span with per-component
+        #: ``window`` spans beneath it (off by default).
+        self.tracer = tracer
         self._progress = progress or (lambda message: None)
         #: Per-workload :func:`~repro.microarch.profile.execution_profile`
         #: snapshots, populated only under ``config.profile`` at
@@ -774,6 +779,13 @@ class InjectionCampaign:
             if self.config.profile and self.config.jobs == 1
             else None
         )
+        campaign_span = (
+            self.tracer.start_span(
+                "campaign", attributes={"workload": workload.name}
+            )
+            if self.tracer is not None
+            else None
+        )
         try:
             effects = run_injection_plan(
                 image,
@@ -786,10 +798,16 @@ class InjectionCampaign:
                 max_retries=self.config.max_retries,
                 quarantined=quarantined,
                 injector=injector,
+                tracer=self.tracer,
+                span_parent=(
+                    campaign_span.span_id if campaign_span is not None else None
+                ),
             )
         finally:
             if journal is not None:
                 journal.close()
+            if campaign_span is not None:
+                self.tracer.end_span(campaign_span)
         if injector is not None:
             from repro.microarch.profile import execution_profile
 

@@ -885,6 +885,8 @@ def run_injection_plan(
     quarantined: list[QuarantinedFault] | None = None,
     index_base: Mapping[Component, int] | None = None,
     injector: ImageInjector | None = None,
+    tracer=None,
+    span_parent: str | None = None,
 ) -> dict[Component, list[FaultEffect]]:
     """Execute every fault in ``plan``; returns effects in fault order.
 
@@ -927,6 +929,14 @@ def run_injection_plan(
 
     Completeness is validated before returning: any effect slot that is
     neither filled nor quarantined raises :class:`InjectionError`.
+
+    ``tracer`` (a :class:`repro.observability.tracing.Tracer`, default
+    off) records one ``window`` span per component covering that
+    component's slice of the plan, parented under ``span_parent`` (the
+    fabric lease span id, when leased).  The hot loop never sees the
+    tracer - spans are per window, not per injection - so an armed run
+    stays within the <5% overhead budget pinned by
+    ``benchmarks/test_observability_overhead.py``.
     """
     progress = progress or (lambda message: None)
     components = list(plan)
@@ -968,6 +978,21 @@ def run_injection_plan(
         for component in components
     }
     totals = {component: len(plan[component]) for component in components}
+
+    window_spans = []
+    if tracer is not None:
+        window_spans = [
+            tracer.start_span(
+                "window",
+                parent_id=span_parent,
+                attributes={
+                    "component": component.name,
+                    "base": bases.get(component, 0),
+                    "count": totals[component],
+                },
+            )
+            for component in components
+        ]
 
     def status(component: Component) -> str:
         line = (
@@ -1088,6 +1113,9 @@ def run_injection_plan(
             )
 
     _validate_effects(image.name, plan, effects, quarantined_slots)
+    if tracer is not None:
+        for span, component in zip(window_spans, components):
+            tracer.end_span(span, completed=done[component])
     return effects
 
 

@@ -21,11 +21,18 @@ Both are observation-only: arming them never changes an architectural
 result (the counter branch costs one local ``is not None`` test per
 interpreted dispatch, and iteration counters compile into superblocks as
 dead weight on the same control paths).  :func:`profile_metrics` wraps
-everything in the standard ``repro-metrics/1`` envelope so profiles land
+everything in the standard ``repro-metrics/2`` envelope so profiles land
 next to campaign metrics and benchmark artifacts.
+
+:func:`process_stats` is the odd one out: host-process stats (pid, rss)
+rather than simulator stats.  Fabric workers ship it - together with
+:func:`translator_stats` - as the *health* dict on every report and
+heartbeat, which is what ``/status`` and ``repro top`` render per worker.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.microarch.core import _HANDLERS
 from repro.observability.metrics import metrics_payload
@@ -84,6 +91,32 @@ def translator_stats(translator) -> dict:
     }
 
 
+def process_stats() -> dict:
+    """Host stats of this process: ``{"pid", "rss_kb"}``.
+
+    Reads ``/proc/self/status`` (Linux) and falls back to
+    ``resource.getrusage`` elsewhere; ``rss_kb`` is 0 when neither
+    source is available - health reporting must never fail a worker.
+    """
+    rss_kb = 0
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    rss_kb = int(line.split()[1])
+                    break
+    except (OSError, ValueError, IndexError):
+        try:
+            import resource
+
+            usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # ru_maxrss is KiB on Linux, bytes on macOS.
+            rss_kb = usage // 1024 if usage > 1 << 32 else usage
+        except Exception:  # noqa: BLE001 - stats are best-effort
+            rss_kb = 0
+    return {"pid": os.getpid(), "rss_kb": int(rss_kb)}
+
+
 def execution_profile(core, translator=None) -> dict:
     """Combined profile of a finished run or campaign (the ``values``
     payload).
@@ -108,8 +141,8 @@ def execution_profile(core, translator=None) -> dict:
 
 
 def profile_metrics(name: str, profile: dict, context: dict | None = None) -> dict:
-    """Wrap an :func:`execution_profile` dict as a ``repro-metrics/1``
-    envelope (``kind="profile"``)."""
+    """Wrap an :func:`execution_profile` dict as a metrics envelope
+    (``kind="profile"``)."""
     return metrics_payload("profile", name, profile, context)
 
 

@@ -27,12 +27,24 @@ from repro.observability.events import (
     first_event,
     masking_mechanism,
 )
+from repro.observability.jsonlog import JsonLogger, text_events
 from repro.observability.metrics import (
     METRICS_SCHEMA,
+    SUPPORTED_SCHEMAS,
     campaign_metrics,
     metrics_payload,
     read_metrics,
     write_metrics,
+)
+from repro.observability.tracing import (
+    Span,
+    TraceLog,
+    Tracer,
+    pack_trace,
+    read_spans,
+    span_path,
+    span_tree,
+    unpack_trace,
 )
 from repro.observability.taint import (
     CacheTaintProbe,
@@ -65,8 +77,19 @@ __all__ = [
     "MemoryTaintProbe",
     "install_taint",
     "METRICS_SCHEMA",
+    "SUPPORTED_SCHEMAS",
     "metrics_payload",
     "write_metrics",
     "read_metrics",
     "campaign_metrics",
+    "JsonLogger",
+    "text_events",
+    "Span",
+    "Tracer",
+    "TraceLog",
+    "pack_trace",
+    "unpack_trace",
+    "read_spans",
+    "span_tree",
+    "span_path",
 ]

@@ -1,0 +1,66 @@
+"""Structured JSON logging for farm processes (``--log-json``).
+
+A coordinator or worker on a real farm feeds a log aggregator, not a
+human tail - ``repro serve --log-json`` / ``repro work --log-json`` swap
+the bare stderr prints for one JSON object per line so logs become
+grep/jq-able:
+
+.. code-block:: json
+
+    {"ts": 1719850000.123, "event": "lease",
+     "campaign_id": "a1b2c3d4e5f6", "worker": "host:123",
+     "component": "REGFILE", "start": 0, "stop": 8}
+
+Every line carries ``ts`` (Unix seconds) and ``event``; everything else
+is event-specific fields passed by the emitter.  Values that are not
+JSON-serializable are stringified rather than dropped - a log line must
+never raise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import threading
+
+
+class JsonLogger:
+    """Emits one ``{"ts", "event", ...}`` JSON object per line.
+
+    Instances are callable with ``(event, **fields)`` - the shape the
+    coordinator and worker expect for their ``events`` hook - so a
+    logger drops in wherever a plain callback would.
+    """
+
+    def __init__(self, stream=None, clock=time.time):
+        self._stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def __call__(self, event: str, **fields) -> None:
+        self.emit(event, **fields)
+
+    def emit(self, event: str, **fields) -> None:
+        """Write one structured line; never raises on odd field values."""
+        record = {"ts": self._clock(), "event": event, **fields}
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+
+def text_events(prefix: str = "  ..", stream=None):
+    """The human-readable counterpart of :class:`JsonLogger`.
+
+    Renders ``(event, **fields)`` as one ``prefix event k=v ...`` stderr
+    line - what serve/work print without ``--log-json`` - so call sites
+    pick an emitter once and stop caring about the format.
+    """
+    out = stream if stream is not None else sys.stderr
+
+    def emit(event: str, **fields) -> None:
+        detail = " ".join(f"{key}={value}" for key, value in fields.items())
+        print(f"{prefix} {event}{' ' + detail if detail else ''}", file=out)
+
+    return emit

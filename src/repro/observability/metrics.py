@@ -1,23 +1,35 @@
 """Machine-readable metrics artifacts shared by campaigns and benchmarks.
 
-One tiny JSON envelope (``repro-metrics/1``) wraps every metrics artifact
-this repo emits - ``metrics.json`` from an injection campaign, the
-``BENCH_<name>.json`` files the benchmark suite drops in ``results/`` -
-so runs become diffable, greppable artifacts with a uniform shape:
+One tiny JSON envelope wraps every metrics artifact this repo emits -
+``metrics.json`` from an injection campaign, the ``BENCH_<name>.json``
+files the benchmark suite drops in ``results/``, the fabric-smoke
+artifact from CI - so runs become diffable, greppable artifacts with a
+uniform shape:
 
 .. code-block:: json
 
     {
-      "schema": "repro-metrics/1",
+      "schema": "repro-metrics/2",
       "kind": "campaign",
       "name": "StringSearch",
       "values": { ... },
-      "context": { ... }
+      "context": { ... },
+      "spans": [ ... ],
+      "registry": { ... }
     }
 
 ``values`` carries the numbers (for a campaign: the full telemetry
 summary, including the per-component masking-mechanism propagation
 stats); ``context`` carries identifying metadata (machine, seed, ...).
+
+``repro-metrics/2`` adds two *optional* top-level keys: ``spans`` (a
+list of structured-tracing span payloads, see
+:mod:`repro.observability.tracing`) and ``registry`` (a
+:meth:`~repro.fabric.metrics.MetricsRegistry.snapshot` of the Prometheus
+registry at emit time).  They are written only when provided, so a v2
+envelope without either is byte-compatible with v1 apart from the schema
+stamp - and :func:`read_metrics` still accepts v1 artifacts, so existing
+``results/BENCH_*.json`` files keep loading.
 """
 
 from __future__ import annotations
@@ -25,7 +37,9 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-METRICS_SCHEMA = "repro-metrics/1"
+METRICS_SCHEMA = "repro-metrics/2"
+#: Envelope versions :func:`read_metrics` and :func:`write_metrics` accept.
+SUPPORTED_SCHEMAS = ("repro-metrics/1", "repro-metrics/2")
 
 
 def metrics_payload(
@@ -33,20 +47,31 @@ def metrics_payload(
     name: str,
     values: dict,
     context: dict | None = None,
+    spans: list | None = None,
+    registry: dict | None = None,
 ) -> dict:
-    """Build one schema-stamped metrics envelope."""
-    return {
+    """Build one schema-stamped metrics envelope.
+
+    ``spans`` and ``registry`` are the v2 extension points; omitted keys
+    are omitted from the envelope entirely (not written as ``null``).
+    """
+    payload = {
         "schema": METRICS_SCHEMA,
         "kind": kind,
         "name": name,
         "values": values,
         "context": dict(context or {}),
     }
+    if spans is not None:
+        payload["spans"] = list(spans)
+    if registry is not None:
+        payload["registry"] = dict(registry)
+    return payload
 
 
 def write_metrics(path, payload: dict) -> Path:
     """Write a metrics envelope to ``path`` (pretty, trailing newline)."""
-    if payload.get("schema") != METRICS_SCHEMA:
+    if payload.get("schema") not in SUPPORTED_SCHEMAS:
         raise ValueError(
             f"refusing to write metrics without schema {METRICS_SCHEMA!r} "
             f"(got {payload.get('schema')!r})"
@@ -58,9 +83,9 @@ def write_metrics(path, payload: dict) -> Path:
 
 
 def read_metrics(path) -> dict:
-    """Read and validate a metrics envelope."""
+    """Read and validate a metrics envelope (any supported version)."""
     payload = json.loads(Path(path).read_text())
-    if payload.get("schema") != METRICS_SCHEMA:
+    if payload.get("schema") not in SUPPORTED_SCHEMAS:
         raise ValueError(
             f"{path}: not a {METRICS_SCHEMA} artifact "
             f"(schema {payload.get('schema')!r})"
@@ -69,7 +94,14 @@ def read_metrics(path) -> dict:
 
 
 def campaign_metrics(
-    summary: dict, name: str, context: dict | None = None
+    summary: dict,
+    name: str,
+    context: dict | None = None,
+    spans: list | None = None,
+    registry: dict | None = None,
 ) -> dict:
     """Wrap a :meth:`CampaignTelemetry.summary` dict as a metrics envelope."""
-    return metrics_payload("campaign", name, dict(summary), context)
+    return metrics_payload(
+        "campaign", name, dict(summary), context, spans=spans,
+        registry=registry,
+    )

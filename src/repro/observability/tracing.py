@@ -1,0 +1,288 @@
+"""Structured tracing: spans, wire propagation, JSONL trace logs.
+
+A campaign that spans a client, a coordinator and a fleet of workers
+needs a way to reconstruct *one fault's* path through the system after
+the fact.  This module provides the smallest tracing model that does it:
+
+- a :class:`Span` is ``(trace_id, span_id, parent_id, name, start, end,
+  attributes)`` - start/end are monotonic stamps from the process that
+  owned the span, so durations are exact within a process and ordering
+  across processes comes from parentage, not clocks;
+- a :class:`Tracer` mints spans for one trace (one campaign) and collects
+  the finished ones; ``tracer.span(...)`` is the context-manager form;
+- a :class:`TraceLog` is an append-only JSONL sink (one span payload per
+  line, fsync-free - traces are diagnostics, not the record of truth);
+- :func:`read_spans` / :func:`span_tree` / :func:`span_path` rebuild the
+  tree from a flushed JSONL file.
+
+Propagation over the fabric wire format is just a two-key JSON dict
+(``{"trace": trace_id, "span": span_id}``) carried *beside* the campaign
+spec - never inside it, because campaign ids are content-derived from the
+spec and tracing must not change campaign identity.  The helpers
+:func:`pack_trace` / :func:`unpack_trace` build and parse it.
+
+Tracing is **off by default** everywhere: the hot loops only ever test a
+``tracer is not None`` local, and spans are created per *window* (a
+leased index range), never per injection - the overhead bench
+(``benchmarks/test_observability_overhead.py``) pins the armed/unarmed
+throughput ratio at >= 0.95x.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+
+def new_id() -> str:
+    """A fresh 64-bit random identifier (hex) for traces and spans."""
+    return os.urandom(8).hex()
+
+
+class Span:
+    """One timed operation: identity, parentage, stamps, attributes."""
+
+    __slots__ = (
+        "trace_id", "span_id", "parent_id", "name", "start", "end",
+        "attributes",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        name: str,
+        parent_id: str | None = None,
+        span_id: str | None = None,
+        start: float = 0.0,
+        attributes: dict | None = None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id or new_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.attributes = dict(attributes or {})
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds from start to end, or ``None`` while still open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_payload(self) -> dict:
+        """JSON-friendly form (one JSONL line of a trace log)."""
+        return {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Span":
+        """Rebuild a span from its JSONL payload."""
+        span = cls(
+            trace_id=payload["trace"],
+            name=payload["name"],
+            parent_id=payload.get("parent"),
+            span_id=payload["span"],
+            start=payload.get("start", 0.0),
+            attributes=payload.get("attributes"),
+        )
+        span.end = payload.get("end")
+        return span
+
+
+class _SpanContext:
+    """``with tracer.span(...) as span:`` - ends the span on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer.end_span(self._span)
+
+
+class Tracer:
+    """Mints and collects the spans of one trace (thread-safe).
+
+    A tracer is always *armed* - the off switch is simply not having one
+    (pass ``tracer=None``, the default, everywhere).  Finished spans
+    accumulate in :attr:`finished` until :meth:`drain` or :meth:`flush`
+    hands them off.
+    """
+
+    def __init__(
+        self,
+        trace_id: str | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.trace_id = trace_id or new_id()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.finished: list[Span] = []
+
+    def start_span(
+        self,
+        name: str,
+        parent_id: str | None = None,
+        attributes: dict | None = None,
+    ) -> Span:
+        """Open a span now; pair with :meth:`end_span`."""
+        return Span(
+            trace_id=self.trace_id,
+            name=name,
+            parent_id=parent_id,
+            start=self._clock(),
+            attributes=attributes,
+        )
+
+    def end_span(self, span: Span, **attributes) -> Span:
+        """Stamp the end time, merge attributes, collect the span."""
+        span.end = self._clock()
+        span.attributes.update(attributes)
+        with self._lock:
+            self.finished.append(span)
+        return span
+
+    def span(
+        self,
+        name: str,
+        parent_id: str | None = None,
+        **attributes,
+    ) -> _SpanContext:
+        """Context-manager form of start/end."""
+        return _SpanContext(
+            self, self.start_span(name, parent_id, attributes)
+        )
+
+    def drain(self) -> list[dict]:
+        """Remove and return every finished span as payloads."""
+        with self._lock:
+            spans, self.finished = self.finished, []
+        return [span.to_payload() for span in spans]
+
+    def flush(self, path) -> Path:
+        """Append every finished span to a JSONL file and clear them."""
+        log = TraceLog(path)
+        try:
+            log.append(self.drain())
+        finally:
+            log.close()
+        return Path(path)
+
+
+class TraceLog:
+    """Append-only JSONL sink for span payloads (coordinator-owned)."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle = self.path.open("a")
+
+    def append(self, payloads: Iterable[dict] | dict) -> None:
+        """Write one payload - or an iterable of them - as JSONL lines."""
+        if isinstance(payloads, dict):
+            payloads = (payloads,)
+        with self._lock:
+            for payload in payloads:
+                self._handle.write(json.dumps(payload) + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        with self._lock:
+            self._handle.close()
+
+
+# -- wire propagation ---------------------------------------------------------
+
+
+def pack_trace(span: Span) -> dict:
+    """The wire form of a span context: ``{"trace": ..., "span": ...}``."""
+    return {"trace": span.trace_id, "span": span.span_id}
+
+
+def unpack_trace(payload: dict | None) -> tuple[str, str] | None:
+    """Parse a wire context into ``(trace_id, parent_span_id)``.
+
+    Returns ``None`` for missing or malformed contexts - tracing is
+    best-effort and never fails a request.
+    """
+    if not isinstance(payload, dict):
+        return None
+    trace_id = payload.get("trace")
+    span_id = payload.get("span")
+    if not (isinstance(trace_id, str) and isinstance(span_id, str)):
+        return None
+    return trace_id, span_id
+
+
+# -- reconstruction -----------------------------------------------------------
+
+
+def read_spans(path) -> list[dict]:
+    """Load every span payload from a JSONL trace log (torn-tail tolerant)."""
+    spans = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            spans.append(json.loads(line))
+        except ValueError:
+            continue  # a torn tail from a killed writer is not an error
+    return spans
+
+
+def span_tree(spans: Iterable[dict]) -> list[dict]:
+    """Nest span payloads by parentage; returns the roots.
+
+    Each returned node is the payload dict plus a ``"children"`` list.
+    A span whose parent is unknown (a remote parent whose span lives in
+    another process's log) roots its own subtree.
+    """
+    nodes = {span["span"]: {**span, "children": []} for span in spans}
+    roots = []
+    for node in nodes.values():
+        parent = nodes.get(node.get("parent"))
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda child: child.get("start") or 0.0)
+    roots.sort(key=lambda node: node.get("start") or 0.0)
+    return roots
+
+
+def span_path(spans: Iterable[dict], span_id: str) -> list[dict]:
+    """The ancestry of one span, root first, the span itself last."""
+    by_id = {span["span"]: span for span in spans}
+    path: list[dict] = []
+    seen: set[str] = set()
+    cursor = by_id.get(span_id)
+    while cursor is not None and cursor["span"] not in seen:
+        seen.add(cursor["span"])
+        path.append(cursor)
+        cursor = by_id.get(cursor.get("parent"))
+    path.reverse()
+    return path

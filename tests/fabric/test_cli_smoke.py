@@ -9,6 +9,13 @@ through the outage and the campaign finishes with zero duplicated
 injections (proved by summing the executed counts every worker prints).
 Finally the fabric AVF breakdown is compared line-for-line against a
 local serial run.
+
+Observability rides along: ``/status`` and ``/metrics`` are curled
+mid-campaign, the exposition is validated with
+:func:`repro.fabric.metrics.parse_exposition` (the tiny in-repo
+validator), and the final scrape is written as a ``repro-metrics/2``
+envelope - CI uploads it as an artifact next to ``metrics.json``
+(``REPRO_FABRIC_METRICS`` overrides the output path).
 """
 
 from __future__ import annotations
@@ -25,6 +32,9 @@ import urllib.request
 from pathlib import Path
 
 import pytest
+
+from repro.fabric.metrics import parse_exposition
+from repro.observability.metrics import metrics_payload, write_metrics
 
 REPO = Path(__file__).resolve().parent.parent.parent
 BENCHMARK = "CRC32"
@@ -89,6 +99,17 @@ def executed_count(worker_output: str) -> int:
     return int(match.group(1))
 
 
+def scrape(url: str, path: str) -> str:
+    with urllib.request.urlopen(f"{url}{path}", timeout=10) as response:
+        assert response.status == 200
+        return response.read().decode()
+
+
+def validated_metrics(url: str) -> dict:
+    """Curl ``/metrics`` and validate the exposition line format."""
+    return parse_exposition(scrape(url, "/metrics"))
+
+
 def breakdown_lines(output: str) -> list[str]:
     """The deterministic part of the inject stdout: AVF rows + FIT.
 
@@ -127,6 +148,22 @@ def test_fabric_smoke_with_coordinator_sigkill(tmp_path):
         first_out = finish(first, timeout=300)
         first_executed = executed_count(first_out)
         assert first_executed > 0
+
+        # Mid-campaign observability: /status knows the campaign is
+        # incomplete, /metrics parses and already counts the first
+        # worker's completions.
+        status = json.loads(scrape(url, "/status"))
+        (campaign_entry,) = status["campaigns"].values()
+        assert not campaign_entry["complete"]
+        assert "first" in status["workers"]
+        mid_samples = validated_metrics(url)
+        mid_injections = sum(
+            value
+            for (name, _labels), value in mid_samples.items()
+            if name == "repro_injections_total"
+        )
+        assert mid_injections == first_executed
+
         coordinator.send_signal(signal.SIGKILL)
         coordinator.wait(timeout=30)
 
@@ -149,6 +186,55 @@ def test_fabric_smoke_with_coordinator_sigkill(tmp_path):
         # Zero duplicated injections across the kill/restart boundary.
         assert total_executed == FAULTS * 6, (
             f"expected every fault exactly once, saw {total_executed}"
+        )
+
+        # Final scrape: the exposition still parses, reports completion,
+        # and its per-campaign totals equal the full fault count (the
+        # restarted coordinator replayed phase 1 from the journal).
+        final_samples = validated_metrics(url)
+        final_injections = sum(
+            value
+            for (name, _labels), value in final_samples.items()
+            if name == "repro_injections_total"
+        )
+        assert final_injections == FAULTS * 6
+        assert 1.0 in {
+            value
+            for (name, _labels), value in final_samples.items()
+            if name == "repro_campaign_complete"
+        }
+
+        # Ship the final scrape as a repro-metrics/2 envelope - the CI
+        # artifact that lands next to the bench job's metrics.json.
+        envelope_path = Path(
+            os.environ.get(
+                "REPRO_FABRIC_METRICS", tmp_path / "fabric-metrics.json"
+            )
+        )
+        write_metrics(
+            envelope_path,
+            metrics_payload(
+                "fabric-smoke",
+                BENCHMARK,
+                values={
+                    "executed_total": total_executed,
+                    "injections_total": final_injections,
+                },
+                context={"faults_per_component": FAULTS, "url": url},
+                registry={
+                    name: {
+                        "samples": [
+                            {"labels": dict(labels), "value": value}
+                            for (sample_name, labels), value
+                            in sorted(final_samples.items())
+                            if sample_name == name
+                        ]
+                    }
+                    for name in sorted(
+                        {name for name, _labels in final_samples}
+                    )
+                },
+            ),
         )
 
         # The fabric result is line-identical to a local serial run.

@@ -234,3 +234,57 @@ class TestEventAggregation:
         assert summary["events_observed"] == 0
         assert summary["propagation"] == {}
         assert propagation_table(summary) == ""
+
+
+class TestFabricReplayIsolation:
+    """Pin: journal replays must never pollute live throughput or ETA.
+
+    A fabric coordinator activating a half-done campaign feeds every
+    journaled record with ``replayed=True``; the progress line a polling
+    client renders must compute inj/s and ETA from live completions only
+    (a resumed 90%-replayed campaign is not "fast").
+    """
+
+    def test_progress_line_rate_ignores_replays(self, telemetry, clock):
+        telemetry.register_plan(Component.L1D, 100)
+        # 60 replayed instantly at activation (a coordinator restart)...
+        for _ in range(60):
+            telemetry.record(Component.L1D, FaultEffect.MASKED, replayed=True)
+        # ... then 20 live completions over 10 seconds.
+        clock.now += 10.0
+        for _ in range(20):
+            telemetry.record(Component.L1D, FaultEffect.SDC, wall_time=0.5)
+        line = telemetry.progress_line()
+        assert "80/100 inj" in line
+        assert "2.0 inj/s" in line  # 20 live / 10 s, NOT 80 / 10 s
+        assert "60 replayed" in line
+        # ETA covers the 20 remaining at the live rate: 10 s, not 2.5 s.
+        assert telemetry.eta_seconds() == pytest.approx(10.0)
+        assert "ETA 10s" in line
+
+    def test_interleaved_replays_do_not_shift_the_rate(self, telemetry, clock):
+        telemetry.register_plan(Component.REGFILE, 40)
+        clock.now += 4.0
+        for index in range(20):
+            telemetry.record(
+                Component.REGFILE,
+                FaultEffect.MASKED,
+                replayed=(index % 2 == 0),
+                wall_time=0.1,
+            )
+        assert telemetry.live_completed == 10
+        assert telemetry.injections_per_second() == pytest.approx(10 / 4.0)
+        summary = telemetry.summary()
+        assert summary["completed"] == 20
+        assert summary["live_completed"] == 10
+        assert summary["injections_per_second"] == pytest.approx(2.5)
+
+    def test_class_tallies_count_replays_and_live_alike(self, telemetry):
+        """Tallies (unlike rates) must include replays - they are the
+        journal's record of truth and back the exported gauges."""
+        telemetry.register_plan(Component.L1D, 3)
+        telemetry.record(Component.L1D, FaultEffect.SDC, replayed=True)
+        telemetry.record(Component.L1D, FaultEffect.SDC)
+        telemetry.record(Component.L1D, FaultEffect.MASKED)
+        assert telemetry.class_counts[Component.L1D][FaultEffect.SDC] == 2
+        assert telemetry.class_counts[Component.L1D][FaultEffect.MASKED] == 1

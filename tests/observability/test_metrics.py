@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.observability.metrics import (
     METRICS_SCHEMA,
+    SUPPORTED_SCHEMAS,
     campaign_metrics,
     metrics_payload,
     read_metrics,
@@ -64,3 +66,64 @@ class TestReadWrite:
         path.write_text('{"schema": "other/9", "values": {}}\n')
         with pytest.raises(ValueError, match="repro-metrics"):
             read_metrics(path)
+
+
+class TestSchemaV2:
+    def test_current_schema_is_v2(self):
+        assert METRICS_SCHEMA == "repro-metrics/2"
+        assert METRICS_SCHEMA in SUPPORTED_SCHEMAS
+
+    def test_optional_keys_are_omitted_not_null(self):
+        payload = metrics_payload("campaign", "X", {})
+        assert "spans" not in payload
+        assert "registry" not in payload
+
+    def test_spans_and_registry_ride_along(self, tmp_path):
+        spans = [{"trace": "t", "span": "s", "name": "submit"}]
+        registry = {"repro_injections_total": {"type": "counter"}}
+        payload = campaign_metrics(
+            {"completed": 1}, "Qsort", spans=spans, registry=registry
+        )
+        path = write_metrics(tmp_path / "m.json", payload)
+        loaded = read_metrics(path)
+        assert loaded["spans"] == spans
+        assert loaded["registry"] == registry
+
+    def test_read_refuses_unknown_future_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text('{"schema": "repro-metrics/3", "values": {}}\n')
+        with pytest.raises(ValueError, match="repro-metrics"):
+            read_metrics(path)
+
+    def test_write_refuses_unknown_version(self, tmp_path):
+        payload = metrics_payload("campaign", "X", {})
+        payload["schema"] = "repro-metrics/9"
+        with pytest.raises(ValueError, match="schema"):
+            write_metrics(tmp_path / "m.json", payload)
+
+    def test_v1_envelopes_still_load(self, tmp_path):
+        """Back-compat: a v1 payload reads and re-writes unchanged."""
+        v1 = {
+            "schema": "repro-metrics/1",
+            "kind": "benchmark",
+            "name": "test_x",
+            "values": {"min": 0.25},
+            "context": {"file": "t.py"},
+        }
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(v1) + "\n")
+        assert read_metrics(path) == v1
+        # write_metrics accepts any supported version, not just current.
+        assert read_metrics(write_metrics(tmp_path / "copy.json", v1)) == v1
+
+    def test_existing_bench_artifacts_still_load(self):
+        """Every checked-in results/BENCH_*.json keeps loading."""
+        results = Path(__file__).resolve().parents[2] / "results"
+        artifacts = sorted(results.glob("BENCH_*.json"))
+        if not artifacts:
+            pytest.skip("no benchmark artifacts checked in")
+        for path in artifacts:
+            payload = read_metrics(path)
+            assert payload["schema"] in SUPPORTED_SCHEMAS
+            assert payload["kind"] == "benchmark"
+            assert "values" in payload

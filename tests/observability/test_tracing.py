@@ -1,0 +1,166 @@
+"""Structured tracing: spans, wire contexts, JSONL logs, reconstruction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability.tracing import (
+    Span,
+    TraceLog,
+    Tracer,
+    pack_trace,
+    read_spans,
+    span_path,
+    span_tree,
+    unpack_trace,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 10.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(trace_id="t" * 16, clock=clock)
+
+
+class TestSpanLifecycle:
+    def test_start_end_stamps_and_collects(self, tracer, clock):
+        span = tracer.start_span("lease", attributes={"worker": "w0"})
+        clock.now += 2.5
+        tracer.end_span(span, accepted=3)
+        assert span.duration == pytest.approx(2.5)
+        assert span.attributes == {"worker": "w0", "accepted": 3}
+        assert tracer.finished == [span]
+
+    def test_open_span_has_no_duration(self, tracer):
+        span = tracer.start_span("window")
+        assert span.end is None
+        assert span.duration is None
+        assert tracer.finished == []
+
+    def test_span_ids_are_unique_within_a_trace(self, tracer):
+        spans = [tracer.start_span("s") for _ in range(32)]
+        assert len({span.span_id for span in spans}) == 32
+        assert all(span.trace_id == tracer.trace_id for span in spans)
+
+    def test_context_manager_ends_and_marks_errors(self, tracer):
+        with tracer.span("submit", campaign="abc") as span:
+            pass
+        assert span.end is not None
+        with pytest.raises(RuntimeError):
+            with tracer.span("report") as failed:
+                raise RuntimeError("boom")
+        assert failed.attributes["error"] == "RuntimeError"
+        assert [s.name for s in tracer.finished] == ["submit", "report"]
+
+    def test_payload_round_trip(self, tracer, clock):
+        span = tracer.start_span("window", parent_id="p1", attributes={"n": 4})
+        clock.now += 1.0
+        tracer.end_span(span)
+        rebuilt = Span.from_payload(span.to_payload())
+        assert rebuilt.to_payload() == span.to_payload()
+        assert rebuilt.parent_id == "p1"
+        assert rebuilt.duration == pytest.approx(1.0)
+
+
+class TestDrainAndFlush:
+    def test_drain_empties_the_tracer(self, tracer):
+        tracer.end_span(tracer.start_span("a"))
+        tracer.end_span(tracer.start_span("b"))
+        payloads = tracer.drain()
+        assert [p["name"] for p in payloads] == ["a", "b"]
+        assert tracer.finished == []
+        assert tracer.drain() == []
+
+    def test_flush_appends_jsonl(self, tracer, tmp_path):
+        path = tmp_path / "logs" / "spans.jsonl"
+        tracer.end_span(tracer.start_span("first"))
+        tracer.flush(path)
+        tracer.end_span(tracer.start_span("second"))
+        tracer.flush(path)
+        names = [span["name"] for span in read_spans(path)]
+        assert names == ["first", "second"]
+
+    def test_trace_log_accepts_dicts_and_generators(self, tmp_path):
+        log = TraceLog(tmp_path / "t.jsonl")
+        log.append({"span": "a", "trace": "t", "name": "one"})
+        log.append(
+            {"span": s, "trace": "t", "name": "gen"} for s in ("b", "c")
+        )
+        log.close()
+        assert [s["span"] for s in read_spans(log.path)] == ["a", "b", "c"]
+
+    def test_read_spans_tolerates_a_torn_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        line = json.dumps({"span": "a", "trace": "t", "name": "ok"})
+        path.write_text(line + "\n" + line[: len(line) // 2])
+        assert [s["span"] for s in read_spans(path)] == ["a"]
+
+
+class TestWireContext:
+    def test_pack_unpack_round_trip(self, tracer):
+        span = tracer.start_span("campaign")
+        packed = pack_trace(span)
+        assert packed == {"trace": tracer.trace_id, "span": span.span_id}
+        assert unpack_trace(packed) == (tracer.trace_id, span.span_id)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [None, {}, {"trace": "t"}, {"span": "s"}, {"trace": 1, "span": "s"},
+         "not-a-dict", {"trace": "t", "span": None}],
+    )
+    def test_unpack_is_best_effort(self, payload):
+        assert unpack_trace(payload) is None
+
+
+class TestReconstruction:
+    def _spans(self):
+        return [
+            {"span": "root", "parent": None, "trace": "t", "name": "submit",
+             "start": 1.0},
+            {"span": "lease1", "parent": "root", "trace": "t", "name": "lease",
+             "start": 3.0},
+            {"span": "lease0", "parent": "root", "trace": "t", "name": "lease",
+             "start": 2.0},
+            {"span": "win0", "parent": "lease0", "trace": "t", "name": "window",
+             "start": 2.5},
+        ]
+
+    def test_span_tree_nests_by_parentage(self):
+        (root,) = span_tree(self._spans())
+        assert root["span"] == "root"
+        # Children are ordered by start stamp, not insertion.
+        assert [c["span"] for c in root["children"]] == ["lease0", "lease1"]
+        assert root["children"][0]["children"][0]["span"] == "win0"
+
+    def test_unknown_parent_roots_its_own_subtree(self):
+        spans = [
+            {"span": "w", "parent": "remote-lease", "trace": "t",
+             "name": "window", "start": 1.0},
+        ]
+        (root,) = span_tree(spans)
+        assert root["span"] == "w"
+
+    def test_span_path_is_root_first(self):
+        path = span_path(self._spans(), "win0")
+        assert [s["span"] for s in path] == ["root", "lease0", "win0"]
+
+    def test_span_path_survives_a_parent_cycle(self):
+        spans = [
+            {"span": "a", "parent": "b", "trace": "t", "name": "x"},
+            {"span": "b", "parent": "a", "trace": "t", "name": "y"},
+        ]
+        assert [s["span"] for s in span_path(spans, "a")] == ["b", "a"]
