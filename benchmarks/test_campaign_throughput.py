@@ -111,7 +111,7 @@ def test_lifetime_event_overhead(benchmark):
     """
     workload = get_workload("StringSearch")
     golden = run_golden(workload, SCALED_A9_CONFIG)
-    snapshots, digests, arch_digests = record_golden_observables(
+    snapshots, digests, arch_digests, _ = record_golden_observables(
         workload, SCALED_A9_CONFIG, golden
     )
     plan = {
@@ -187,7 +187,7 @@ def test_lifetime_campaign_translation_speedup(benchmark):
     """
     workload = get_workload("StringSearch")
     golden = run_golden(workload, SCALED_A9_CONFIG)
-    snapshots, digests, arch_digests = record_golden_observables(
+    snapshots, digests, arch_digests, _ = record_golden_observables(
         workload, SCALED_A9_CONFIG, golden
     )
     plan = {

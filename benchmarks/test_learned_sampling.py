@@ -1,0 +1,187 @@
+"""Learned-sampling benchmark: same precision, fewer injections again.
+
+The adaptive engine already stops each stratum at the smallest sample the
+Wilson rule can certify; the learned sampler (:mod:`repro.injection.learned`)
+attacks the *variance* instead.  A pilot trains a Naive Bayes P(Masked)
+model, the remaining frame is split into predicted-probability bins with
+exact frame weights, and the stratified post-corrected estimator lets
+uncertain bins soak up most of the injections while certain bins coast.
+
+This bench runs plain and learned adaptive campaigns on the same seed,
+margin, and confidence, and requires:
+
+- >= 20% fewer executed injections on at least 2 CRC32 components;
+- final AVF point estimates inside each other's intervals (the
+  unbiasedness bar - savings that move the answer are not savings);
+- every stratum converged in both arms (no caps).
+
+Strata whose pilot cannot support a model (all-Masked components like the
+TLBs on CRC32) deterministically fall back to plain ordering, so they are
+measured but not claimed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.injection.adaptive import AdaptiveCampaign
+from repro.injection.campaign import CampaignConfig
+from repro.injection.components import Component
+from repro.workloads import get_workload
+
+WORKLOAD = "CRC32"
+COMPONENTS = (Component.L1D, Component.REGFILE, Component.L1I)
+SEED = 9
+JOBS = 4
+TARGET_MARGIN = 0.06
+CONFIDENCE = 0.99
+MIN_FAULTS = 60  # the pilot: large enough to seed both outcome classes
+MAX_FAULTS = 500
+SAVINGS_BAR = 0.20
+MIN_SAVING_COMPONENTS = 2
+
+
+def _config(learned: bool) -> CampaignConfig:
+    return CampaignConfig(
+        target_margin=TARGET_MARGIN,
+        confidence=CONFIDENCE,
+        seed=SEED,
+        jobs=JOBS,
+        batch_size=25,
+        min_faults=MIN_FAULTS,
+        max_faults=MAX_FAULTS,
+        learned_sampling=learned,
+    )
+
+
+@pytest.mark.slow
+def test_learned_sampling_savings(tmp_path, benchmark):
+    """Learned importance sampling reaches the same target margin with
+    >= 20% fewer injections on >= 2 components, without moving the AVF."""
+    workload = get_workload(WORKLOAD)
+
+    plain = AdaptiveCampaign(_config(False), cache_dir=tmp_path / "plain")
+    plain_result = plain.run_workload(workload, components=COMPONENTS)
+    plain_diag = plain.diagnostics[WORKLOAD]
+
+    learned = AdaptiveCampaign(_config(True), cache_dir=tmp_path / "learned")
+    learned_result = benchmark.pedantic(
+        lambda: learned.run_workload(
+            workload, components=COMPONENTS, use_cache=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    learned_diag = learned.diagnostics[WORKLOAD]
+
+    savings = {}
+    for component in COMPONENTS:
+        plain_status = plain_diag.strata[component]
+        learned_status = learned_diag.strata[component]
+        assert plain_status.satisfied and learned_status.satisfied, (
+            f"{component.name} did not converge to +/-{TARGET_MARGIN} "
+            f"in both arms"
+        )
+        savings[component] = 1.0 - (
+            learned_status.executed / plain_status.executed
+        )
+
+    benchmark.extra_info["target_margin"] = TARGET_MARGIN
+    benchmark.extra_info["plain_injections"] = plain_diag.total_executed
+    benchmark.extra_info["learned_injections"] = learned_diag.total_executed
+    benchmark.extra_info["savings_by_component"] = {
+        component.name: round(saving, 3)
+        for component, saving in savings.items()
+    }
+    benchmark.extra_info["modes"] = {
+        component.name: learned_diag.strata[component].mode
+        for component in COMPONENTS
+    }
+    benchmark.extra_info["model_digests"] = {
+        component.name: learned_diag.strata[component].model_digest
+        for component in COMPONENTS
+        if learned_diag.strata[component].model_digest
+    }
+
+    # Unbiasedness bar: each arm's AVF point estimate sits inside the
+    # other arm's interval.  Importance sampling that shifted the answer
+    # would fail here no matter how much it "saved".
+    avf_pairs = {}
+    for component in COMPONENTS:
+        ours = learned_result.components[component]
+        theirs = plain_result.components[component]
+        avf_pairs[component.name] = {
+            "plain": round(theirs.avf, 4),
+            "learned": round(ours.avf, 4),
+        }
+        assert abs(ours.avf - theirs.avf) <= theirs.margin, (
+            f"{component.name}: learned AVF {ours.avf:.4f} outside the "
+            f"plain interval +/-{theirs.margin:.4f} of {theirs.avf:.4f}"
+        )
+        assert abs(ours.avf - theirs.avf) <= ours.margin, (
+            f"{component.name}: plain AVF {theirs.avf:.4f} outside the "
+            f"learned interval +/-{ours.margin:.4f} of {ours.avf:.4f}"
+        )
+    benchmark.extra_info["avf_by_component"] = avf_pairs
+
+    saved_enough = [
+        component
+        for component, saving in savings.items()
+        if saving >= SAVINGS_BAR
+        and learned_diag.strata[component].mode == "learned"
+    ]
+    assert len(saved_enough) >= MIN_SAVING_COMPONENTS, (
+        f"learned sampling saved >= {SAVINGS_BAR:.0%} on only "
+        f"{len(saved_enough)} component(s): "
+        + ", ".join(
+            f"{component.name}={saving:.0%}"
+            for component, saving in savings.items()
+        )
+    )
+
+
+@pytest.mark.slow
+def test_learned_equivalence_across_jobs_and_batches(tmp_path):
+    """The determinism contract with importance sampling on: identical
+    reported results and model digest for jobs in {1, 4} and two batch
+    sizes."""
+    workload = get_workload(WORKLOAD)
+    components = (Component.L1D,)
+    reference = None
+    reference_digest = None
+    for jobs, batch in ((1, 25), (4, 25), (4, 13), (1, 41)):
+        campaign = AdaptiveCampaign(
+            CampaignConfig(
+                target_margin=0.1,
+                seed=SEED,
+                jobs=jobs,
+                batch_size=batch,
+                min_faults=30,
+                max_faults=200,
+                learned_sampling=True,
+            ),
+            cache_dir=tmp_path / f"cache-{jobs}-{batch}",
+        )
+        result = campaign.run_workload(workload, components=components)
+        tallies = {
+            component.name: (
+                tally.injections,
+                {
+                    effect.name: count
+                    for effect, count in sorted(
+                        tally.counts.items(), key=lambda item: item[0].name
+                    )
+                },
+            )
+            for component, tally in result.components.items()
+        }
+        digest = campaign.diagnostics[WORKLOAD].strata[
+            Component.L1D
+        ].model_digest
+        if reference is None:
+            reference, reference_digest = tallies, digest
+        else:
+            assert tallies == reference, (
+                f"learned result changed under jobs={jobs} batch={batch}"
+            )
+            assert digest == reference_digest

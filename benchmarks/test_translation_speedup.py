@@ -117,7 +117,7 @@ def test_taint_on_translator_equivalence():
     """
     workload = get_workload("CRC32")
     golden = run_golden(workload, SCALED_A9_CONFIG)
-    snapshots, digests, arch_digests = record_golden_observables(
+    snapshots, digests, arch_digests, _ = record_golden_observables(
         workload, SCALED_A9_CONFIG, golden
     )
     plan = {

@@ -227,6 +227,53 @@ def adaptive_margins_table(diagnostics: Mapping) -> str:
     )
 
 
+def calibration_table(diagnostics: Mapping) -> str:
+    """Render the learned sampler's predicted-vs-actual calibration.
+
+    ``diagnostics`` is the payload of
+    :meth:`repro.injection.adaptive.AdaptiveDiagnostics.to_dict` (or an
+    object exposing ``to_dict()``).  One row per (stratum, predicted
+    P(Masked) bucket): how many injections the model put there, its mean
+    prediction, and the Masked rate actually observed - the honesty
+    check that the importance order was steered by a sane model.
+    Returns "" when no stratum carries calibration data: plain adaptive
+    campaigns, learned strata that deterministically fell back to the
+    plain order, cached results, and legacy journals all degrade to an
+    empty string rather than an error.
+    """
+    if hasattr(diagnostics, "to_dict"):
+        diagnostics = diagnostics.to_dict()
+    rows = []
+    digests = []
+    for name, status in (diagnostics.get("strata") or {}).items():
+        if not isinstance(status, Mapping) or status.get("mode") != "learned":
+            continue
+        calibration = status.get("calibration") or {}
+        digest = status.get("model_digest")
+        if digest:
+            digests.append(f"{name}={digest}")
+        for entry in calibration.get("rows") or []:
+            rows.append(
+                [
+                    name,
+                    entry["bucket"],
+                    entry["n"],
+                    f"{100.0 * entry['predicted']:.1f}%",
+                    f"{100.0 * entry['actual']:.1f}%",
+                ]
+            )
+    if not rows:
+        return ""
+    table = format_table(
+        ["Component", "P(Masked) bucket", "n", "predicted", "actual"],
+        rows,
+        title="Learned sampling: predicted vs. actual Masked rate",
+    )
+    if digests:
+        table += "\nmodel      : " + ", ".join(digests)
+    return table
+
+
 def bar_chart(
     items: Iterable[tuple[str, float]],
     width: int = 50,

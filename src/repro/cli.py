@@ -91,6 +91,7 @@ from repro.analysis.avf import avf_breakdown
 from repro.analysis.fit_model import injection_fit
 from repro.analysis.report import (
     adaptive_margins_table,
+    calibration_table,
     propagation_table,
     telemetry_table,
 )
@@ -179,6 +180,15 @@ def _cmd_inject(args) -> int:
         print("error: --profile supports fixed-sample campaigns only "
               "(drop --target-margin)", file=sys.stderr)
         return 2
+    if args.learned_sampling and args.target_margin is None:
+        print("error: --learned-sampling steers the adaptive engine; it "
+              "needs --target-margin", file=sys.stderr)
+        return 2
+    if args.learned_sampling and args.fabric:
+        print("error: adaptive campaigns (--learned-sampling implies "
+              "--target-margin) are not fabric-aware yet; run them locally",
+              file=sys.stderr)
+        return 2
     if args.metrics_port is not None and args.fabric:
         print("error: --metrics-port exports the local campaign's registry; "
               "a fabric coordinator already serves /metrics (drop one)",
@@ -211,6 +221,7 @@ def _cmd_inject(args) -> int:
         batch_size=args.batch_size,
         min_faults=args.min_faults,
         max_faults=args.max_faults,
+        learned_sampling=args.learned_sampling,
     )
     tracer = None
     if args.trace_spans:
@@ -293,6 +304,9 @@ def _cmd_inject(args) -> int:
         diagnostics = campaign.diagnostics.get(workload.name)
         if diagnostics is not None:
             print(adaptive_margins_table(diagnostics))
+            calibration = calibration_table(diagnostics)
+            if calibration:
+                print(calibration)
             fixed = sum(
                 fixed_equivalent_faults(
                     tally.population_bits, args.target_margin, args.confidence
@@ -682,6 +696,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="adaptive mode: safety cap per stratum; a "
                         "stratum that cannot reach the target stops there "
                         "and is flagged (default 1000)")
+    inject.add_argument("--learned-sampling",
+                        action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="adaptive mode: train a Masked-outcome "
+                        "predictor on each stratum's pilot and reorder the "
+                        "remaining faults by predicted informativeness; "
+                        "the stratified estimator keeps the AVF unbiased "
+                        "and the result deterministic for any "
+                        "--jobs/--batch-size (requires --target-margin; "
+                        "default off)")
     inject.set_defaults(func=_cmd_inject)
 
     serve = sub.add_parser(

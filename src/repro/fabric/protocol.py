@@ -110,6 +110,12 @@ class CampaignSpec:
     superblocks: bool = True
     use_checkpoints: bool = True
     checkpoint_count: int = 8
+    #: Learned importance sampling (adaptive-only today; carried so a
+    #: fabric campaign's identity stays faithful to its config and so
+    #: the field needs no wire-format change when adaptive campaigns
+    #: become fabric-aware).  Dataclass default keeps old payloads
+    #: parseable without a protocol bump.
+    learned_sampling: bool = False
     version: int = PROTOCOL_VERSION
 
     @classmethod
@@ -147,6 +153,7 @@ class CampaignSpec:
             superblocks=config.superblocks,
             use_checkpoints=config.use_checkpoints,
             checkpoint_count=config.checkpoint_count,
+            learned_sampling=config.learned_sampling,
         )
 
     def to_config(self) -> CampaignConfig:
@@ -173,6 +180,7 @@ class CampaignSpec:
             heat_threshold=self.heat_threshold,
             chain=self.chain,
             superblocks=self.superblocks,
+            learned_sampling=self.learned_sampling,
         )
 
     def component_list(self) -> tuple[Component, ...]:

@@ -46,6 +46,24 @@ bases, so the worker farm, early Masked termination, fault-lifetime
 events, and crash-safe journaling all compose unchanged.  With
 ``resume=True`` the already-journaled prefix is replayed (and any holes a
 mid-batch kill left are filled) before new batches are scheduled.
+
+Learned importance sampling (``CampaignConfig.learned_sampling``; see
+:mod:`repro.injection.learned` and ``docs/SAMPLING.md``) reorders each
+stratum's stream *after* a pilot of ``min_faults`` natural-order
+injections: a Naive Bayes model trained on the pilot predicts P(Masked)
+for the rest of the stream, the frame is partitioned into
+predicted-probability bins with exact frame weights, and execution
+interleaves the bins weighted toward the uncertain ones.  The estimator
+switches to the stratified post-corrected form
+(:func:`~repro.injection.sampling.stratified_rate` /
+:func:`~repro.injection.sampling.stratified_half_width`), which stays
+unbiased under any reordering; pilot outcomes train the model and are
+excluded from the stratified estimates (no in-sample selection bias),
+while the raw counts keep every tallied injection.  Everything is a pure
+function of (spec, pilot outcomes) - the trained model's digest is
+surfaced in diagnostics - so the jobs/batch/resume determinism guarantee
+is preserved; scanning happens in *plan position* order, which is the
+stream order itself until the pilot completes.
 """
 
 from __future__ import annotations
@@ -64,12 +82,20 @@ from repro.injection.campaign import (
 from repro.injection.classify import ERROR_CLASSES, FaultEffect
 from repro.injection.components import Component, component_bits
 from repro.injection.fault import FaultStream
+from repro.injection.learned import (
+    CalibrationBuckets,
+    FeatureExtractor,
+    LearnedPlan,
+    LearnedPlanner,
+)
 from repro.injection.parallel import QuarantinedFault, run_injection_plan
 from repro.injection.sampling import (
     error_margin,
     projected_trials_wilson,
     readjusted_margin,
     sample_size,
+    stratified_half_width,
+    stratified_rate,
     wilson_half_width,
 )
 from repro.injection.telemetry import CampaignTelemetry
@@ -182,10 +208,20 @@ class StratumProgress:
     capped: bool
     #: Estimated injections still needed (0 once satisfied or capped).
     projected: int
+    #: ``"plain"`` (natural stream order) or ``"learned"`` (importance
+    #: sampled with a stratified estimator).
+    mode: str = "plain"
+    #: blake2b digest of the trained predictor (learned mode only).
+    model_digest: str | None = None
+    #: Non-empty predicted-probability bins (learned mode only).
+    bins: int = 0
+    #: Predicted-vs-actual calibration payload (learned mode only; see
+    #: :class:`repro.injection.learned.CalibrationBuckets`).
+    calibration: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-friendly snapshot (for telemetry and metrics export)."""
-        return {
+        payload = {
             "component": self.component.name,
             "executed": self.executed,
             "reported": self.reported,
@@ -194,7 +230,13 @@ class StratumProgress:
             "satisfied": self.satisfied,
             "capped": self.capped,
             "projected": self.projected,
+            "mode": self.mode,
         }
+        if self.mode == "learned":
+            payload["model_digest"] = self.model_digest
+            payload["bins"] = self.bins
+            payload["calibration"] = self.calibration
+        return payload
 
 
 @dataclass
@@ -238,7 +280,17 @@ class AdaptiveDiagnostics:
 
 
 class _StratumState:
-    """One stratum's fault stream, effect prefix, and stopping scan."""
+    """One stratum's fault stream, effect prefix, and stopping scan.
+
+    With a ``planner`` (learned sampling), the scan runs in *plan
+    position* order: positions below the pilot are the stream itself;
+    the moment the scan crosses the pilot boundary unsatisfied, the
+    planner trains on the pilot outcomes and either produces a
+    :class:`~repro.injection.learned.LearnedPlan` (importance-ordered
+    frame + stratified estimator) or declines (``None``), leaving the
+    stratum on the plain path.  Either way the decision and everything
+    after it are pure functions of the pilot, so determinism holds.
+    """
 
     def __init__(
         self,
@@ -249,6 +301,7 @@ class _StratumState:
         confidence: float,
         min_faults: int,
         max_faults: int,
+        planner: LearnedPlanner | None = None,
     ):
         self.component = component
         self.population = population
@@ -257,11 +310,14 @@ class _StratumState:
         self.confidence = confidence
         self.min_faults = min_faults
         self.max_faults = max_faults
-        #: Effects by global fault index (None = quarantined slot).
+        self.planner = planner
+        self.pilot_n = min(min_faults, max_faults)
+        #: Effects by plan position (None = quarantined slot).  Position
+        #: equals the global stream index until a plan exists.
         self.effects: dict[int, FaultEffect | None] = {}
-        #: End of the scheduled/executed window so far.
+        #: End of the scheduled/executed window so far (positions).
         self.executed_until = 0
-        #: Next global index the prefix scan will consume.
+        #: Next position the prefix scan will consume.
         self._scan_index = 0
         #: Tallies of the scanned prefix (only real effects, not holes).
         self.prefix_counts: dict[FaultEffect, int] = {}
@@ -269,6 +325,27 @@ class _StratumState:
         self.quarantined_in_prefix = 0
         #: Prefix length at which the stopping rule first held, if ever.
         self.satisfied_at: int | None = None
+        #: Learned-mode state: the plan (None = plain order), per-bin
+        #: tallies over the scanned phase-2 prefix, and calibration.
+        self.plan: LearnedPlan | None = None
+        self._plan_attempted = False
+        self.bin_counts: list[dict[FaultEffect, int]] = []
+        self.bin_n: list[int] = []
+        self.calibration: CalibrationBuckets | None = None
+
+    # -- ordering --------------------------------------------------------------
+
+    def global_for(self, position: int) -> int:
+        """Global stream index executed at ``position``."""
+        if self.plan is None:
+            return position
+        return self.plan.global_for(position)
+
+    def position_of(self, global_index: int) -> int | None:
+        """Plan position of a global stream index (``None`` if unplanned)."""
+        if self.plan is None:
+            return global_index if global_index < self.max_faults else None
+        return self.plan.position_of(global_index)
 
     # -- feeding ---------------------------------------------------------------
 
@@ -282,24 +359,63 @@ class _StratumState:
     def _advance_scan(self) -> None:
         """Consume newly contiguous effects; cut at first satisfaction.
 
-        The scan walks the effect stream in fault order, re-evaluating the
-        stopping rule after every injection.  It freezes at the first
+        The scan walks the effect stream in position order, re-evaluating
+        the stopping rule after every injection.  It freezes at the first
         prefix that satisfies - later effects (batch overshoot) are never
         tallied, which is what makes the reported result independent of
-        batch boundaries.
+        batch boundaries.  Crossing the pilot boundary unsatisfied
+        triggers (exactly once) the learned-plan training.
         """
-        while self.satisfied_at is None and self._scan_index in self.effects:
-            effect = self.effects[self._scan_index]
+        while self.satisfied_at is None:
+            self._maybe_train()
+            if self._scan_index not in self.effects:
+                break
+            position = self._scan_index
+            effect = self.effects[position]
             self._scan_index += 1
             if effect is None:
                 self.quarantined_in_prefix += 1
                 continue
             self.prefix_counts[effect] = self.prefix_counts.get(effect, 0) + 1
             self.prefix_n += 1
+            if self.plan is not None and position >= self.pilot_n:
+                global_index = self.plan.global_for(position)
+                bin_index = self.plan.bin_of[global_index]
+                self.bin_n[bin_index] += 1
+                counts = self.bin_counts[bin_index]
+                counts[effect] = counts.get(effect, 0) + 1
+                if self.calibration is not None:
+                    self.calibration.add(
+                        self.plan.probs[global_index],
+                        effect is FaultEffect.MASKED,
+                    )
             if self.prefix_n >= self.min_faults and widths_satisfied(
                 self.widths(), self.target
             ):
                 self.satisfied_at = self.prefix_n
+
+    def _maybe_train(self) -> None:
+        """Train the learned plan once the pilot is fully scanned."""
+        if (
+            self._plan_attempted
+            or self.planner is None
+            or self._scan_index < self.pilot_n
+        ):
+            return
+        self._plan_attempted = True
+        pilot_faults = self.stream.take(self.pilot_n)
+        pilot_outcomes = [
+            (pilot_faults[position], effect)
+            for position in range(self.pilot_n)
+            if (effect := self.effects.get(position)) is not None
+        ]
+        plan = self.planner.plan(self.stream, pilot_outcomes)
+        if plan is None:
+            return  # deterministic plain fallback
+        self.plan = plan
+        self.bin_counts = [{} for _ in range(plan.n_bins)]
+        self.bin_n = [0] * plan.n_bins
+        self.calibration = CalibrationBuckets()
 
     # -- derived ---------------------------------------------------------------
 
@@ -316,10 +432,49 @@ class _StratumState:
         """Injections executed so far (quarantined slots included)."""
         return len(self.effects)
 
+    def _tracked_classes(self) -> list[FaultEffect]:
+        return [FaultEffect.MASKED, *ERROR_CLASSES]
+
     def widths(self) -> dict[str, float]:
-        return stratum_widths(
-            self.population, self.prefix_counts, self.prefix_n, self.confidence
-        )
+        if self.plan is None:
+            return stratum_widths(
+                self.population,
+                self.prefix_counts,
+                self.prefix_n,
+                self.confidence,
+            )
+        # Stratified mode: the AVF criterion is the stratified half-width
+        # of the Masked rate (AVF = 1 - Masked, same width), replacing
+        # the readjusted Leveugle margin of the plain path; the error
+        # classes use their stratified half-widths in place of the plain
+        # Wilson ones.  Infinite until every bin has been visited.
+        weights = list(self.plan.weights)
+        widths = {}
+        for effect in self._tracked_classes():
+            successes = [
+                counts.get(effect, 0) for counts in self.bin_counts
+            ]
+            half = stratified_half_width(
+                successes, self.bin_n, weights, self.confidence
+            )
+            widths["AVF" if effect is FaultEffect.MASKED else effect.name] = half
+        return widths
+
+    def estimates(self) -> dict[str, float] | None:
+        """Stratified rate estimates by class name (learned mode only)."""
+        if self.plan is None:
+            return None
+        weights = list(self.plan.weights)
+        estimates = {}
+        for effect in self._tracked_classes():
+            successes = [
+                counts.get(effect, 0) for counts in self.bin_counts
+            ]
+            estimates[effect.name] = stratified_rate(
+                successes, self.bin_n, weights
+            )
+        estimates["AVF"] = 1.0 - estimates[FaultEffect.MASKED.name]
+        return estimates
 
     def projected(self) -> int:
         if self.satisfied or self.capped:
@@ -341,8 +496,12 @@ class _StratumState:
         return max(1e-9, worst / self.target)
 
     def progress(self) -> StratumProgress:
-        masked = self.prefix_counts.get(FaultEffect.MASKED, 0)
-        avf = 1.0 - masked / self.prefix_n if self.prefix_n else 0.0
+        estimates = self.estimates()
+        if estimates is not None:
+            avf = estimates["AVF"]
+        else:
+            masked = self.prefix_counts.get(FaultEffect.MASKED, 0)
+            avf = 1.0 - masked / self.prefix_n if self.prefix_n else 0.0
         return StratumProgress(
             component=self.component,
             executed=self.executed,
@@ -352,10 +511,26 @@ class _StratumState:
             satisfied=self.satisfied,
             capped=self.capped,
             projected=self.projected(),
+            mode="learned" if self.plan is not None else "plain",
+            model_digest=self.plan.model_digest if self.plan else None,
+            bins=self.plan.n_bins if self.plan else 0,
+            calibration=(
+                self.calibration.to_dict()
+                if self.calibration is not None
+                else None
+            ),
         )
 
     def result(self, confidence: float) -> ComponentResult:
-        """The stratum's final tally: the shortest satisfying prefix."""
+        """The stratum's final tally: the shortest satisfying prefix.
+
+        In learned mode the raw ``counts`` honestly record everything
+        tallied (pilot included), while the attached stratified
+        ``estimates``/``half_widths`` - computed from the post-pilot
+        frame only, bias-corrected by the exact bin weights - are what
+        the rate/AVF/margin accessors report.
+        """
+        estimates = self.estimates()
         return ComponentResult(
             component=self.component,
             injections=self.prefix_n,
@@ -363,7 +538,28 @@ class _StratumState:
             counts=dict(self.prefix_counts),
             confidence=confidence,
             quarantined=self.quarantined_in_prefix,
+            estimates=estimates,
+            half_widths=dict(self.widths()) if estimates is not None else None,
         )
+
+    def journal_backlog(self, journal) -> int | None:
+        """Highest journaled position not yet absorbed (``None`` if none).
+
+        After a learned plan trains on a resumed campaign, phase-2
+        records already in the journal sit at positions beyond
+        ``executed_until``; the campaign schedules one replay window to
+        absorb them (holes re-executed) before allocating fresh batches.
+        """
+        if journal is None:
+            return None
+        backlog = None
+        journaled = list(journal.completed(self.component))
+        journaled += list(journal.quarantined(self.component))
+        for global_index in journaled:
+            position = self.position_of(global_index)
+            if position is not None and position >= self.executed_until:
+                backlog = position if backlog is None else max(backlog, position)
+        return backlog
 
 
 def _allocate(budget: int, demands: dict[Component, tuple[float, int]]) -> dict[Component, int]:
@@ -476,12 +672,19 @@ class AdaptiveCampaign(InjectionCampaign):
             rounds=0,
         )
         for component, tally in result.components.items():
-            widths = stratum_widths(
-                tally.population_bits,
-                tally.counts,
-                tally.injections,
-                config.confidence,
-            )
+            if tally.half_widths is not None:
+                # Learned-sampling result: the stored stratified
+                # half-widths are the achieved precision (recomputing
+                # plain widths from the raw counts would mix in the
+                # importance-weighted sample).
+                widths = dict(tally.half_widths)
+            else:
+                widths = stratum_widths(
+                    tally.population_bits,
+                    tally.counts,
+                    tally.injections,
+                    config.confidence,
+                )
             satisfied = widths_satisfied(widths, config.target_margin)
             diagnostics.strata[component] = StratumProgress(
                 component=component,
@@ -492,6 +695,7 @@ class AdaptiveCampaign(InjectionCampaign):
                 satisfied=satisfied,
                 capped=not satisfied,
                 projected=0,
+                mode="learned" if tally.estimates is not None else "plain",
             )
         return diagnostics
 
@@ -523,6 +727,15 @@ class AdaptiveCampaign(InjectionCampaign):
         config = self.config
         golden, image = self._prepare_image(workload)
         machine = config.machine
+        planner = None
+        if config.learned_sampling:
+            planner = LearnedPlanner(
+                extractor=FeatureExtractor(
+                    machine, golden.cycles, activity=image.activity
+                ),
+                pilot_n=min(config.min_faults, config.max_faults),
+                max_faults=config.max_faults,
+            )
         states = {
             component: _StratumState(
                 component=component,
@@ -537,6 +750,7 @@ class AdaptiveCampaign(InjectionCampaign):
                 confidence=config.confidence,
                 min_faults=config.min_faults,
                 max_faults=config.max_faults,
+                planner=planner,
             )
             for component in missing
         }
@@ -549,14 +763,24 @@ class AdaptiveCampaign(InjectionCampaign):
                 if not windows:
                     break
                 rounds += 1
-                plan = {
-                    component: states[component].stream.window(start, stop)
-                    for component, (start, stop) in windows.items()
-                }
-                bases = {
-                    component: start
-                    for component, (start, _stop) in windows.items()
-                }
+                plan = {}
+                bases = {}
+                index_map = {}
+                for component, (start, stop) in windows.items():
+                    state = states[component]
+                    if state.plan is None:
+                        # Identity order: positions are stream indices.
+                        plan[component] = state.stream.window(start, stop)
+                        bases[component] = start
+                    else:
+                        # Importance order: positions map through the
+                        # learned plan; journal with true stream indices.
+                        globals_ = [
+                            state.global_for(position)
+                            for position in range(start, stop)
+                        ]
+                        plan[component] = state.stream.at(globals_)
+                        index_map[component] = globals_
                 effects = run_injection_plan(
                     image,
                     plan,
@@ -568,6 +792,7 @@ class AdaptiveCampaign(InjectionCampaign):
                     max_retries=config.max_retries,
                     quarantined=quarantined,
                     index_base=bases,
+                    index_map=index_map or None,
                     tracer=self.tracer,
                 )
                 for component, (start, _stop) in windows.items():
@@ -617,11 +842,23 @@ class AdaptiveCampaign(InjectionCampaign):
         stopping rule cannot hold anyway.  Later rounds split
         ``batch_size`` across the still-unsatisfied strata by current
         interval width.
+
+        Learned strata bend both rules: their round-1 window is always
+        exactly the pilot (the plan that maps journaled phase-2 indices
+        to positions cannot exist before the pilot trains it), and any
+        later round in which a stratum has journaled-but-unabsorbed
+        positions becomes a replay round covering just those (windows in
+        position space; holes re-executed).  Scheduling shuffles like
+        these never change the reported prefix - the scan order is fixed
+        - they only decide when journal records get absorbed.
         """
         config = self.config
         if first and journal is not None and (journal.records or journal.quarantines):
             windows = {}
             for component, state in states.items():
+                if state.planner is not None:
+                    windows[component] = (0, state.pilot_n)
+                    continue
                 journaled = set(journal.completed(component))
                 journaled |= set(journal.quarantined(component))
                 span = max(journaled) + 1 if journaled else 0
@@ -634,6 +871,18 @@ class AdaptiveCampaign(InjectionCampaign):
                 component: (0, min(config.min_faults, config.max_faults))
                 for component in states
             }
+        replays = {}
+        for component, state in states.items():
+            if state.satisfied:
+                continue
+            backlog = state.journal_backlog(journal)
+            if backlog is not None:
+                replays[component] = (
+                    state.executed_until,
+                    min(backlog + 1, state.max_faults),
+                )
+        if replays:
+            return replays
         demands = {}
         for component, state in states.items():
             if state.satisfied or state.capped:

@@ -189,6 +189,13 @@ class CampaignConfig:
     #: reported result, so both are part of the adaptive cache key.
     min_faults: int = 20
     max_faults: int = 1000
+    #: Learned importance sampling inside adaptive campaigns (see
+    #: :mod:`repro.injection.learned`): the first ``min_faults`` of each
+    #: stratum train a Masked-outcome predictor, and the rest of the
+    #: stream is reordered toward uncertain faults with a stratified
+    #: post-corrected estimator.  Changes which injections are tallied,
+    #: so it *is* part of the adaptive cache key (``-L``).
+    learned_sampling: bool = False
 
     @property
     def planned_faults(self) -> int:
@@ -208,10 +215,12 @@ class CampaignConfig:
             # target, confidence, floor/cap and seed - but *not* batch_size
             # or jobs, which are execution granularity with bit-identical
             # results (enforced by the adaptive equivalence suite).
+            learned = "-L" if self.learned_sampling else ""
             return (
                 f"fi-{self.machine.name}-{workload}"
                 f"-adapt-t{self.target_margin:g}-cf{self.confidence:g}"
-                f"-f{self.min_faults}-F{self.max_faults}-s{self.seed}{cluster}"
+                f"-f{self.min_faults}-F{self.max_faults}-s{self.seed}"
+                f"{cluster}{learned}"
             )
         return (
             f"fi-{self.machine.name}-{workload}"
@@ -221,7 +230,15 @@ class CampaignConfig:
 
 @dataclass
 class ComponentResult:
-    """Tally of one (workload, component) injection campaign."""
+    """Tally of one (workload, component) injection campaign.
+
+    In learned-sampling campaigns the raw ``counts`` over-represent the
+    importance-favoured faults, so the stratified post-corrected
+    ``estimates``/``half_widths`` (one entry per class name, plus
+    ``"AVF"``) are attached and take precedence in :meth:`rate`,
+    :attr:`avf` and :attr:`margin`.  ``counts`` always stays the honest
+    raw tally of what was injected.
+    """
 
     component: Component
     injections: int
@@ -232,9 +249,21 @@ class ComponentResult:
     #: workers; excluded from ``injections`` and every rate, but carried
     #: here so they are reported rather than silently dropped.
     quarantined: int = 0
+    #: Stratified post-corrected rate estimates by class name (learned
+    #: sampling only); ``None`` means the raw counts are unbiased as-is.
+    estimates: dict[str, float] | None = None
+    #: Matching half-widths by class name (root-sum-square of per-bin
+    #: Wilson half-widths); ``None`` outside learned sampling.
+    half_widths: dict[str, float] | None = None
 
     def rate(self, effect: FaultEffect) -> float:
-        """Observed fraction of injections classified as ``effect``."""
+        """Unbiased estimate of the fraction classified as ``effect``.
+
+        The raw sample fraction normally; the stratified post-corrected
+        estimate when learned importance sampling reordered the draws.
+        """
+        if self.estimates is not None:
+            return self.estimates.get(effect.name, 0.0)
         if not self.injections:
             return 0.0
         return self.counts.get(effect, 0) / self.injections
@@ -242,6 +271,8 @@ class ComponentResult:
     @property
     def avf(self) -> float:
         """Architectural Vulnerability Factor: fraction of non-masked faults."""
+        if self.estimates is not None and "AVF" in self.estimates:
+            return self.estimates["AVF"]
         return 1.0 - self.rate(FaultEffect.MASKED)
 
     @property
@@ -268,19 +299,29 @@ class ComponentResult:
         margin-choice regression test.  Worked examples:
         ``docs/STATISTICS.md``.
         """
+        if self.half_widths is not None and "AVF" in self.half_widths:
+            return self.half_widths["AVF"]
         return readjusted_margin(
             self.population_bits, self.injections, self.avf, self.confidence
         )
 
     def rate_interval(self, effect: FaultEffect) -> tuple[float, float]:
-        """Wilson confidence interval for one class's fault-effect rate."""
+        """Wilson confidence interval for one class's fault-effect rate.
+
+        Under learned sampling this is the stratified estimate plus or
+        minus its root-sum-square half-width, clipped to [0, 1].
+        """
+        if self.estimates is not None and self.half_widths is not None:
+            estimate = self.estimates.get(effect.name, 0.0)
+            half = self.half_widths.get(effect.name, 0.0)
+            return max(0.0, estimate - half), min(1.0, estimate + half)
         return wilson_interval(
             self.counts.get(effect, 0), self.injections, self.confidence
         )
 
     def to_dict(self) -> dict:
         """JSON-friendly form (campaign cache serialization)."""
-        return {
+        payload = {
             "component": self.component.name,
             "injections": self.injections,
             "population_bits": self.population_bits,
@@ -288,6 +329,11 @@ class ComponentResult:
             "quarantined": self.quarantined,
             "counts": {e.name: self.counts.get(e, 0) for e in FaultEffect},
         }
+        if self.estimates is not None:
+            payload["estimates"] = dict(self.estimates)
+        if self.half_widths is not None:
+            payload["half_widths"] = dict(self.half_widths)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ComponentResult":
@@ -310,6 +356,8 @@ class ComponentResult:
             confidence=payload["confidence"],
             quarantined=payload.get("quarantined", 0),
             counts=counts,
+            estimates=payload.get("estimates"),
+            half_widths=payload.get("half_widths"),
         )
 
 
@@ -496,7 +544,7 @@ def record_golden_captures(
     in a single run that stops right after the last capture - one golden
     prefix instead of two.
     """
-    snapshots, digests, _ = record_golden_observables(
+    snapshots, digests, _, _ = record_golden_observables(
         workload,
         machine,
         golden,
@@ -512,19 +560,25 @@ def record_golden_observables(
     golden: RunResult,
     snapshot_count: int = 8,
     digest_count: int = 24,
-) -> tuple[list, dict[int, bytes], dict[int, bytes]]:
-    """Capture checkpoints plus full *and* architectural digests at once.
+    record_activity: bool = False,
+) -> tuple[list, dict[int, bytes], dict[int, bytes], "GoldenActivity | None"]:
+    """Capture checkpoints, digests and (optionally) activity at once.
 
-    Returns ``(snapshots, digests, arch_digests)``.  ``digests`` maps
-    probe cycles to full-machine state digests (early Masked termination);
-    ``arch_digests`` maps the *same* probe cycles to architectural-state
-    digests (:func:`~repro.microarch.digest.arch_digest`), which the
-    fault-lifetime layer compares against to timestamp the first
-    architectural divergence of an injected run.  All three grids are
-    recorded through the same event mechanism the injectors use, in a
-    single run that stops right after the last capture - one golden
-    prefix instead of three.
+    Returns ``(snapshots, digests, arch_digests, activity)``.  ``digests``
+    maps probe cycles to full-machine state digests (early Masked
+    termination); ``arch_digests`` maps the *same* probe cycles to
+    architectural-state digests (:func:`~repro.microarch.digest.arch_digest`),
+    which the fault-lifetime layer compares against to timestamp the first
+    architectural divergence of an injected run.  With ``record_activity``
+    (learned sampling), the run additionally carries an observation-only
+    :class:`~repro.observability.golden.ActivityRecorder` whose residency
+    sweeps join the capture grid; ``activity`` is ``None`` otherwise.  All
+    grids are recorded through the same event mechanism the injectors use,
+    in a single run that stops right after the last capture - one golden
+    prefix instead of several.
     """
+    from repro.observability.golden import ActivityRecorder, activity_grid
+
     system = System(workload.program(machine.layout), config=machine)
     step = max(1, golden.cycles // (snapshot_count + 1))
     snapshot_cycles = [step * (index + 1) for index in range(snapshot_count)]
@@ -547,8 +601,15 @@ def record_golden_observables(
         (cycle, make_probe(cycle))
         for cycle in probe_cycles(golden.cycles, digest_count)
     ]
+    recorder = None
+    if record_activity:
+        recorder = ActivityRecorder(system, golden.cycles).attach()
+        captures += [
+            (cycle, recorder.sweep) for cycle in activity_grid(golden.cycles)
+        ]
     run_with_captures(system, captures)
-    return snapshots, digests, arch_digests
+    activity = recorder.finish() if recorder is not None else None
+    return snapshots, digests, arch_digests, activity
 
 
 def prepare_image(
@@ -569,6 +630,7 @@ def prepare_image(
     snapshots: list | None = None
     digests: dict[int, bytes] = {}
     arch_digests: dict[int, bytes] = {}
+    activity = None
     snapshot_count = config.checkpoint_count if config.use_checkpoints else 0
     # The probe grid serves both early termination and fault-lifetime
     # divergence stamping, so either feature keeps it alive.
@@ -577,13 +639,15 @@ def prepare_image(
         if (config.early_exit or config.lifetime_events)
         else 0
     )
-    if snapshot_count or digest_count:
-        snapshots, digests, arch_digests = record_golden_observables(
+    record_activity = config.learned_sampling and config.target_margin is not None
+    if snapshot_count or digest_count or record_activity:
+        snapshots, digests, arch_digests, activity = record_golden_observables(
             workload,
             machine,
             golden,
             snapshot_count=snapshot_count,
             digest_count=digest_count,
+            record_activity=record_activity,
         )
     image = MachineImage.capture(
         workload,
@@ -602,6 +666,7 @@ def prepare_image(
         chain=config.chain,
         superblocks=config.superblocks,
         profile=config.profile,
+        activity=activity,
     )
     return golden, image
 

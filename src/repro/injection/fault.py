@@ -92,3 +92,15 @@ class FaultStream:
     def window(self, start: int, stop: int) -> list[Fault]:
         """Faults ``[start, stop)`` of the stream (one adaptive batch)."""
         return self.take(stop)[start:stop]
+
+    def at(self, indices: list[int]) -> list[Fault]:
+        """Faults at arbitrary stream indices, in the order given.
+
+        Used by learned importance sampling, whose execution order is a
+        permutation of the stream: the *set* of faults at any prefix of
+        stream indices is unchanged, only the visit order differs.
+        """
+        if not indices:
+            return []
+        self.take(max(indices) + 1)
+        return [self._faults[index] for index in indices]

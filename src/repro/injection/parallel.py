@@ -96,6 +96,7 @@ from repro.observability.events import (
     EV_OUTCOME,
     FaultLifetime,
 )
+from repro.observability.golden import GoldenActivity
 from repro.observability.taint import install_taint
 
 #: Cycle budget for injected runs, relative to the fault-free duration.
@@ -164,6 +165,10 @@ class MachineImage:
     chain: bool = True
     superblocks: bool = True
     profile: bool = False
+    #: Golden cache/TLB activity observables for learned sampling
+    #: (:mod:`repro.observability.golden`); ``None`` unless the campaign
+    #: was configured with ``learned_sampling``.
+    activity: GoldenActivity | None = None
 
     @classmethod
     def capture(
@@ -184,6 +189,7 @@ class MachineImage:
         chain: bool = True,
         superblocks: bool = True,
         profile: bool = False,
+        activity: GoldenActivity | None = None,
     ) -> "MachineImage":
         """Bundle a workload's golden run into a shippable image."""
         return cls(
@@ -205,6 +211,7 @@ class MachineImage:
             chain=chain,
             superblocks=superblocks,
             profile=profile,
+            activity=activity,
         )
 
 
@@ -808,6 +815,7 @@ def _replay_journal(
     quarantined: list[QuarantinedFault] | None,
     quarantined_slots: set[tuple[Component, int]],
     bases: Mapping[Component, int] | None = None,
+    index_map: Mapping[Component, Sequence[int]] | None = None,
 ) -> int:
     """Prefill effect slots from a journal; returns replayed count.
 
@@ -817,20 +825,40 @@ def _replay_journal(
 
     With ``bases`` (a windowed plan; see :func:`run_injection_plan`), a
     journal index outside ``[base, base + len(faults))`` belongs to another
-    batch of the same campaign and is skipped rather than rejected.
+    batch of the same campaign and is skipped rather than rejected.  An
+    ``index_map`` entry overrides the base window with an explicit global
+    index per plan slot (importance-sampled windows are permutations, not
+    contiguous ranges); journal indices not in the map are likewise
+    another batch's work.
     """
-    replayed = 0
-    for component, faults in plan.items():
+
+    def _locator(component, length):
+        mapped = (index_map or {}).get(component)
+        if mapped is not None:
+            position = {g: i for i, g in enumerate(mapped)}
+            return position.get
         base = (bases or {}).get(component, 0)
-        for index, record in journal.completed(component).items():
-            if index < base or (bases is not None and index >= base + len(faults)):
-                continue  # another batch's record (windowed plans only)
-            if index - base >= len(faults):
+
+        def from_base(index):
+            if index < base or (bases is not None and index >= base + length):
+                return None  # another batch's record (windowed plans only)
+            if index - base >= length:
                 raise InjectionError(
                     f"journal records fault index {index} for "
-                    f"{component.name}, beyond the plan of {len(faults)}"
+                    f"{component.name}, beyond the plan of {length}"
                 )
-            fault = faults[index - base]
+            return index - base
+
+        return from_base
+
+    replayed = 0
+    for component, faults in plan.items():
+        locate = _locator(component, len(faults))
+        for index, record in journal.completed(component).items():
+            slot = locate(index)
+            if slot is None:
+                continue
+            fault = faults[slot]
             if record.bit_index != fault.bit_index or record.cycle != fault.cycle:
                 raise InjectionError(
                     f"journal record for {component.name}[{index}] does not "
@@ -838,7 +866,7 @@ def _replay_journal(
                     f"{record.bit_index} cycle {record.cycle}, plan bit "
                     f"{fault.bit_index} cycle {fault.cycle})"
                 )
-            effects[component][index - base] = record.effect
+            effects[component][slot] = record.effect
             replayed += 1
             if telemetry is not None:
                 telemetry.record(
@@ -850,16 +878,10 @@ def _replay_journal(
                     events=record.events,
                 )
         for index, record in journal.quarantined(component).items():
-            if index < base or (bases is not None and index >= base + len(faults)):
-                continue  # another batch's record (windowed plans only)
-            if index - base >= len(faults):
-                raise InjectionError(
-                    f"journal quarantines fault index {index} for "
-                    f"{component.name}, beyond the plan of {len(faults)}"
-                )
-            entry = QuarantinedFault(
-                component, index, faults[index - base], record.reason
-            )
+            slot = locate(index)
+            if slot is None:
+                continue
+            entry = QuarantinedFault(component, index, faults[slot], record.reason)
             if quarantined is None:
                 raise InjectionError(
                     f"journal contains a quarantined fault "
@@ -867,7 +889,7 @@ def _replay_journal(
                     f"caller provided no quarantine accumulator"
                 )
             quarantined.append(entry)
-            quarantined_slots.add((component, index - base))
+            quarantined_slots.add((component, slot))
             if telemetry is not None:
                 telemetry.record_quarantine(component)
     return replayed
@@ -884,6 +906,7 @@ def run_injection_plan(
     max_retries: int = DEFAULT_MAX_RETRIES,
     quarantined: list[QuarantinedFault] | None = None,
     index_base: Mapping[Component, int] | None = None,
+    index_map: Mapping[Component, Sequence[int]] | None = None,
     injector: ImageInjector | None = None,
     tracer=None,
     span_parent: str | None = None,
@@ -904,6 +927,13 @@ def run_injection_plan(
     another batch's work, not corruption.  The fabric worker leases such
     windows too, pairing them with a
     :class:`~repro.injection.journal.RecordBuffer` journal.
+
+    ``index_map`` generalizes ``index_base`` for *permuted* windows:
+    ``plan[c][i]`` is fault ``index_map[c][i]`` of the stream, in any
+    order - how learned importance sampling executes a reordered frame
+    while journaling true stream indices.  For components present in the
+    map it overrides ``index_base``; journal records whose index is not
+    in the map are another batch's work.
 
     ``injector`` (``jobs == 1`` only) reuses a caller-owned
     :class:`ImageInjector` instead of building a fresh one - the lease
@@ -948,6 +978,17 @@ def run_injection_plan(
             telemetry.register_plan(component, len(plan[component]))
 
     bases = dict(index_base or {})
+    maps = {
+        component: list(indices)
+        for component, indices in (index_map or {}).items()
+    }
+
+    def global_index(component: Component, fault_index: int) -> int:
+        mapped = maps.get(component)
+        if mapped is not None:
+            return mapped[fault_index]
+        return bases.get(component, 0) + fault_index
+
     quarantined_slots: set[tuple[Component, int]] = set()
     if journal is not None:
         replayed = _replay_journal(
@@ -958,6 +999,7 @@ def run_injection_plan(
             quarantined,
             quarantined_slots,
             bases=index_base,
+            index_map=index_map,
         )
         if replayed or quarantined_slots:
             progress(
@@ -1016,7 +1058,7 @@ def run_injection_plan(
             journal.record(
                 InjectionRecord(
                     component=component,
-                    index=bases.get(component, 0) + fault_index,
+                    index=global_index(component, fault_index),
                     bit_index=fault.bit_index,
                     cycle=fault.cycle,
                     effect=result.effect,
@@ -1043,7 +1085,7 @@ def run_injection_plan(
         component = components[attempt.component_index]
         entry = QuarantinedFault(
             component,
-            bases.get(component, 0) + attempt.fault_index,
+            global_index(component, attempt.fault_index),
             attempt.fault,
             reason,
         )
@@ -1058,7 +1100,7 @@ def run_injection_plan(
             journal.record_quarantine(
                 QuarantineRecord(
                     component=component,
-                    index=bases.get(component, 0) + attempt.fault_index,
+                    index=global_index(component, attempt.fault_index),
                     bit_index=attempt.fault.bit_index,
                     cycle=attempt.fault.cycle,
                     reason=reason,

@@ -144,6 +144,49 @@ def projected_trials_wilson(
     return low
 
 
+def stratified_rate(
+    successes: list[int], trials: list[int], weights: list[float]
+) -> float:
+    """Stratified (post-corrected) point estimate of one class's rate.
+
+    ``est = sum_b W_b * (successes_b / trials_b)`` with *exact* frame
+    weights ``W_b`` (each stratum's share of the full sampling frame).
+    This is what keeps learned importance sampling unbiased: however the
+    execution order favours one stratum, each stratum's rate is measured
+    on its own draws and re-weighted by its known population share.
+    Strata not yet sampled contribute 0 here; the matching
+    :func:`stratified_half_width` is infinite in that case, so the
+    stopping rule can never fire on an estimate with unsampled strata.
+    """
+    estimate = 0.0
+    for s, n, w in zip(successes, trials, weights):
+        if n > 0:
+            estimate += w * (s / n)
+    return estimate
+
+
+def stratified_half_width(
+    successes: list[int],
+    trials: list[int],
+    weights: list[float],
+    confidence: float = 0.99,
+) -> float:
+    """Half-width of the stratified estimate (root-sum-square of bins).
+
+    Independent strata: ``hw = sqrt(sum_b W_b^2 * hw_b^2)`` where
+    ``hw_b`` is the per-stratum Wilson half-width.  Infinite while any
+    stratum has zero trials, which blocks the adaptive stopping rule
+    until every bin has been visited.
+    """
+    total = 0.0
+    for s, n, w in zip(successes, trials, weights):
+        if n <= 0:
+            return math.inf
+        half = wilson_half_width(s, n, confidence)
+        total += w * w * half * half
+    return math.sqrt(total)
+
+
 def readjusted_margin(
     population: int,
     sample: int,

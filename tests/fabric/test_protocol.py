@@ -87,6 +87,25 @@ class TestCampaignSpec:
         spec = make_spec(components=("L1D", "REGFILE"))
         assert spec.component_list() == (Component.L1D, Component.REGFILE)
 
+    def test_learned_sampling_travels_and_round_trips(self):
+        config = CampaignConfig(
+            faults_per_component=10, seed=7, learned_sampling=True
+        )
+        spec = CampaignSpec.from_config("CRC32", config, golden_cycles=999)
+        assert spec.learned_sampling is True
+        assert spec.to_config().learned_sampling is True
+        assert CampaignSpec.from_payload(spec.to_payload()) == spec
+        # A flipped flag is a different campaign identity.
+        assert spec.campaign_id != make_spec().campaign_id
+
+    def test_pre_learned_payloads_still_parse(self):
+        """Specs serialized before the learned_sampling field existed
+        must keep parsing (dataclass default, no protocol bump)."""
+        payload = make_spec().to_payload()
+        del payload["learned_sampling"]
+        spec = CampaignSpec.from_payload(payload)
+        assert spec.learned_sampling is False
+
 
 class TestFaultIdentity:
     def test_identity_base_carries_the_campaign_invariants(self):

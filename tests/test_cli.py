@@ -148,6 +148,47 @@ class TestObservabilityFlags:
         assert "Campaign telemetry" in out
         assert "Fault propagation" not in out
 
+    def test_stats_degrades_gracefully_on_pr2_era_journal(
+        self, tmp_path, capsys
+    ):
+        """Regression: journals written before lifetime events existed
+        (no ``ended``/``events``/``trace`` record fields) must replay
+        through `stats` with default features and no crash."""
+        journal = tmp_path / "fi-legacy.jsonl"
+        journal.write_text(
+            '{"type":"meta","workload":"CRC32","machine":"cortex-a9-scaled",'
+            '"faults_per_component":4,"seed":7,"cluster_size":1,'
+            '"golden_cycles":120000,"version":1}\n'
+            '{"type":"injection","component":"L1D","index":0,"bit":11,'
+            '"cycle":5000,"effect":"MASKED","wall":0.01}\n'
+            '{"type":"injection","component":"L1D","index":1,"bit":12,'
+            '"cycle":6000,"effect":"SDC","wall":0.01}\n'
+            '{"type":"injection","component":"REGFILE","index":0,"bit":3,'
+            '"cycle":7000,"effect":"APP_CRASH","wall":0.02}\n'
+            '{"type":"quarantine","component":"REGFILE","index":1,"bit":4,'
+            '"cycle":8000,"reason":"worker died"}\n'
+        )
+        assert main(["stats", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign telemetry" in out
+        assert "3 injection(s), 1 quarantined" in out
+        # No lifetime events in a PR-2-era journal: the propagation table
+        # degrades to the explanatory note instead of crashing.
+        assert "predates them" in out
+
+    def test_calibration_table_degrades_on_legacy_diagnostics(self):
+        """The calibration report renders "" - never a KeyError - for
+        diagnostics shapes that predate learned sampling."""
+        from repro.analysis.report import calibration_table
+
+        legacy = {
+            "strata": {"L1D": {"widths": {"AVF": 0.1}, "avf": 0.2}},
+            "target_margin": 0.05,
+        }
+        assert calibration_table(legacy) == ""
+        assert calibration_table({"strata": None}) == ""
+        assert calibration_table({}) == ""
+
 
 class TestInjectResilienceFlags:
     def test_parser_accepts_journal_flags(self):
@@ -190,6 +231,31 @@ class TestInjectResilienceFlags:
             build_parser().parse_args(
                 ["inject", "CRC32", "--confidence", "0.42"]
             )
+
+    def test_parser_accepts_learned_sampling_flags(self):
+        args = build_parser().parse_args(
+            ["inject", "CRC32", "--target-margin", "0.1", "--learned-sampling"]
+        )
+        assert args.learned_sampling is True
+        args = build_parser().parse_args(
+            ["inject", "CRC32", "--no-learned-sampling"]
+        )
+        assert args.learned_sampling is False
+        assert build_parser().parse_args(
+            ["inject", "CRC32"]
+        ).learned_sampling is False
+
+    def test_learned_sampling_requires_target_margin(self, capsys):
+        assert main(["inject", "CRC32", "--learned-sampling"]) == 2
+        assert "--target-margin" in capsys.readouterr().err
+
+    def test_learned_sampling_rejects_fabric(self, capsys):
+        assert main([
+            "inject", "CRC32", "--learned-sampling",
+            "--target-margin", "0.1", "--fabric", "http://localhost:1",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "fabric" in err
 
     def test_adaptive_inject_prints_achieved_margins(
         self, tmp_path, monkeypatch, capsys
